@@ -1,0 +1,68 @@
+//! Ablation bench: the per-block direct solver choice (sparse / dense / band
+//! LU) and the fill-reducing ordering inside the multisplitting wrapper.
+//!
+//! DESIGN.md calls out the claim that "any sequential direct solver" can be
+//! wrapped; this bench quantifies the factorization+solve cost of each choice
+//! on a representative diagonal block.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use msplit_direct::gplu::{ColumnOrdering, SparseLu, SparseLuConfig};
+use msplit_direct::SolverKind;
+use msplit_sparse::generators::{self, DiagDominantConfig};
+
+fn bench_solver_kinds(c: &mut Criterion) {
+    let block = generators::diag_dominant(&DiagDominantConfig {
+        n: 2_000,
+        offdiag_per_row: 6,
+        half_bandwidth: 40,
+        dominance_margin: 0.1,
+        seed: 3,
+    });
+    let (_, b) = generators::rhs_for_solution(&block, |i| (i % 5) as f64);
+
+    let mut group = c.benchmark_group("direct_solver_ablation");
+    group.sample_size(10);
+    for kind in SolverKind::all() {
+        group.bench_with_input(
+            BenchmarkId::new("factorize_and_solve", format!("{kind:?}")),
+            &kind,
+            |bencher, &kind| {
+                bencher.iter(|| {
+                    let solver = kind.build();
+                    let factor = solver.factorize(&block).expect("factorization failed");
+                    factor.solve(&b).expect("solve failed")
+                })
+            },
+        );
+    }
+    group.finish();
+
+    let mut orderings = c.benchmark_group("ordering_ablation");
+    orderings.sample_size(10);
+    for ordering in [
+        ColumnOrdering::Natural,
+        ColumnOrdering::ReverseCuthillMcKee,
+        ColumnOrdering::MinimumDegree,
+    ] {
+        orderings.bench_with_input(
+            BenchmarkId::new("sparse_lu", format!("{ordering:?}")),
+            &ordering,
+            |bencher, &ordering| {
+                bencher.iter(|| {
+                    SparseLu::factorize_with(
+                        &block,
+                        &SparseLuConfig {
+                            ordering,
+                            ..Default::default()
+                        },
+                    )
+                    .expect("factorization failed")
+                })
+            },
+        );
+    }
+    orderings.finish();
+}
+
+criterion_group!(benches, bench_solver_kinds);
+criterion_main!(benches);

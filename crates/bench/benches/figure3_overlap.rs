@@ -1,0 +1,23 @@
+//! Bench regenerating Figure 3: impact of the overlap size on the total
+//! times, factorization time and iteration counts (cluster3, ρ ≈ 1 matrix).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msplit_bench::bench_config;
+use msplit_core::experiment::{figure3, render_overlap};
+
+fn bench_figure3(c: &mut Criterion) {
+    let mut cfg = bench_config();
+    cfg.min_n = 1_000;
+    let rows = figure3(&cfg).expect("figure 3 generation failed");
+    println!("{}", render_overlap(&rows));
+
+    let mut group = c.benchmark_group("figure3");
+    group.sample_size(10);
+    group.bench_function("generate_series", |b| {
+        b.iter(|| figure3(&cfg).expect("figure 3 generation failed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_figure3);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench regenerating Table 1: scalability of distributed SuperLU vs the
+//! synchronous/asynchronous multisplitting-LU solvers on cluster1 with the
+//! cage10-like matrix.  The generated rows are printed once so `cargo bench`
+//! output doubles as the reproduction artefact.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msplit_bench::bench_config;
+use msplit_core::experiment::{render_scalability, table1};
+
+fn bench_table1(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = table1(&cfg).expect("table 1 generation failed");
+    println!("{}", render_scalability("Table 1: cage10-like on cluster1", &rows));
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("generate_rows", |b| {
+        b.iter(|| table1(&cfg).expect("table 1 generation failed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench regenerating Table 2: scalability on cluster1 with the cage11-like
+//! matrix (4–20 processors).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msplit_bench::bench_config;
+use msplit_core::experiment::{render_scalability, table2};
+
+fn bench_table2(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = table2(&cfg).expect("table 2 generation failed");
+    println!("{}", render_scalability("Table 2: cage11-like on cluster1", &rows));
+
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    group.bench_function("generate_rows", |b| {
+        b.iter(|| table2(&cfg).expect("table 2 generation failed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench regenerating Table 3: the three solvers on the heterogeneous local
+//! cluster (cluster2) and the two-site distant cluster (cluster3).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msplit_bench::bench_config;
+use msplit_core::experiment::{render_distant, table3};
+
+fn bench_table3(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = table3(&cfg).expect("table 3 generation failed");
+    println!("{}", render_distant(&rows));
+
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    group.bench_function("generate_rows", |b| {
+        b.iter(|| table3(&cfg).expect("table 3 generation failed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table3);
+criterion_main!(benches);

@@ -1,0 +1,22 @@
+//! Bench regenerating Table 4: impact of perturbing background flows on the
+//! inter-site link of cluster3 for the three solvers.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msplit_bench::bench_config;
+use msplit_core::experiment::{render_perturbation, table4};
+
+fn bench_table4(c: &mut Criterion) {
+    let cfg = bench_config();
+    let rows = table4(&cfg).expect("table 4 generation failed");
+    println!("{}", render_perturbation(&rows));
+
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    group.bench_function("generate_rows", |b| {
+        b.iter(|| table4(&cfg).expect("table 4 generation failed"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table4);
+criterion_main!(benches);

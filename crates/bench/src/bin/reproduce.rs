@@ -1,0 +1,153 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p msplit-bench --bin reproduce -- --all
+//! cargo run --release -p msplit-bench --bin reproduce -- --table1 --table4
+//! cargo run --release -p msplit-bench --bin reproduce -- --all --scale 0.2
+//! cargo run --release -p msplit-bench --bin reproduce -- --all --full   # paper-size runs
+//! ```
+
+use msplit_bench::reproduce_config;
+use msplit_core::experiment::{
+    figure3, render_distant, render_overlap, render_perturbation, render_scalability, table1,
+    table2, table3, table4, ExperimentConfig,
+};
+
+struct Options {
+    table1: bool,
+    table2: bool,
+    table3: bool,
+    table4: bool,
+    figure3: bool,
+    config: ExperimentConfig,
+}
+
+fn parse_args() -> Options {
+    let mut opts = Options {
+        table1: false,
+        table2: false,
+        table3: false,
+        table4: false,
+        figure3: false,
+        config: reproduce_config(),
+    };
+    let mut any = false;
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--table1" => {
+                opts.table1 = true;
+                any = true;
+            }
+            "--table2" => {
+                opts.table2 = true;
+                any = true;
+            }
+            "--table3" => {
+                opts.table3 = true;
+                any = true;
+            }
+            "--table4" => {
+                opts.table4 = true;
+                any = true;
+            }
+            "--figure3" => {
+                opts.figure3 = true;
+                any = true;
+            }
+            "--all" => {
+                opts.table1 = true;
+                opts.table2 = true;
+                opts.table3 = true;
+                opts.table4 = true;
+                opts.figure3 = true;
+                any = true;
+            }
+            "--full" => {
+                opts.config = ExperimentConfig::full_scale();
+            }
+            "--scale" => {
+                i += 1;
+                let value = args
+                    .get(i)
+                    .and_then(|s| s.parse::<f64>().ok())
+                    .unwrap_or_else(|| {
+                        eprintln!("--scale expects a number");
+                        std::process::exit(2);
+                    });
+                opts.config.scale = value;
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: reproduce [--all | --table1 --table2 --table3 --table4 --figure3] \
+                     [--scale FRACTION] [--full]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    if !any {
+        opts.table1 = true;
+        opts.table2 = true;
+        opts.table3 = true;
+        opts.table4 = true;
+        opts.figure3 = true;
+    }
+    opts
+}
+
+fn main() {
+    let opts = parse_args();
+    println!(
+        "# multisplitting-direct reproduction (scale = {}, tolerance = {:.0e})",
+        opts.config.scale, opts.config.tolerance
+    );
+    println!(
+        "# modelled clusters: cluster1 (20x P4 2.6GHz / 256MB / 100Mb), \
+         cluster2 (8x P4 1.7-2.6GHz / 512MB / 100Mb), cluster3 (7+3 machines, 20Mb WAN)"
+    );
+    println!();
+
+    if opts.table1 {
+        match table1(&opts.config) {
+            Ok(rows) => println!(
+                "{}",
+                render_scalability("Table 1: cage10-like on cluster1", &rows)
+            ),
+            Err(e) => eprintln!("table1 failed: {e}"),
+        }
+    }
+    if opts.table2 {
+        match table2(&opts.config) {
+            Ok(rows) => println!(
+                "{}",
+                render_scalability("Table 2: cage11-like on cluster1", &rows)
+            ),
+            Err(e) => eprintln!("table2 failed: {e}"),
+        }
+    }
+    if opts.table3 {
+        match table3(&opts.config) {
+            Ok(rows) => println!("{}", render_distant(&rows)),
+            Err(e) => eprintln!("table3 failed: {e}"),
+        }
+    }
+    if opts.table4 {
+        match table4(&opts.config) {
+            Ok(rows) => println!("{}", render_perturbation(&rows)),
+            Err(e) => eprintln!("table4 failed: {e}"),
+        }
+    }
+    if opts.figure3 {
+        match figure3(&opts.config) {
+            Ok(rows) => println!("{}", render_overlap(&rows)),
+            Err(e) => eprintln!("figure3 failed: {e}"),
+        }
+    }
+}

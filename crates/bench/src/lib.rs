@@ -1,0 +1,43 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! The Criterion benches and the `reproduce` binary both need a common
+//! experiment scale: small enough that `cargo bench` completes in minutes,
+//! large enough that the measured work profiles are not dominated by
+//! fixed overheads.
+
+use msplit_core::experiment::ExperimentConfig;
+
+/// Experiment configuration used by the Criterion benches (small scale).
+pub fn bench_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 0.02,
+        min_n: 500,
+        tolerance: 1e-8,
+        max_iterations: 50_000,
+    }
+}
+
+/// Experiment configuration used by the `reproduce` binary by default.
+pub fn reproduce_config() -> ExperimentConfig {
+    ExperimentConfig {
+        scale: 0.05,
+        min_n: 500,
+        tolerance: 1e-8,
+        max_iterations: 50_000,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn configs_are_scaled_down_but_not_degenerate() {
+        let bench = bench_config();
+        assert!(bench.scale < 1.0);
+        assert!(bench.min_n >= 100);
+        let repro = reproduce_config();
+        assert!(repro.scale >= bench.scale);
+        assert_eq!(repro.tolerance, 1e-8);
+    }
+}

@@ -1,0 +1,303 @@
+//! MPI-like per-rank communicator.
+//!
+//! The synchronous multisplitting driver needs exactly the primitives the
+//! paper's MPI implementation used: point-to-point sends of solution slices,
+//! blocking receives, a barrier at the end of each outer iteration and an
+//! allreduce to agree on global convergence.  The asynchronous driver only
+//! uses the point-to-point half plus [`crate::convergence`].
+
+use crate::message::Message;
+use crate::transport::Transport;
+use crate::CommError;
+use parking_lot::{Condvar, Mutex};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Shared state backing barriers and allreduce operations.
+struct CollectiveState {
+    mutex: Mutex<CollectiveInner>,
+    condvar: Condvar,
+    num_ranks: usize,
+}
+
+struct CollectiveInner {
+    /// Number of ranks that have arrived at the current collective.
+    arrived: usize,
+    /// Generation counter distinguishing consecutive collectives.
+    generation: u64,
+    /// Accumulated maximum for `allreduce_max`.
+    acc_max: f64,
+    /// Accumulated logical-and for `allreduce_and`.
+    acc_and: bool,
+    /// Result published for the previous generation.
+    result_max: f64,
+    result_and: bool,
+}
+
+impl CollectiveState {
+    fn new(num_ranks: usize) -> Arc<Self> {
+        Arc::new(CollectiveState {
+            mutex: Mutex::new(CollectiveInner {
+                arrived: 0,
+                generation: 0,
+                acc_max: f64::NEG_INFINITY,
+                acc_and: true,
+                result_max: f64::NEG_INFINITY,
+                result_and: true,
+            }),
+            condvar: Condvar::new(),
+            num_ranks,
+        })
+    }
+
+    /// Generic synchronizing reduction: contributes `(value, flag)` and
+    /// returns the reduced `(max, and)` once every rank has contributed.
+    fn reduce(&self, value: f64, flag: bool) -> (f64, bool) {
+        let mut inner = self.mutex.lock();
+        let my_generation = inner.generation;
+        inner.acc_max = inner.acc_max.max(value);
+        inner.acc_and = inner.acc_and && flag;
+        inner.arrived += 1;
+        if inner.arrived == self.num_ranks {
+            // Last arriver publishes the result and opens the next generation.
+            inner.result_max = inner.acc_max;
+            inner.result_and = inner.acc_and;
+            inner.acc_max = f64::NEG_INFINITY;
+            inner.acc_and = true;
+            inner.arrived = 0;
+            inner.generation += 1;
+            self.condvar.notify_all();
+            return (inner.result_max, inner.result_and);
+        }
+        while inner.generation == my_generation {
+            self.condvar.wait(&mut inner);
+        }
+        (inner.result_max, inner.result_and)
+    }
+}
+
+/// A group of communicators sharing one transport, one per rank.
+pub struct CommGroup {
+    transport: Arc<dyn Transport>,
+    collective: Arc<CollectiveState>,
+}
+
+impl CommGroup {
+    /// Creates a group over the given transport.
+    pub fn new(transport: Arc<dyn Transport>) -> Self {
+        let collective = CollectiveState::new(transport.num_ranks());
+        CommGroup {
+            transport,
+            collective,
+        }
+    }
+
+    /// Number of ranks in the group.
+    pub fn num_ranks(&self) -> usize {
+        self.transport.num_ranks()
+    }
+
+    /// Produces the per-rank communicators (one per thread).
+    pub fn communicators(&self) -> Vec<Communicator> {
+        (0..self.num_ranks())
+            .map(|rank| Communicator {
+                rank,
+                transport: Arc::clone(&self.transport),
+                collective: Arc::clone(&self.collective),
+            })
+            .collect()
+    }
+}
+
+/// The per-rank handle used by a multisplitting processor thread.
+#[derive(Clone)]
+pub struct Communicator {
+    rank: usize,
+    transport: Arc<dyn Transport>,
+    collective: Arc<CollectiveState>,
+}
+
+impl Communicator {
+    /// This processor's rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Total number of processors.
+    pub fn num_ranks(&self) -> usize {
+        self.transport.num_ranks()
+    }
+
+    /// Sends a message to `to`.
+    pub fn send(&self, to: usize, msg: Message) -> Result<(), CommError> {
+        self.transport.send(self.rank, to, msg)
+    }
+
+    /// Blocking receive from this rank's inbox.
+    pub fn recv(&self) -> Result<Message, CommError> {
+        self.transport.recv(self.rank)
+    }
+
+    /// Non-blocking receive from this rank's inbox.
+    pub fn try_recv(&self) -> Result<Option<Message>, CommError> {
+        self.transport.try_recv(self.rank)
+    }
+
+    /// Blocking receive with a timeout.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, CommError> {
+        self.transport.recv_timeout(self.rank, timeout)
+    }
+
+    /// Drains every message currently queued in the inbox.
+    pub fn drain(&self) -> Result<Vec<Message>, CommError> {
+        let mut out = Vec::new();
+        while let Some(msg) = self.try_recv()? {
+            out.push(msg);
+        }
+        Ok(out)
+    }
+
+    /// Broadcasts a message to every other rank.
+    pub fn broadcast(&self, msg: &Message) -> Result<(), CommError> {
+        for to in 0..self.num_ranks() {
+            if to != self.rank {
+                self.send(to, msg.clone())?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Synchronization barrier across all ranks.
+    pub fn barrier(&self) {
+        let _ = self.collective.reduce(0.0, true);
+    }
+
+    /// Allreduce returning the maximum of every rank's `value` (used for the
+    /// global residual norm of the synchronous convergence test).
+    pub fn allreduce_max(&self, value: f64) -> f64 {
+        self.collective.reduce(value, true).0
+    }
+
+    /// Allreduce returning the logical AND of every rank's `flag` (used for
+    /// the "everybody locally converged" decision).
+    pub fn allreduce_and(&self, flag: bool) -> bool {
+        self.collective.reduce(f64::NEG_INFINITY, flag).1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transport::InProcTransport;
+    use std::thread;
+
+    fn group(n: usize) -> Vec<Communicator> {
+        CommGroup::new(InProcTransport::new(n)).communicators()
+    }
+
+    #[test]
+    fn rank_and_size() {
+        let comms = group(3);
+        assert_eq!(comms.len(), 3);
+        assert_eq!(comms[1].rank(), 1);
+        assert_eq!(comms[1].num_ranks(), 3);
+    }
+
+    #[test]
+    fn point_to_point_and_drain() {
+        let comms = group(2);
+        comms[0].send(1, Message::Halt).unwrap();
+        comms[0]
+            .send(
+                1,
+                Message::ConvergenceVote {
+                    from: 0,
+                    iteration: 3,
+                    converged: true,
+                },
+            )
+            .unwrap();
+        let msgs = comms[1].drain().unwrap();
+        assert_eq!(msgs.len(), 2);
+        assert_eq!(comms[1].drain().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn broadcast_reaches_everyone_but_sender() {
+        let comms = group(4);
+        comms[2].broadcast(&Message::Halt).unwrap();
+        for (rank, c) in comms.iter().enumerate() {
+            let got = c.drain().unwrap();
+            if rank == 2 {
+                assert!(got.is_empty());
+            } else {
+                assert_eq!(got, vec![Message::Halt]);
+            }
+        }
+    }
+
+    #[test]
+    fn allreduce_max_and_and_across_threads() {
+        let comms = group(4);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                thread::spawn(move || {
+                    let r = c.rank() as f64;
+                    let max = c.allreduce_max(r);
+                    let all = c.allreduce_and(c.rank() != 2);
+                    (max, all)
+                })
+            })
+            .collect();
+        for h in handles {
+            let (max, all) = h.join().unwrap();
+            assert_eq!(max, 3.0);
+            assert!(!all);
+        }
+    }
+
+    #[test]
+    fn repeated_collectives_do_not_deadlock_or_mix_generations() {
+        let comms = group(3);
+        let handles: Vec<_> = comms
+            .into_iter()
+            .map(|c| {
+                thread::spawn(move || {
+                    let mut results = Vec::new();
+                    for iter in 0..50u64 {
+                        let v = (c.rank() as f64) + (iter as f64) * 10.0;
+                        results.push(c.allreduce_max(v));
+                        c.barrier();
+                    }
+                    results
+                })
+            })
+            .collect();
+        let all: Vec<Vec<f64>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for iter in 0..50 {
+            let expected = 2.0 + (iter as f64) * 10.0;
+            for r in &all {
+                assert_eq!(r[iter], expected, "iteration {iter}");
+            }
+        }
+    }
+
+    #[test]
+    fn barrier_orders_phases() {
+        // After the barrier every rank must observe the message sent before it.
+        let comms = group(2);
+        let c0 = comms[0].clone();
+        let c1 = comms[1].clone();
+        let sender = thread::spawn(move || {
+            c0.send(1, Message::Halt).unwrap();
+            c0.barrier();
+        });
+        let receiver = thread::spawn(move || {
+            c1.barrier();
+            c1.try_recv().unwrap()
+        });
+        sender.join().unwrap();
+        assert_eq!(receiver.join().unwrap(), Some(Message::Halt));
+    }
+}

@@ -1,0 +1,56 @@
+//! In-process message-passing layer for the multisplitting drivers.
+//!
+//! The paper implements its synchronous solver over MPI and its asynchronous
+//! solver over Corba, running on machines spread across two sites.  Inside
+//! this repository every "processor" is a thread, and this crate provides the
+//! communication primitives those threads use:
+//!
+//! * [`message::Message`] — the wire messages (solution slices, convergence
+//!   votes, termination), with a compact binary encoding so message sizes can
+//!   be accounted against the grid's bandwidth model,
+//! * [`transport`] — the [`transport::Transport`] trait plus the in-process
+//!   channel transport and a delay-modelling wrapper,
+//! * [`communicator::Communicator`] — the MPI-like per-rank handle (send,
+//!   receive, barrier, allreduce),
+//! * [`convergence`] — local and global convergence detection for both the
+//!   synchronous (allreduce-based) and asynchronous (shared-board,
+//!   confirmation-window) modes, following the centralized [2] and
+//!   decentralized [4] schemes referenced by the paper.
+
+pub mod communicator;
+pub mod convergence;
+pub mod message;
+pub mod transport;
+
+pub use communicator::{CommGroup, Communicator};
+pub use convergence::{ConvergenceBoard, LocalConvergence, ResidualTracker};
+pub use message::Message;
+pub use transport::{DelayedTransport, InProcTransport, LinkStats, Transport};
+
+/// Errors produced by the communication layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommError {
+    /// The destination or source rank does not exist.
+    UnknownRank { rank: usize, total: usize },
+    /// The peer endpoint has been dropped (its thread exited).
+    Disconnected { rank: usize },
+    /// A blocking receive timed out.
+    Timeout { rank: usize },
+    /// A message could not be decoded.
+    Codec(String),
+}
+
+impl std::fmt::Display for CommError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CommError::UnknownRank { rank, total } => {
+                write!(f, "rank {rank} out of range (communicator has {total})")
+            }
+            CommError::Disconnected { rank } => write!(f, "rank {rank} disconnected"),
+            CommError::Timeout { rank } => write!(f, "receive on rank {rank} timed out"),
+            CommError::Codec(msg) => write!(f, "codec error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CommError {}

@@ -1,0 +1,246 @@
+//! Wire messages exchanged by the multisplitting processors.
+//!
+//! The dominant traffic is the per-iteration exchange of solution slices
+//! (`XSub` sent to every processor that depends on it, step 3 of
+//! Algorithm 1).  Convergence votes and the final halt notification complete
+//! the protocol.  Messages carry a compact binary encoding so that the
+//! transport layer can account exact byte counts against the grid bandwidth
+//! model.
+
+use crate::CommError;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// A message exchanged between two multisplitting processors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Message {
+    /// A slice of the solution vector: the sender's `XSub` (or the portion a
+    /// dependent processor needs), tagged with the sender's iteration count.
+    Solution {
+        /// Sender rank.
+        from: usize,
+        /// Sender's outer-iteration counter when the slice was produced.
+        iteration: u64,
+        /// Global index of the first entry of `values`.
+        offset: usize,
+        /// The solution values.
+        values: Vec<f64>,
+    },
+    /// A local convergence vote used by the centralized detection scheme.
+    ConvergenceVote {
+        /// Sender rank.
+        from: usize,
+        /// Sender's outer-iteration counter.
+        iteration: u64,
+        /// Whether the sender is locally converged.
+        converged: bool,
+    },
+    /// Global convergence decision broadcast by the coordinator.
+    GlobalConverged {
+        /// Iteration at which global convergence was detected.
+        iteration: u64,
+    },
+    /// Ask the receiver to stop (used to shut down asynchronous receivers).
+    Halt,
+}
+
+const TAG_SOLUTION: u8 = 1;
+const TAG_VOTE: u8 = 2;
+const TAG_GLOBAL: u8 = 3;
+const TAG_HALT: u8 = 4;
+
+impl Message {
+    /// The rank that produced the message, when it carries one.
+    pub fn sender(&self) -> Option<usize> {
+        match self {
+            Message::Solution { from, .. } | Message::ConvergenceVote { from, .. } => Some(*from),
+            _ => None,
+        }
+    }
+
+    /// Size of the encoded message in bytes — the number charged against the
+    /// link bandwidth by the grid model.
+    pub fn encoded_len(&self) -> usize {
+        match self {
+            Message::Solution { values, .. } => 1 + 8 + 8 + 8 + 8 + 8 * values.len(),
+            Message::ConvergenceVote { .. } => 1 + 8 + 8 + 1,
+            Message::GlobalConverged { .. } => 1 + 8,
+            Message::Halt => 1,
+        }
+    }
+
+    /// Encodes the message into a byte buffer.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            Message::Solution {
+                from,
+                iteration,
+                offset,
+                values,
+            } => {
+                buf.put_u8(TAG_SOLUTION);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(*iteration);
+                buf.put_u64_le(*offset as u64);
+                buf.put_u64_le(values.len() as u64);
+                for v in values {
+                    buf.put_f64_le(*v);
+                }
+            }
+            Message::ConvergenceVote {
+                from,
+                iteration,
+                converged,
+            } => {
+                buf.put_u8(TAG_VOTE);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(*iteration);
+                buf.put_u8(u8::from(*converged));
+            }
+            Message::GlobalConverged { iteration } => {
+                buf.put_u8(TAG_GLOBAL);
+                buf.put_u64_le(*iteration);
+            }
+            Message::Halt => {
+                buf.put_u8(TAG_HALT);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a message produced by [`Message::encode`].
+    pub fn decode(mut data: Bytes) -> Result<Self, CommError> {
+        if data.is_empty() {
+            return Err(CommError::Codec("empty buffer".to_string()));
+        }
+        let tag = data.get_u8();
+        match tag {
+            TAG_SOLUTION => {
+                if data.remaining() < 32 {
+                    return Err(CommError::Codec("truncated solution header".to_string()));
+                }
+                let from = data.get_u64_le() as usize;
+                let iteration = data.get_u64_le();
+                let offset = data.get_u64_le() as usize;
+                let len = data.get_u64_le() as usize;
+                if data.remaining() < 8 * len {
+                    return Err(CommError::Codec(format!(
+                        "truncated solution payload: expected {len} values"
+                    )));
+                }
+                let mut values = Vec::with_capacity(len);
+                for _ in 0..len {
+                    values.push(data.get_f64_le());
+                }
+                Ok(Message::Solution {
+                    from,
+                    iteration,
+                    offset,
+                    values,
+                })
+            }
+            TAG_VOTE => {
+                if data.remaining() < 17 {
+                    return Err(CommError::Codec("truncated vote".to_string()));
+                }
+                let from = data.get_u64_le() as usize;
+                let iteration = data.get_u64_le();
+                let converged = data.get_u8() != 0;
+                Ok(Message::ConvergenceVote {
+                    from,
+                    iteration,
+                    converged,
+                })
+            }
+            TAG_GLOBAL => {
+                if data.remaining() < 8 {
+                    return Err(CommError::Codec("truncated global notice".to_string()));
+                }
+                Ok(Message::GlobalConverged {
+                    iteration: data.get_u64_le(),
+                })
+            }
+            TAG_HALT => Ok(Message::Halt),
+            other => Err(CommError::Codec(format!("unknown message tag {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solution_round_trip() {
+        let msg = Message::Solution {
+            from: 3,
+            iteration: 42,
+            offset: 1000,
+            values: vec![1.5, -2.25, 0.0, 1e-9],
+        };
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len());
+        let decoded = Message::decode(encoded).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.sender(), Some(3));
+    }
+
+    #[test]
+    fn vote_and_control_round_trip() {
+        for msg in [
+            Message::ConvergenceVote {
+                from: 1,
+                iteration: 7,
+                converged: true,
+            },
+            Message::GlobalConverged { iteration: 9 },
+            Message::Halt,
+        ] {
+            let decoded = Message::decode(msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+            assert_eq!(msg.encode().len(), msg.encoded_len());
+        }
+        assert_eq!(Message::Halt.sender(), None);
+    }
+
+    #[test]
+    fn truncated_buffers_are_rejected() {
+        let msg = Message::Solution {
+            from: 0,
+            iteration: 1,
+            offset: 0,
+            values: vec![1.0, 2.0],
+        };
+        let encoded = msg.encode();
+        let truncated = encoded.slice(0..encoded.len() - 4);
+        assert!(matches!(
+            Message::decode(truncated),
+            Err(CommError::Codec(_))
+        ));
+        assert!(matches!(
+            Message::decode(Bytes::new()),
+            Err(CommError::Codec(_))
+        ));
+        assert!(matches!(
+            Message::decode(Bytes::from_static(&[99])),
+            Err(CommError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn encoded_len_tracks_payload_size() {
+        let small = Message::Solution {
+            from: 0,
+            iteration: 0,
+            offset: 0,
+            values: vec![0.0; 10],
+        };
+        let large = Message::Solution {
+            from: 0,
+            iteration: 0,
+            offset: 0,
+            values: vec![0.0; 1000],
+        };
+        assert_eq!(large.encoded_len() - small.encoded_len(), 8 * 990);
+    }
+}

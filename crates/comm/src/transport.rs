@@ -1,0 +1,348 @@
+//! Message transports: the in-process channel transport and a
+//! delay-modelling wrapper.
+//!
+//! Every multisplitting "processor" is a thread; an [`InProcTransport`] gives
+//! each rank an unbounded inbox fed by crossbeam channels.  The
+//! [`DelayedTransport`] wrapper accounts every message against a
+//! [`msplit_grid::Grid`] link model — and can optionally *realize* a scaled
+//! fraction of the modelled delay with a real sleep, which is how the tests
+//! exercise the asynchronous driver's tolerance to slow links without waiting
+//! for actual WAN round-trips.
+
+use crate::message::Message;
+use crate::CommError;
+use crossbeam_channel::{unbounded, Receiver, Sender};
+use msplit_grid::Grid;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A message transport connecting `num_ranks` endpoints.
+pub trait Transport: Send + Sync {
+    /// Number of ranks connected by this transport.
+    fn num_ranks(&self) -> usize;
+
+    /// Sends a message from `from` to `to`.
+    fn send(&self, from: usize, to: usize, msg: Message) -> Result<(), CommError>;
+
+    /// Blocking receive on `rank`'s inbox.
+    fn recv(&self, rank: usize) -> Result<Message, CommError>;
+
+    /// Non-blocking receive on `rank`'s inbox.
+    fn try_recv(&self, rank: usize) -> Result<Option<Message>, CommError>;
+
+    /// Blocking receive with a timeout.
+    fn recv_timeout(&self, rank: usize, timeout: Duration) -> Result<Message, CommError>;
+}
+
+/// Per-link traffic statistics (messages and bytes), indexed by
+/// `(from, to)`.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LinkStats {
+    /// Number of messages sent per (from, to) pair.
+    pub messages: std::collections::BTreeMap<(usize, usize), usize>,
+    /// Number of payload bytes sent per (from, to) pair.
+    pub bytes: std::collections::BTreeMap<(usize, usize), usize>,
+}
+
+impl LinkStats {
+    /// Total number of messages.
+    pub fn total_messages(&self) -> usize {
+        self.messages.values().sum()
+    }
+
+    /// Total number of bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.bytes.values().sum()
+    }
+
+    /// Bytes exchanged between different sites of the given grid (the traffic
+    /// that crosses the slow inter-site link).
+    pub fn inter_site_bytes(&self, grid: &Grid) -> usize {
+        self.bytes
+            .iter()
+            .filter(|(&(from, to), _)| {
+                grid.site_of(from).ok() != grid.site_of(to).ok()
+            })
+            .map(|(_, &b)| b)
+            .sum()
+    }
+
+    fn record(&mut self, from: usize, to: usize, bytes: usize) {
+        *self.messages.entry((from, to)).or_default() += 1;
+        *self.bytes.entry((from, to)).or_default() += bytes;
+    }
+}
+
+/// In-process transport: one unbounded channel per rank.
+pub struct InProcTransport {
+    senders: Vec<Sender<Message>>,
+    receivers: Vec<Receiver<Message>>,
+    stats: Mutex<LinkStats>,
+}
+
+impl InProcTransport {
+    /// Creates a transport connecting `num_ranks` endpoints.
+    pub fn new(num_ranks: usize) -> Arc<Self> {
+        let mut senders = Vec::with_capacity(num_ranks);
+        let mut receivers = Vec::with_capacity(num_ranks);
+        for _ in 0..num_ranks {
+            let (s, r) = unbounded();
+            senders.push(s);
+            receivers.push(r);
+        }
+        Arc::new(InProcTransport {
+            senders,
+            receivers,
+            stats: Mutex::new(LinkStats::default()),
+        })
+    }
+
+    /// A snapshot of the per-link traffic statistics.
+    pub fn stats(&self) -> LinkStats {
+        self.stats.lock().clone()
+    }
+
+    fn check_rank(&self, rank: usize) -> Result<(), CommError> {
+        if rank >= self.senders.len() {
+            return Err(CommError::UnknownRank {
+                rank,
+                total: self.senders.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl Transport for InProcTransport {
+    fn num_ranks(&self) -> usize {
+        self.senders.len()
+    }
+
+    fn send(&self, from: usize, to: usize, msg: Message) -> Result<(), CommError> {
+        self.check_rank(from)?;
+        self.check_rank(to)?;
+        self.stats.lock().record(from, to, msg.encoded_len());
+        self.senders[to]
+            .send(msg)
+            .map_err(|_| CommError::Disconnected { rank: to })
+    }
+
+    fn recv(&self, rank: usize) -> Result<Message, CommError> {
+        self.check_rank(rank)?;
+        self.receivers[rank]
+            .recv()
+            .map_err(|_| CommError::Disconnected { rank })
+    }
+
+    fn try_recv(&self, rank: usize) -> Result<Option<Message>, CommError> {
+        self.check_rank(rank)?;
+        match self.receivers[rank].try_recv() {
+            Ok(msg) => Ok(Some(msg)),
+            Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
+            Err(crossbeam_channel::TryRecvError::Disconnected) => {
+                Err(CommError::Disconnected { rank })
+            }
+        }
+    }
+
+    fn recv_timeout(&self, rank: usize, timeout: Duration) -> Result<Message, CommError> {
+        self.check_rank(rank)?;
+        match self.receivers[rank].recv_timeout(timeout) {
+            Ok(msg) => Ok(msg),
+            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(CommError::Timeout { rank }),
+            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                Err(CommError::Disconnected { rank })
+            }
+        }
+    }
+}
+
+/// A transport wrapper that models (and optionally realizes) link delays
+/// according to a grid description.
+pub struct DelayedTransport {
+    inner: Arc<InProcTransport>,
+    grid: Grid,
+    /// Fraction of the modelled delay actually slept before delivery.  `0.0`
+    /// records the delay without slowing the run; `1.0` reproduces it in real
+    /// time; the async-robustness tests use a small scale (e.g. `1e-3`).
+    time_scale: f64,
+    /// Accumulated modelled delay per destination rank, in modelled seconds.
+    modelled_delay: Mutex<Vec<f64>>,
+}
+
+impl DelayedTransport {
+    /// Wraps an in-process transport with the link model of `grid`.
+    ///
+    /// # Panics
+    /// Panics if the grid has fewer machines than the transport has ranks.
+    pub fn new(inner: Arc<InProcTransport>, grid: Grid, time_scale: f64) -> Arc<Self> {
+        assert!(
+            grid.num_machines() >= inner.num_ranks(),
+            "grid has {} machines but the transport has {} ranks",
+            grid.num_machines(),
+            inner.num_ranks()
+        );
+        let ranks = inner.num_ranks();
+        Arc::new(DelayedTransport {
+            inner,
+            grid,
+            time_scale,
+            modelled_delay: Mutex::new(vec![0.0; ranks]),
+        })
+    }
+
+    /// Total modelled network delay charged to each rank so far (seconds of
+    /// modelled time, regardless of `time_scale`).
+    pub fn modelled_delays(&self) -> Vec<f64> {
+        self.modelled_delay.lock().clone()
+    }
+
+    /// Traffic statistics of the underlying transport.
+    pub fn stats(&self) -> LinkStats {
+        self.inner.stats()
+    }
+
+    /// The grid backing the delay model.
+    pub fn grid(&self) -> &Grid {
+        &self.grid
+    }
+}
+
+impl Transport for DelayedTransport {
+    fn num_ranks(&self) -> usize {
+        self.inner.num_ranks()
+    }
+
+    fn send(&self, from: usize, to: usize, msg: Message) -> Result<(), CommError> {
+        let bytes = msg.encoded_len();
+        let delay = self
+            .grid
+            .transfer_seconds(from, to, bytes)
+            .map_err(|_| CommError::UnknownRank {
+                rank: from.max(to),
+                total: self.num_ranks(),
+            })?;
+        self.modelled_delay.lock()[to] += delay;
+        if self.time_scale > 0.0 {
+            std::thread::sleep(Duration::from_secs_f64(delay * self.time_scale));
+        }
+        self.inner.send(from, to, msg)
+    }
+
+    fn recv(&self, rank: usize) -> Result<Message, CommError> {
+        self.inner.recv(rank)
+    }
+
+    fn try_recv(&self, rank: usize) -> Result<Option<Message>, CommError> {
+        self.inner.try_recv(rank)
+    }
+
+    fn recv_timeout(&self, rank: usize, timeout: Duration) -> Result<Message, CommError> {
+        self.inner.recv_timeout(rank, timeout)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msplit_grid::cluster::{cluster1, cluster3};
+
+    fn solution_msg(from: usize, n: usize) -> Message {
+        Message::Solution {
+            from,
+            iteration: 1,
+            offset: 0,
+            values: vec![1.0; n],
+        }
+    }
+
+    #[test]
+    fn send_and_receive_in_order() {
+        let t = InProcTransport::new(2);
+        t.send(0, 1, solution_msg(0, 3)).unwrap();
+        t.send(0, 1, Message::Halt).unwrap();
+        assert_eq!(t.recv(1).unwrap(), solution_msg(0, 3));
+        assert_eq!(t.recv(1).unwrap(), Message::Halt);
+    }
+
+    #[test]
+    fn try_recv_returns_none_when_empty() {
+        let t = InProcTransport::new(2);
+        assert_eq!(t.try_recv(0).unwrap(), None);
+        t.send(1, 0, Message::Halt).unwrap();
+        assert_eq!(t.try_recv(0).unwrap(), Some(Message::Halt));
+    }
+
+    #[test]
+    fn recv_timeout_times_out() {
+        let t = InProcTransport::new(1);
+        let err = t.recv_timeout(0, Duration::from_millis(10)).unwrap_err();
+        assert!(matches!(err, CommError::Timeout { rank: 0 }));
+    }
+
+    #[test]
+    fn unknown_ranks_rejected() {
+        let t = InProcTransport::new(2);
+        assert!(t.send(0, 5, Message::Halt).is_err());
+        assert!(t.send(7, 0, Message::Halt).is_err());
+        assert!(t.recv(9).is_err());
+        assert!(t.try_recv(9).is_err());
+    }
+
+    #[test]
+    fn stats_account_messages_and_bytes() {
+        let t = InProcTransport::new(3);
+        t.send(0, 1, solution_msg(0, 10)).unwrap();
+        t.send(0, 1, solution_msg(0, 10)).unwrap();
+        t.send(2, 0, Message::Halt).unwrap();
+        let stats = t.stats();
+        assert_eq!(stats.total_messages(), 3);
+        assert_eq!(stats.messages[&(0, 1)], 2);
+        assert!(stats.total_bytes() > 2 * 80);
+    }
+
+    #[test]
+    fn cross_thread_delivery() {
+        let t = InProcTransport::new(2);
+        let t2 = Arc::clone(&t);
+        let handle = std::thread::spawn(move || t2.recv(1).unwrap());
+        std::thread::sleep(Duration::from_millis(5));
+        t.send(0, 1, solution_msg(0, 4)).unwrap();
+        assert_eq!(handle.join().unwrap(), solution_msg(0, 4));
+    }
+
+    #[test]
+    fn delayed_transport_records_modelled_delay() {
+        let inner = InProcTransport::new(10);
+        let delayed = DelayedTransport::new(inner, cluster3(), 0.0);
+        // intra-site (0 -> 1) vs inter-site (0 -> 8)
+        delayed.send(0, 1, solution_msg(0, 1000)).unwrap();
+        delayed.send(0, 8, solution_msg(0, 1000)).unwrap();
+        let delays = delayed.modelled_delays();
+        assert!(delays[8] > delays[1]);
+        assert!(delays[1] > 0.0);
+        assert_eq!(delayed.recv(1).unwrap(), solution_msg(0, 1000));
+        assert_eq!(delayed.grid().name, "cluster3");
+    }
+
+    #[test]
+    fn delayed_transport_inter_site_stats() {
+        let inner = InProcTransport::new(10);
+        let grid = cluster3();
+        let delayed = DelayedTransport::new(inner, grid.clone(), 0.0);
+        delayed.send(0, 8, solution_msg(0, 100)).unwrap();
+        delayed.send(0, 1, solution_msg(0, 100)).unwrap();
+        let stats = delayed.stats();
+        let inter = stats.inter_site_bytes(&grid);
+        assert!(inter > 0);
+        assert!(inter < stats.total_bytes());
+    }
+
+    #[test]
+    #[should_panic]
+    fn delayed_transport_requires_enough_machines() {
+        let inner = InProcTransport::new(25);
+        let _ = DelayedTransport::new(inner, cluster1(), 0.0);
+    }
+}

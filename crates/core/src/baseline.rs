@@ -1,0 +1,386 @@
+//! Baseline solvers the paper compares against.
+//!
+//! * [`SequentialDirectBaseline`] — sequential SuperLU on one machine (the
+//!   1-processor column of Table 1, and the failed sequential cage11 run).
+//! * [`DistributedDirectBaseline`] — a model of SuperLU_DIST: the whole
+//!   matrix is factorized by `p` processors with a right-looking panel
+//!   algorithm that synchronizes at every panel.  We execute the *numerical*
+//!   factorization once on the host (to obtain exact fill and flop counts)
+//!   and replay the distributed schedule on the grid's cost model.  The model
+//!   keeps the two properties the paper's comparison hinges on:
+//!
+//!   1. it synchronizes `n / panel` times, so WAN latency and perturbed
+//!      bandwidth hit it directly (Tables 3–4), and the per-panel broadcast
+//!      serializes on the shared medium, so speedup saturates and then
+//!      degrades as processors are added (Tables 1–2);
+//!   2. the factors are distributed, so per-process memory falls as `1/p` but
+//!      the *total* footprint (factors + working storage) is far larger than
+//!      the multisplitting solver's per-block factors, producing the `nem`
+//!      verdicts of Table 3.
+
+use crate::perf_model::ProblemScaling;
+use crate::CoreError;
+use msplit_direct::gplu::{SparseLu, SparseLuConfig};
+use msplit_direct::FactorStats;
+use msplit_grid::cluster::Grid;
+use msplit_grid::perf::CostModel;
+use msplit_grid::GridError;
+use msplit_sparse::CsrMatrix;
+
+/// Outcome of a baseline run (modelled timings plus, when the problem is
+/// small enough to execute numerically, the actual solution).
+#[derive(Debug, Clone)]
+pub struct BaselineOutcome {
+    /// Name of the baseline ("sequential-superlu" / "distributed-superlu").
+    pub name: &'static str,
+    /// Whether the run fits in memory on the modelled machines.  `false`
+    /// corresponds to the paper's `nem` (not enough memory) entries.
+    pub feasible: bool,
+    /// Modelled wall-clock seconds of the complete solve (factorization +
+    /// triangular solves + communication).  `None` when infeasible.
+    pub modeled_seconds: Option<f64>,
+    /// Modelled seconds spent in the factorization.
+    pub modeled_factor_seconds: Option<f64>,
+    /// Required memory per process, in bytes.
+    pub memory_per_process: usize,
+    /// Statistics of the host factorization used to calibrate the model.
+    pub factor_stats: FactorStats,
+    /// The computed solution (host execution), when available.
+    pub solution: Option<Vec<f64>>,
+}
+
+/// Working-storage multiplier of a direct solver: SuperLU needs the factors
+/// plus elimination workspace; 2.5× the factor storage is a conservative
+/// match for the paper's observation that cage11 does not fit in 1 GB.
+const DIRECT_WORKSPACE_FACTOR: f64 = 2.5;
+
+/// Sequential direct solver (SuperLU) on a single machine.
+#[derive(Debug, Clone)]
+pub struct SequentialDirectBaseline {
+    /// The grid describing the single machine used (only rank 0 is used).
+    pub grid: Grid,
+}
+
+impl SequentialDirectBaseline {
+    /// Creates the baseline on the given (single-machine) grid.
+    pub fn new(grid: Grid) -> Self {
+        SequentialDirectBaseline { grid }
+    }
+
+    /// Factorizes and solves on the host, and models the run on the machine.
+    ///
+    /// `scaling` relates the executed problem size to the paper's problem
+    /// size: flops, traffic and memory are extrapolated with the usual sparse
+    /// direct growth laws so that scaled-down runs still produce full-scale
+    /// timings and `nem` verdicts.
+    pub fn run(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        scaling: ProblemScaling,
+    ) -> Result<BaselineOutcome, CoreError> {
+        let model = CostModel::new(self.grid.clone());
+        let lu = SparseLu::factorize_with(a, &SparseLuConfig::default())?;
+        let stats = lu.stats().clone();
+        let memory = ((stats.factor_memory_bytes() as f64 * DIRECT_WORKSPACE_FACTOR
+            + a.memory_bytes() as f64)
+            * scaling.memory_factor()) as usize;
+        let feasible = model.check_memory(0, memory).is_ok();
+        if !feasible {
+            return Ok(BaselineOutcome {
+                name: "sequential-superlu",
+                feasible,
+                modeled_seconds: None,
+                modeled_factor_seconds: None,
+                memory_per_process: memory,
+                factor_stats: stats,
+                solution: None,
+            });
+        }
+        let scaled_factor_flops = (stats.flops as f64 * scaling.factor_flops_factor()) as u64;
+        let scaled_solve_flops = (stats.solve_flops() as f64 * scaling.linear_factor()) as u64;
+        let factor_seconds = model.compute_seconds(0, scaled_factor_flops)?;
+        let solve_seconds = model.compute_seconds(0, scaled_solve_flops)?;
+        let solution = lu.solve(b)?;
+        Ok(BaselineOutcome {
+            name: "sequential-superlu",
+            feasible,
+            modeled_seconds: Some(factor_seconds + solve_seconds),
+            modeled_factor_seconds: Some(factor_seconds),
+            memory_per_process: memory,
+            factor_stats: stats,
+            solution: Some(solution),
+        })
+    }
+}
+
+/// Distributed-memory direct solver model (SuperLU_DIST stand-in).
+#[derive(Debug, Clone)]
+pub struct DistributedDirectBaseline {
+    /// The grid whose first `processors` machines participate.
+    pub grid: Grid,
+    /// Number of participating processes.
+    pub processors: usize,
+    /// Panel (supernode block) width of the right-looking factorization; one
+    /// synchronization per panel.
+    pub panel_width: usize,
+}
+
+impl DistributedDirectBaseline {
+    /// Creates the baseline using the first `processors` machines of `grid`.
+    pub fn new(grid: Grid, processors: usize) -> Result<Self, CoreError> {
+        if processors == 0 || processors > grid.num_machines() {
+            return Err(CoreError::Grid(GridError::InvalidConfig(format!(
+                "{processors} processors requested but the grid has {}",
+                grid.num_machines()
+            ))));
+        }
+        Ok(DistributedDirectBaseline {
+            grid,
+            processors,
+            panel_width: 64,
+        })
+    }
+
+    /// Runs the host factorization and replays the distributed schedule.
+    ///
+    /// `scaling` plays the same role as in [`SequentialDirectBaseline::run`]:
+    /// flops scale like `n^1.5`, factor storage (and therefore broadcast
+    /// traffic) like `n^1.2`, and the number of panel synchronization steps
+    /// follows the *target* problem size, which is what makes the model's WAN
+    /// behaviour representative of the paper's full-scale runs.
+    pub fn run(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        scaling: ProblemScaling,
+    ) -> Result<BaselineOutcome, CoreError> {
+        let model = CostModel::new(self.grid.clone());
+        let p = self.processors;
+
+        // Host factorization for exact fill / flop counts (and the solution).
+        let lu = SparseLu::factorize_with(a, &SparseLuConfig::default())?;
+        let stats = lu.stats().clone();
+
+        // Per-process memory: matrix slice + factor slice + working storage.
+        let memory_per_process = (((stats.factor_memory_bytes() as f64
+            * DIRECT_WORKSPACE_FACTOR
+            + a.memory_bytes() as f64)
+            / p as f64)
+            * scaling.memory_factor()) as usize;
+        let feasible = (0..p).all(|r| model.check_memory(r, memory_per_process).is_ok());
+        if !feasible {
+            return Ok(BaselineOutcome {
+                name: "distributed-superlu",
+                feasible,
+                modeled_seconds: None,
+                modeled_factor_seconds: None,
+                memory_per_process,
+                factor_stats: stats,
+                solution: None,
+            });
+        }
+
+        // Distributed right-looking schedule: one panel factorization +
+        // broadcast + trailing update per panel, sized for the target problem.
+        let target_n = scaling.target_n.max(a.rows());
+        let scaled_flops = stats.flops as f64 * scaling.factor_flops_factor();
+        let scaled_factor_nnz = stats.factor_nnz() as f64 * scaling.memory_factor();
+        let num_panels = target_n.div_ceil(self.panel_width).max(1);
+        let panel_fraction = 0.15; // share of flops spent inside panel factorizations
+        let update_fraction = 1.0 - panel_fraction;
+        let panel_flops = (scaled_flops * panel_fraction / num_panels as f64) as u64;
+        let update_flops_per_proc =
+            (scaled_flops * update_fraction / num_panels as f64 / p as f64) as u64;
+        let bytes_per_panel = ((scaled_factor_nnz / num_panels as f64) * 12.0).ceil() as usize;
+
+        let mut factor_seconds = 0.0f64;
+        for panel in 0..num_panels {
+            let owner = panel % p;
+            // Panel factorization on its owner.
+            let t_panel = model.compute_seconds(owner, panel_flops)?;
+            // Broadcast of the panel to the other processes.  On a shared
+            // medium the sends serialize; the slowest destination bounds the
+            // completion of the step.
+            let mut t_broadcast = 0.0f64;
+            for dest in 0..p {
+                if dest != owner {
+                    t_broadcast += model.message_seconds(owner, dest, bytes_per_panel)?;
+                }
+            }
+            // Trailing update, spread over every process; the slowest machine
+            // bounds the step.
+            let t_update = (0..p)
+                .map(|r| model.compute_seconds(r, update_flops_per_proc))
+                .collect::<Result<Vec<_>, _>>()?
+                .into_iter()
+                .fold(0.0, f64::max);
+            factor_seconds += t_panel + t_broadcast + t_update;
+        }
+
+        // Triangular solves: two sweeps over the distributed factors with one
+        // pipeline synchronization per process.
+        let solve_flops_per_proc =
+            (stats.solve_flops() as f64 * scaling.linear_factor() / p as f64) as u64;
+        let mut solve_seconds = (0..p)
+            .map(|r| model.compute_seconds(r, solve_flops_per_proc))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .fold(0.0, f64::max);
+        for r in 1..p {
+            solve_seconds += model.message_seconds(r - 1, r, (target_n / p).max(1) * 8)?;
+        }
+
+        let solution = lu.solve(b)?;
+        Ok(BaselineOutcome {
+            name: "distributed-superlu",
+            feasible,
+            modeled_seconds: Some(factor_seconds + solve_seconds),
+            modeled_factor_seconds: Some(factor_seconds),
+            memory_per_process,
+            factor_stats: stats,
+            solution: Some(solution),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msplit_grid::cluster::{cluster1, cluster3, single_machine};
+    use msplit_sparse::generators::{self, DiagDominantConfig};
+
+    fn test_matrix(n: usize) -> (CsrMatrix, Vec<f64>, Vec<f64>) {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n,
+            seed: 50,
+            ..Default::default()
+        });
+        let (x, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+        (a, x, b)
+    }
+
+    #[test]
+    fn sequential_baseline_solves_and_models() {
+        let (a, x_true, b) = test_matrix(300);
+        let baseline = SequentialDirectBaseline::new(single_machine(1024));
+        let out = baseline.run(&a, &b, ProblemScaling::identity(300)).unwrap();
+        assert!(out.feasible);
+        assert!(out.modeled_seconds.unwrap() > 0.0);
+        assert!(out.modeled_factor_seconds.unwrap() <= out.modeled_seconds.unwrap());
+        let sol = out.solution.unwrap();
+        let err = sol
+            .iter()
+            .zip(&x_true)
+            .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
+        assert!(err < 1e-7);
+    }
+
+    #[test]
+    fn sequential_baseline_detects_not_enough_memory() {
+        let (a, _, b) = test_matrix(300);
+        let baseline = SequentialDirectBaseline::new(single_machine(1024));
+        // Model the run as if the problem were three orders of magnitude larger.
+        let scaling = ProblemScaling {
+            run_n: 300,
+            target_n: 400_000,
+        };
+        let out = baseline.run(&a, &b, scaling).unwrap();
+        assert!(!out.feasible);
+        assert!(out.modeled_seconds.is_none());
+        assert!(out.solution.is_none());
+    }
+
+    #[test]
+    fn distributed_baseline_saturates_and_degrades_on_lan() {
+        // The distributed direct solver synchronizes and broadcasts at every
+        // panel, and on a shared LAN those broadcasts serialize at the
+        // sender; past a handful of processors the modelled time stops
+        // improving and then degrades (the 12–20 processor regression of
+        // Tables 1–2).  The synthetic banded matrices used here carry less
+        // factorization work per byte of factor than the real cage matrices,
+        // so the initial speedup region is narrower than in the paper — the
+        // robust property is the saturation/degradation, which is what this
+        // test pins down.
+        let (a, _, b) = test_matrix(600);
+        let scaling = ProblemScaling {
+            run_n: 600,
+            target_n: 30_000,
+        };
+        let grid = cluster1();
+        let times: Vec<f64> = [2usize, 3, 8, 16, 20]
+            .iter()
+            .map(|&p| {
+                DistributedDirectBaseline::new(grid.take_machines(p).unwrap(), p)
+                    .unwrap()
+                    .run(&a, &b, scaling)
+                    .unwrap()
+                    .modeled_seconds
+                    .unwrap()
+            })
+            .collect();
+        // Degradation at high processor counts because of the serialized
+        // per-panel broadcast on the shared LAN.
+        assert!(times[4] > times[1], "20 procs should be slower than 3");
+        assert!(times[3] > times[0], "16 procs should be slower than 2");
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(times[4] > best, "20-proc time should not be the best");
+    }
+
+    #[test]
+    fn distributed_baseline_is_much_slower_across_a_wan() {
+        let (a, _, b) = test_matrix(600);
+        let scaling = ProblemScaling::identity(600);
+        let lan = DistributedDirectBaseline::new(cluster1().take_machines(10).unwrap(), 10)
+            .unwrap()
+            .run(&a, &b, scaling)
+            .unwrap();
+        let wan = DistributedDirectBaseline::new(cluster3(), 10)
+            .unwrap()
+            .run(&a, &b, scaling)
+            .unwrap();
+        assert!(
+            wan.modeled_seconds.unwrap() > 3.0 * lan.modeled_seconds.unwrap(),
+            "WAN {:?} vs LAN {:?}",
+            wan.modeled_seconds,
+            lan.modeled_seconds
+        );
+    }
+
+    #[test]
+    fn distributed_baseline_reports_nem_when_memory_scaled_up() {
+        let (a, _, b) = test_matrix(400);
+        let scaling = ProblemScaling {
+            run_n: 400,
+            target_n: 2_000_000,
+        };
+        let out = DistributedDirectBaseline::new(cluster3(), 10)
+            .unwrap()
+            .run(&a, &b, scaling)
+            .unwrap();
+        assert!(!out.feasible);
+        assert!(out.modeled_seconds.is_none());
+        assert!(out.memory_per_process > 0);
+    }
+
+    #[test]
+    fn invalid_processor_counts_rejected() {
+        assert!(DistributedDirectBaseline::new(cluster1(), 0).is_err());
+        assert!(DistributedDirectBaseline::new(cluster1(), 21).is_err());
+    }
+
+    #[test]
+    fn perturbing_flows_slow_the_distributed_baseline() {
+        let (a, _, b) = test_matrix(400);
+        let scaling = ProblemScaling::identity(400);
+        let quiet = DistributedDirectBaseline::new(cluster3(), 10)
+            .unwrap()
+            .run(&a, &b, scaling)
+            .unwrap();
+        let loaded = DistributedDirectBaseline::new(cluster3().with_perturbing_flows(10), 10)
+            .unwrap()
+            .run(&a, &b, scaling)
+            .unwrap();
+        assert!(loaded.modeled_seconds.unwrap() > quiet.modeled_seconds.unwrap());
+    }
+}

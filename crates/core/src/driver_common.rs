@@ -1,0 +1,210 @@
+//! Shared plumbing of the synchronous and asynchronous drivers.
+
+use crate::weighting::WeightingScheme;
+use msplit_sparse::{BandPartition, LocalBlocks};
+
+/// Latest dependency data received from the other processors, and the logic
+/// to turn it into the `XLeft` / `XRight` values a band needs.
+///
+/// Every processor keeps the most recent extended-range solution slice it has
+/// received from each peer.  Before each local solve, the dependency entries
+/// of the band (the nonzero columns of `DepLeft` / `DepRight`) are recombined
+/// from those slices using the weighting scheme; senders whose data has not
+/// arrived yet simply do not contribute (their weight is renormalized away),
+/// which is exactly the behaviour the asynchronous model allows.
+#[derive(Debug, Clone)]
+pub(crate) struct NeighborData {
+    partition: BandPartition,
+    scheme: WeightingScheme,
+    /// `latest[k]` = (offset, values) of the most recent slice from part `k`.
+    latest: Vec<Option<(usize, Vec<f64>)>>,
+    /// Iteration stamp of the most recent slice from each part.
+    stamps: Vec<u64>,
+}
+
+impl NeighborData {
+    pub(crate) fn new(partition: BandPartition, scheme: WeightingScheme) -> Self {
+        let parts = partition.num_parts();
+        NeighborData {
+            partition,
+            scheme,
+            latest: vec![None; parts],
+            stamps: vec![0; parts],
+        }
+    }
+
+    /// Records a received solution slice.  Stale slices (older iteration than
+    /// one already stored) are ignored, which matters in asynchronous mode
+    /// where messages can be processed out of order.
+    pub(crate) fn update(&mut self, from: usize, iteration: u64, offset: usize, values: Vec<f64>) {
+        if from >= self.latest.len() {
+            return;
+        }
+        if iteration < self.stamps[from] {
+            return;
+        }
+        self.stamps[from] = iteration;
+        self.latest[from] = Some((offset, values));
+    }
+
+    /// Whether any slice from any peer has been recorded.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub(crate) fn has_any_data(&self) -> bool {
+        self.latest.iter().any(Option::is_some)
+    }
+
+    /// Value available for global index `g` from part `k`, if its stored
+    /// slice covers `g`.
+    fn value_from(&self, k: usize, g: usize) -> Option<f64> {
+        self.latest[k].as_ref().and_then(|(offset, values)| {
+            if g >= *offset && g < offset + values.len() {
+                Some(values[g - offset])
+            } else {
+                None
+            }
+        })
+    }
+
+    /// Writes the current best estimate of every dependency column of `blk`
+    /// into `x_global` (entries inside the band's extended range are left
+    /// untouched — the band solves for those itself).
+    pub(crate) fn fill_dependencies(&self, blk: &LocalBlocks, x_global: &mut [f64]) {
+        let my_range = self.partition.extended_range(blk.part);
+        for g in blk.dependency_columns() {
+            if my_range.contains(&g) {
+                continue;
+            }
+            let weights = self.scheme.weights_for(&self.partition, g);
+            let mut acc = 0.0;
+            let mut total_w = 0.0;
+            for (part, w) in weights {
+                if let Some(v) = self.value_from(part, g) {
+                    acc += w * v;
+                    total_w += w;
+                }
+            }
+            if total_w > 0.0 {
+                x_global[g] = acc / total_w;
+            }
+            // else: no data yet, keep the current (initial-guess) value.
+        }
+    }
+}
+
+/// For every part, the set of peers that need its solution slice — the
+/// `DependsOnMe` array of Algorithm 1, including overlap coverage so that
+/// averaging weighting schemes receive every contribution they expect.
+pub(crate) fn compute_send_targets(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+) -> Vec<Vec<usize>> {
+    let parts = partition.num_parts();
+    let mut targets = vec![std::collections::BTreeSet::new(); parts];
+    for blk in blocks {
+        for g in blk.dependency_columns() {
+            for covering in partition.parts_containing(g) {
+                if covering != blk.part {
+                    targets[covering].insert(blk.part);
+                }
+            }
+        }
+    }
+    targets
+        .into_iter()
+        .map(|s| s.into_iter().collect())
+        .collect()
+}
+
+/// Maximum absolute difference between two equally long vectors.
+pub(crate) fn increment_norm(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msplit_sparse::generators;
+
+    #[test]
+    fn send_targets_for_tridiagonal_are_the_neighbours() {
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let partition = BandPartition::uniform(20, 4).unwrap();
+        let blocks: Vec<LocalBlocks> = (0..4)
+            .map(|l| LocalBlocks::extract(&a, &b, &partition, l).unwrap())
+            .collect();
+        let targets = compute_send_targets(&partition, &blocks);
+        assert_eq!(targets[0], vec![1]);
+        assert_eq!(targets[1], vec![0, 2]);
+        assert_eq!(targets[3], vec![2]);
+    }
+
+    #[test]
+    fn neighbor_data_combines_available_slices_only() {
+        let a = generators::tridiagonal(12, 4.0, -1.0);
+        let b = vec![1.0; 12];
+        let partition = BandPartition::uniform(12, 3).unwrap();
+        let blk = LocalBlocks::extract(&a, &b, &partition, 1).unwrap();
+        let mut nd = NeighborData::new(partition.clone(), WeightingScheme::OwnerTakes);
+        assert!(!nd.has_any_data());
+
+        let mut x = vec![0.0; 12];
+        nd.fill_dependencies(&blk, &mut x);
+        // no data yet: untouched
+        assert!(x.iter().all(|&v| v == 0.0));
+
+        // part 0 sends its extended solution (rows 0..4)
+        nd.update(0, 1, 0, vec![10.0, 11.0, 12.0, 13.0]);
+        assert!(nd.has_any_data());
+        nd.fill_dependencies(&blk, &mut x);
+        // band 1 (rows 4..8) depends on column 3 (left) and 8 (right)
+        assert_eq!(x[3], 13.0);
+        assert_eq!(x[8], 0.0);
+
+        // part 2 sends rows 8..12
+        nd.update(2, 1, 8, vec![20.0, 21.0, 22.0, 23.0]);
+        nd.fill_dependencies(&blk, &mut x);
+        assert_eq!(x[8], 20.0);
+    }
+
+    #[test]
+    fn stale_updates_are_ignored() {
+        let partition = BandPartition::uniform(10, 2).unwrap();
+        let mut nd = NeighborData::new(partition, WeightingScheme::OwnerTakes);
+        nd.update(0, 5, 0, vec![1.0; 5]);
+        nd.update(0, 3, 0, vec![9.0; 5]);
+        // value from iteration 5 must survive
+        assert_eq!(nd.value_from(0, 0), Some(1.0));
+        nd.update(0, 6, 0, vec![2.0; 5]);
+        assert_eq!(nd.value_from(0, 0), Some(2.0));
+        // out-of-range sender index is ignored silently
+        nd.update(99, 1, 0, vec![1.0]);
+    }
+
+    #[test]
+    fn averaging_scheme_renormalizes_over_available_senders() {
+        // Overlapping partition: index 5 is covered by parts 0 and 1.
+        let a = generators::tridiagonal(12, 4.0, -1.0);
+        let b = vec![1.0; 12];
+        let partition = BandPartition::uniform_with_overlap(12, 3, 2).unwrap();
+        let blk2 = LocalBlocks::extract(&a, &b, &partition, 2).unwrap();
+        let mut nd = NeighborData::new(partition.clone(), WeightingScheme::Average);
+        let mut x = vec![0.0; 12];
+        // Part 2's extended range is 6..12, its left dependency column is 5,
+        // covered by parts 0 (ext 0..6) and 1 (ext 2..10).
+        nd.update(0, 1, 0, vec![1.0; 6]);
+        nd.fill_dependencies(&blk2, &mut x);
+        assert_eq!(x[5], 1.0); // only part 0 available: weight renormalized to 1
+        nd.update(1, 1, 2, vec![3.0; 8]);
+        nd.fill_dependencies(&blk2, &mut x);
+        assert!((x[5] - 2.0).abs() < 1e-12); // average of 1 and 3
+    }
+
+    #[test]
+    fn increment_norm_basic() {
+        assert_eq!(increment_norm(&[1.0, 2.0], &[1.0, 2.5]), 0.5);
+        assert_eq!(increment_norm(&[], &[]), 0.0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Multisplitting-direct solvers for grid environments.
+//!
+//! This crate implements the paper's contribution: wrapping *direct* linear
+//! solvers (sparse/band/dense LU from `msplit-direct`) in a coarse-grained
+//! multisplitting outer iteration so that a network of clusters can solve
+//! `Ax = b` with one communication phase per outer iteration instead of the
+//! fine-grained synchronization a distributed direct solver needs.
+//!
+//! The main entry point is [`solver::MultisplittingSolver`]:
+//!
+//! ```
+//! use msplit_core::prelude::*;
+//! use msplit_sparse::generators;
+//!
+//! let a = generators::diag_dominant(&generators::DiagDominantConfig {
+//!     n: 400,
+//!     ..Default::default()
+//! });
+//! let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+//!
+//! let result = MultisplittingSolver::builder()
+//!     .parts(4)
+//!     .tolerance(1e-8)
+//!     .mode(ExecutionMode::Synchronous)
+//!     .build()
+//!     .solve(&a, &b)
+//!     .unwrap();
+//!
+//! assert!(result.converged);
+//! let err: f64 = result
+//!     .x
+//!     .iter()
+//!     .zip(&x_true)
+//!     .fold(0.0, |m, (a, b)| m.max((a - b).abs()));
+//! assert!(err < 1e-6);
+//! ```
+//!
+//! Modules:
+//!
+//! * [`decomposition`] — the band decomposition of the system (Figure 1),
+//!   including overlap and heterogeneity-aware band sizing,
+//! * [`weighting`] — the weighting-matrix families `E_lk` of Section 4
+//!   (block Jacobi, O'Leary–White, Schwarz variants),
+//! * [`sequential`] — single-threaded reference iterations (practical form
+//!   and the extended fixed-point mapping of Section 3),
+//! * [`sync_driver`] / [`async_driver`] — the threaded synchronous and
+//!   asynchronous solvers of Algorithm 1,
+//! * [`solver`] — the user-facing builder tying everything together,
+//! * [`theory`] — iteration matrices, spectral radii and the convergence
+//!   predicates of Theorem 1 and Propositions 1–3,
+//! * [`baseline`] — the distributed-direct (SuperLU_DIST stand-in) and
+//!   sequential-direct baselines used for comparison,
+//! * [`perf_model`] — replay of solver executions on the modelled clusters,
+//! * [`experiment`] — the experiment descriptors that regenerate each table
+//!   and figure of the paper.
+
+pub mod async_driver;
+pub mod baseline;
+pub mod decomposition;
+pub(crate) mod driver_common;
+pub mod experiment;
+pub mod perf_model;
+pub mod sequential;
+pub mod solver;
+pub mod sync_driver;
+pub mod theory;
+pub mod weighting;
+
+pub use decomposition::Decomposition;
+pub use solver::{ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder};
+pub use weighting::WeightingScheme;
+
+/// Convenient re-exports for downstream users.
+pub mod prelude {
+    pub use crate::baseline::{DistributedDirectBaseline, SequentialDirectBaseline};
+    pub use crate::decomposition::Decomposition;
+    pub use crate::solver::{ExecutionMode, MultisplittingSolver, SolveOutcome};
+    pub use crate::theory::SplittingAnalysis;
+    pub use crate::weighting::WeightingScheme;
+    pub use msplit_direct::SolverKind;
+}
+
+/// Errors produced by the multisplitting solvers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The decomposition could not be built (bad shapes, empty parts…).
+    Decomposition(String),
+    /// A local direct solve failed.
+    Direct(msplit_direct::DirectError),
+    /// A sparse-matrix operation failed.
+    Sparse(msplit_sparse::SparseError),
+    /// A communication primitive failed.
+    Comm(msplit_comm::CommError),
+    /// The grid model rejected the configuration (e.g. not enough memory).
+    Grid(msplit_grid::GridError),
+    /// The iteration hit the maximum count without converging.
+    NotConverged {
+        /// Iterations performed (maximum over processors).
+        iterations: u64,
+        /// Last observed increment norm.
+        last_increment: f64,
+    },
+    /// A worker thread panicked.
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CoreError::Decomposition(msg) => write!(f, "decomposition error: {msg}"),
+            CoreError::Direct(e) => write!(f, "direct solver error: {e}"),
+            CoreError::Sparse(e) => write!(f, "sparse matrix error: {e}"),
+            CoreError::Comm(e) => write!(f, "communication error: {e}"),
+            CoreError::Grid(e) => write!(f, "grid model error: {e}"),
+            CoreError::NotConverged {
+                iterations,
+                last_increment,
+            } => write!(
+                f,
+                "iteration did not converge after {iterations} iterations (last increment {last_increment:e})"
+            ),
+            CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {}
+
+impl From<msplit_direct::DirectError> for CoreError {
+    fn from(e: msplit_direct::DirectError) -> Self {
+        CoreError::Direct(e)
+    }
+}
+
+impl From<msplit_sparse::SparseError> for CoreError {
+    fn from(e: msplit_sparse::SparseError) -> Self {
+        CoreError::Sparse(e)
+    }
+}
+
+impl From<msplit_comm::CommError> for CoreError {
+    fn from(e: msplit_comm::CommError) -> Self {
+        CoreError::Comm(e)
+    }
+}
+
+impl From<msplit_grid::GridError> for CoreError {
+    fn from(e: msplit_grid::GridError) -> Self {
+        CoreError::Grid(e)
+    }
+}

@@ -1,0 +1,397 @@
+//! Synchronous multisplitting driver (Algorithm 1, MPI-style).
+//!
+//! One thread per band.  Each outer iteration:
+//!
+//! 1. rebuild the dependency values from the latest received slices,
+//! 2. form `BLoc = BSub − DepLeft·XLeft − DepRight·XRight` and solve
+//!    `ASub·XSub = BLoc` with the pre-computed factorization,
+//! 3. send `XSub` to every processor that depends on it,
+//! 4. barrier, drain the inbox, and agree on global convergence with an
+//!    all-reduce of the local convergence flags.
+//!
+//! The factorizations are performed up front (in parallel with rayon) so that
+//! any singularity is reported before the threads start exchanging messages.
+
+use crate::decomposition::Decomposition;
+use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
+use crate::solver::{ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome};
+use crate::CoreError;
+use msplit_comm::communicator::{CommGroup, Communicator};
+use msplit_comm::convergence::ResidualTracker;
+use msplit_comm::message::Message;
+use msplit_comm::transport::Transport;
+use msplit_direct::api::Factorization;
+use msplit_sparse::{BandPartition, LocalBlocks};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Output of one worker thread (shared with the asynchronous driver).
+pub(crate) struct WorkerOutput {
+    pub(crate) part: usize,
+    pub(crate) x_local: Vec<f64>,
+    pub(crate) iterations: u64,
+    pub(crate) last_increment: f64,
+    pub(crate) converged: bool,
+    pub(crate) report: PartReport,
+}
+
+/// Runs the synchronous multisplitting solve over the given transport.
+pub fn solve_sync(
+    decomposition: Decomposition,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+) -> Result<SolveOutcome, CoreError> {
+    let start = Instant::now();
+    let (partition, blocks) = decomposition.into_blocks();
+    let parts = partition.num_parts();
+    if transport.num_ranks() != parts {
+        return Err(CoreError::Decomposition(format!(
+            "transport has {} ranks but the decomposition has {} parts",
+            transport.num_ranks(),
+            parts
+        )));
+    }
+
+    // Factor every diagonal block up front (failures surface before any
+    // thread reaches a barrier).
+    let solver = config.solver_kind.build();
+    let factors: Vec<Box<dyn Factorization>> = blocks
+        .par_iter()
+        .map(|blk| solver.factorize(&blk.a_sub))
+        .collect::<Result<Vec<_>, _>>()?;
+
+    let send_targets = compute_send_targets(&partition, &blocks);
+    let group = CommGroup::new(transport);
+    let comms = group.communicators();
+
+    let worker_inputs: Vec<(LocalBlocks, Box<dyn Factorization>, Communicator, Vec<usize>)> =
+        blocks
+            .into_iter()
+            .zip(factors)
+            .zip(comms)
+            .zip(send_targets)
+            .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
+            .collect();
+
+    let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = worker_inputs
+            .into_iter()
+            .map(|(blk, factor, comm, targets)| {
+                let partition = partition.clone();
+                scope.spawn(move || sync_worker(blk, factor, comm, partition, targets, config))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
+            })
+            .collect()
+    });
+
+    assemble_outcome(outputs, &partition, config, start)
+}
+
+/// Turns the per-worker outputs into the global [`SolveOutcome`].
+pub(crate) fn assemble_outcome(
+    outputs: Vec<Result<WorkerOutput, CoreError>>,
+    partition: &BandPartition,
+    config: &MultisplittingConfig,
+    start: Instant,
+) -> Result<SolveOutcome, CoreError> {
+    let mut locals: Vec<Vec<f64>> = vec![Vec::new(); partition.num_parts()];
+    let mut reports = Vec::with_capacity(partition.num_parts());
+    let mut iterations_per_part = vec![0u64; partition.num_parts()];
+    let mut converged = true;
+    let mut last_increment = 0.0f64;
+    for out in outputs {
+        let out = out?;
+        locals[out.part] = out.x_local;
+        iterations_per_part[out.part] = out.iterations;
+        converged &= out.converged;
+        last_increment = last_increment.max(out.last_increment);
+        reports.push(out.report);
+    }
+    reports.sort_by_key(|r| r.part);
+    let x = config.weighting.assemble(partition, &locals);
+    let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
+    Ok(SolveOutcome {
+        x,
+        converged,
+        iterations,
+        iterations_per_part,
+        last_increment,
+        part_reports: reports,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        mode: config.mode,
+    })
+}
+
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+fn sync_worker(
+    blk: LocalBlocks,
+    factor: Box<dyn Factorization>,
+    comm: Communicator,
+    partition: BandPartition,
+    targets: Vec<usize>,
+    config: &MultisplittingConfig,
+) -> Result<WorkerOutput, CoreError> {
+    let t0 = Instant::now();
+    let part = blk.part;
+    let factor_stats = factor.stats().clone();
+    let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
+    let flops_per_iteration = dep_flops + factor_stats.solve_flops();
+    let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
+
+    let mut neighbor = NeighborData::new(partition, config.weighting);
+    let mut x_global = vec![0.0f64; blk.total_size];
+    let mut x_sub = vec![0.0f64; blk.size];
+    let mut tracker = ResidualTracker::new(config.tolerance, 1);
+    let mut iterations = 0u64;
+    let mut last_increment = f64::INFINITY;
+    let mut converged = false;
+    let mut bytes_sent_per_iteration = 0usize;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+
+        // (1) dependency values from the latest received slices
+        neighbor.fill_dependencies(&blk, &mut x_global);
+
+        // (2) local solve
+        let rhs = blk.local_rhs(&x_global)?;
+        let new_x = factor.solve(&rhs)?;
+        last_increment = increment_norm(&new_x, &x_sub);
+        x_sub = new_x;
+
+        // (3) send XSub to every dependent processor
+        let msg = Message::Solution {
+            from: part,
+            iteration: iterations,
+            offset: blk.offset,
+            values: x_sub.clone(),
+        };
+        bytes_sent_per_iteration = msg.encoded_len() * targets.len();
+        for &t in &targets {
+            comm.send(t, msg.clone())?;
+        }
+
+        // (4) synchronize, collect the slices of this iteration, agree on
+        // global convergence
+        comm.barrier();
+        for received in comm.drain()? {
+            if let Message::Solution {
+                from,
+                iteration,
+                offset,
+                values,
+            } = received
+            {
+                neighbor.update(from, iteration, offset, values);
+            }
+        }
+        let local = tracker.record(last_increment);
+        if comm.allreduce_and(local.as_bool()) {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(WorkerOutput {
+        part,
+        x_local: x_sub,
+        iterations,
+        last_increment,
+        converged,
+        report: PartReport {
+            part,
+            factor_stats,
+            iterations,
+            bytes_sent_per_iteration,
+            messages_per_iteration: targets.len(),
+            flops_per_iteration,
+            memory_bytes,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        },
+    })
+}
+
+/// Convenience wrapper: synchronous solve with a fresh in-process transport.
+pub fn solve_sync_inproc(
+    decomposition: Decomposition,
+    config: &MultisplittingConfig,
+) -> Result<SolveOutcome, CoreError> {
+    let parts = decomposition.num_parts();
+    let transport = msplit_comm::InProcTransport::new(parts);
+    let mut config = config.clone();
+    config.mode = ExecutionMode::Synchronous;
+    solve_sync(decomposition, &config, transport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::weighting::WeightingScheme;
+    use msplit_direct::SolverKind;
+    use msplit_sparse::generators::{self, DiagDominantConfig};
+
+    fn config(parts: usize, overlap: usize) -> MultisplittingConfig {
+        MultisplittingConfig {
+            parts,
+            overlap,
+            weighting: WeightingScheme::OwnerTakes,
+            solver_kind: SolverKind::SparseLu,
+            tolerance: 1e-10,
+            max_iterations: 2000,
+            mode: ExecutionMode::Synchronous,
+            async_confirmations: 3,
+            relative_speeds: Vec::new(),
+        }
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn sync_solve_matches_true_solution() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 300,
+            seed: 12,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 13) as f64) - 6.0);
+        let cfg = config(4, 0);
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let out = solve_sync_inproc(d, &cfg).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-7, "error too large");
+        assert!(out.residual(&a, &b) < 1e-6);
+        assert_eq!(out.part_reports.len(), 4);
+        assert!(out.iterations >= 2);
+        // every part ran the same number of iterations in synchronous mode
+        assert!(out
+            .iterations_per_part
+            .iter()
+            .all(|&i| i == out.iterations));
+    }
+
+    #[test]
+    fn sync_solve_agrees_with_sequential_reference() {
+        let a = generators::cage_like(200, 31);
+        let (_, b) = generators::rhs_for_solution(&a, |i| (i as f64 * 0.3).sin());
+        let cfg = config(3, 0);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let threaded = solve_sync_inproc(d, &cfg).unwrap();
+        let sequential = crate::sequential::solve_sequential(
+            &a,
+            &b,
+            3,
+            0,
+            WeightingScheme::OwnerTakes,
+            SolverKind::SparseLu,
+            1e-10,
+            2000,
+        )
+        .unwrap();
+        assert!(threaded.converged && sequential.converged);
+        assert!(max_err(&threaded.x, &sequential.x) < 1e-8);
+        // The threaded Jacobi sweep and the sequential Jacobi sweep perform
+        // the same iteration, so the counts should be very close.
+        assert!(
+            (threaded.iterations as i64 - sequential.iterations as i64).abs() <= 2,
+            "threaded {} vs sequential {}",
+            threaded.iterations,
+            sequential.iterations
+        );
+    }
+
+    #[test]
+    fn sync_solve_with_overlap_and_every_scheme() {
+        let a = generators::spectral_radius_targeted(240, 0.9);
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| 1.0 + (i % 4) as f64);
+        for scheme in WeightingScheme::all() {
+            let mut cfg = config(3, 8);
+            cfg.weighting = scheme;
+            let d = Decomposition::uniform(&a, &b, 3, 8).unwrap();
+            let out = solve_sync_inproc(d, &cfg).unwrap();
+            assert!(out.converged, "{scheme:?}");
+            assert!(max_err(&out.x, &x_true) < 1e-6, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn sync_reports_non_convergence_within_budget() {
+        let a = generators::spectral_radius_targeted(100, 0.99);
+        let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
+        let mut cfg = config(4, 0);
+        cfg.max_iterations = 3;
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let out = solve_sync_inproc(d, &cfg).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 3);
+    }
+
+    #[test]
+    fn transport_rank_mismatch_is_rejected() {
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let cfg = config(4, 0);
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let transport = msplit_comm::InProcTransport::new(3);
+        assert!(matches!(
+            solve_sync(d, &cfg, transport),
+            Err(CoreError::Decomposition(_))
+        ));
+    }
+
+    #[test]
+    fn singular_block_fails_before_any_communication() {
+        // A zero row makes one diagonal block singular.
+        let mut builder = msplit_sparse::TripletBuilder::square(12);
+        for i in 0..12usize {
+            if i != 5 {
+                builder.push(i, i, 4.0).unwrap();
+                if i > 0 {
+                    builder.push(i, i - 1, -1.0).unwrap();
+                }
+            }
+        }
+        let a = builder.build_csr();
+        let b = vec![1.0; 12];
+        let cfg = config(3, 0);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        assert!(matches!(
+            solve_sync_inproc(d, &cfg),
+            Err(CoreError::Direct(_))
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_band_sizes_still_converge() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 250,
+            seed: 77,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 6) as f64);
+        let cfg = config(4, 0);
+        let d = Decomposition::balanced_for_speeds(&a, &b, &[1.0, 1.5, 1.2, 1.0], 0).unwrap();
+        let out = solve_sync_inproc(d, &cfg).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-7);
+    }
+}

@@ -1,0 +1,376 @@
+//! Banded matrix storage and band LU factorization.
+//!
+//! The paper stresses that the multisplitting approach works with *any*
+//! sequential direct solver "whether it is dense, band or sparse".  The band
+//! solver is the natural choice when the diagonal blocks produced by the band
+//! decomposition of Figure 1 are themselves banded (as they are for the
+//! generated diagonally dominant matrices and for discretized PDE operators).
+//!
+//! Storage is the classic LAPACK-style band layout: for a matrix of order `n`
+//! with `kl` sub-diagonals and `ku` super-diagonals, entry `(i, j)` with
+//! `j - ku <= i <= j + kl` is stored at `bands[ku + i - j][j]`.
+
+use crate::matrix::DenseMatrix;
+use crate::DenseError;
+
+/// A square banded matrix with `kl` sub-diagonals and `ku` super-diagonals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BandMatrix {
+    n: usize,
+    kl: usize,
+    ku: usize,
+    /// `bands[d][j]` stores the entry on diagonal offset `d - ku` (row
+    /// `j + d - ku`, column `j`).
+    bands: Vec<Vec<f64>>,
+}
+
+impl BandMatrix {
+    /// Creates a zero banded matrix of order `n` with the given bandwidths.
+    pub fn zeros(n: usize, kl: usize, ku: usize) -> Self {
+        BandMatrix {
+            n,
+            kl,
+            ku,
+            bands: vec![vec![0.0; n]; kl + ku + 1],
+        }
+    }
+
+    /// Order of the matrix.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Number of sub-diagonals.
+    pub fn lower_bandwidth(&self) -> usize {
+        self.kl
+    }
+
+    /// Number of super-diagonals.
+    pub fn upper_bandwidth(&self) -> usize {
+        self.ku
+    }
+
+    /// Whether `(i, j)` lies inside the band.
+    #[inline]
+    pub fn in_band(&self, i: usize, j: usize) -> bool {
+        (j as isize - i as isize) <= self.ku as isize
+            && (i as isize - j as isize) <= self.kl as isize
+    }
+
+    /// Returns the entry at `(i, j)` (zero outside the band).
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        if !self.in_band(i, j) {
+            return 0.0;
+        }
+        let d = (self.ku as isize + i as isize - j as isize) as usize;
+        self.bands[d][j]
+    }
+
+    /// Sets the entry at `(i, j)`.
+    ///
+    /// # Panics
+    /// Panics if `(i, j)` is outside the band.
+    pub fn set(&mut self, i: usize, j: usize, value: f64) {
+        assert!(i < self.n && j < self.n, "index out of bounds");
+        assert!(
+            self.in_band(i, j),
+            "entry ({i},{j}) outside band kl={} ku={}",
+            self.kl,
+            self.ku
+        );
+        let d = (self.ku as isize + i as isize - j as isize) as usize;
+        self.bands[d][j] = value;
+    }
+
+    /// Builds a banded matrix from a dense matrix, keeping only entries inside
+    /// the prescribed band.  Entries of `a` outside the band must be zero.
+    pub fn from_dense(a: &DenseMatrix, kl: usize, ku: usize) -> Result<Self, DenseError> {
+        if !a.is_square() {
+            return Err(DenseError::NotSquare {
+                rows: a.rows(),
+                cols: a.cols(),
+            });
+        }
+        let n = a.rows();
+        let mut b = BandMatrix::zeros(n, kl, ku);
+        for i in 0..n {
+            for j in 0..n {
+                let v = a.get(i, j);
+                if v != 0.0 {
+                    if !b.in_band(i, j) {
+                        return Err(DenseError::DimensionMismatch {
+                            expected: ku.max(kl),
+                            found: i.abs_diff(j),
+                        });
+                    }
+                    b.set(i, j, v);
+                }
+            }
+        }
+        Ok(b)
+    }
+
+    /// Expands the banded matrix to dense form (used by tests and by the
+    /// theory module, which needs explicit iteration matrices).
+    pub fn to_dense(&self) -> DenseMatrix {
+        let mut a = DenseMatrix::zeros(self.n, self.n);
+        for j in 0..self.n {
+            let lo = j.saturating_sub(self.ku);
+            let hi = (j + self.kl).min(self.n.saturating_sub(1));
+            for i in lo..=hi {
+                a.set(i, j, self.get(i, j));
+            }
+        }
+        a
+    }
+
+    /// Matrix-vector product `y = A x` exploiting the band structure.
+    pub fn gemv(&self, x: &[f64]) -> Result<Vec<f64>, DenseError> {
+        if x.len() != self.n {
+            return Err(DenseError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+            });
+        }
+        let mut y = vec![0.0; self.n];
+        for i in 0..self.n {
+            let lo = i.saturating_sub(self.kl);
+            let hi = (i + self.ku).min(self.n.saturating_sub(1));
+            let mut acc = 0.0;
+            for j in lo..=hi {
+                acc += self.get(i, j) * x[j];
+            }
+            y[i] = acc;
+        }
+        Ok(y)
+    }
+}
+
+/// Band LU factorization **without pivoting**.
+///
+/// Pivoting is omitted on purpose: the diagonal blocks handed to this solver
+/// by the multisplitting decomposition are diagonally dominant (that is the
+/// convergence hypothesis of Proposition 1), for which LU without pivoting is
+/// numerically stable and preserves the bandwidth exactly.  A zero pivot is
+/// still detected and reported.
+#[derive(Debug, Clone)]
+pub struct BandLu {
+    factors: BandMatrix,
+    flops: u64,
+}
+
+impl BandLu {
+    /// Factorizes a banded matrix in place (copying it first).
+    pub fn factorize(a: &BandMatrix) -> Result<Self, DenseError> {
+        let n = a.order();
+        let kl = a.lower_bandwidth();
+        let ku = a.upper_bandwidth();
+        let mut f = a.clone();
+        let mut flops = 0u64;
+        for k in 0..n {
+            let pivot = f.get(k, k);
+            if pivot == 0.0 {
+                return Err(DenseError::SingularPivot {
+                    column: k,
+                    value: pivot,
+                });
+            }
+            let i_hi = (k + kl).min(n - 1);
+            let j_hi = (k + ku).min(n - 1);
+            for i in (k + 1)..=i_hi {
+                let lik = f.get(i, k) / pivot;
+                f.set(i, k, lik);
+                if lik == 0.0 {
+                    continue;
+                }
+                for j in (k + 1)..=j_hi {
+                    // (i, j) stays inside the band because i-j <= kl and j-i <= ku here.
+                    if f.in_band(i, j) {
+                        let v = f.get(i, j) - lik * f.get(k, j);
+                        f.set(i, j, v);
+                        flops += 2;
+                    }
+                }
+            }
+            if i_hi > k {
+                flops += (i_hi - k) as u64;
+            }
+        }
+        Ok(BandLu { factors: f, flops })
+    }
+
+    /// Order of the factored matrix.
+    pub fn order(&self) -> usize {
+        self.factors.order()
+    }
+
+    /// Flop count of the factorization.
+    pub fn flops(&self) -> u64 {
+        self.flops
+    }
+
+    /// Solves `A x = b` with the stored factors.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, DenseError> {
+        let n = self.order();
+        if b.len() != n {
+            return Err(DenseError::DimensionMismatch {
+                expected: n,
+                found: b.len(),
+            });
+        }
+        let kl = self.factors.lower_bandwidth();
+        let ku = self.factors.upper_bandwidth();
+        let mut x = b.to_vec();
+        // Forward substitution with the unit lower factor.
+        for i in 0..n {
+            let lo = i.saturating_sub(kl);
+            let mut acc = x[i];
+            for j in lo..i {
+                acc -= self.factors.get(i, j) * x[j];
+            }
+            x[i] = acc;
+        }
+        // Backward substitution with the upper factor.
+        for i in (0..n).rev() {
+            let hi = (i + ku).min(n - 1);
+            let mut acc = x[i];
+            for j in (i + 1)..=hi {
+                acc -= self.factors.get(i, j) * x[j];
+            }
+            let diag = self.factors.get(i, i);
+            if diag == 0.0 {
+                return Err(DenseError::SingularPivot {
+                    column: i,
+                    value: diag,
+                });
+            }
+            x[i] = acc / diag;
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lu::DenseLu;
+
+    fn tridiagonal(n: usize) -> BandMatrix {
+        let mut b = BandMatrix::zeros(n, 1, 1);
+        for i in 0..n {
+            b.set(i, i, 4.0);
+            if i > 0 {
+                b.set(i, i - 1, -1.0);
+            }
+            if i + 1 < n {
+                b.set(i, i + 1, -1.0);
+            }
+        }
+        b
+    }
+
+    #[test]
+    fn get_set_and_in_band() {
+        let mut b = BandMatrix::zeros(5, 1, 2);
+        assert!(b.in_band(0, 2));
+        assert!(!b.in_band(0, 3));
+        assert!(b.in_band(3, 2));
+        assert!(!b.in_band(4, 2));
+        b.set(2, 3, 7.0);
+        assert_eq!(b.get(2, 3), 7.0);
+        assert_eq!(b.get(4, 0), 0.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn set_outside_band_panics() {
+        let mut b = BandMatrix::zeros(5, 1, 1);
+        b.set(0, 4, 1.0);
+    }
+
+    #[test]
+    fn dense_round_trip() {
+        let b = tridiagonal(6);
+        let d = b.to_dense();
+        let b2 = BandMatrix::from_dense(&d, 1, 1).unwrap();
+        assert_eq!(b, b2);
+    }
+
+    #[test]
+    fn from_dense_rejects_entries_outside_band() {
+        let mut d = DenseMatrix::zeros(4, 4);
+        d.set(0, 3, 1.0);
+        for i in 0..4 {
+            d.set(i, i, 1.0);
+        }
+        assert!(BandMatrix::from_dense(&d, 1, 1).is_err());
+    }
+
+    #[test]
+    fn gemv_matches_dense_gemv() {
+        let b = tridiagonal(8);
+        let d = b.to_dense();
+        let x: Vec<f64> = (0..8).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let yb = b.gemv(&x).unwrap();
+        let yd = d.gemv(&x).unwrap();
+        for (a, c) in yb.iter().zip(yd.iter()) {
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn band_lu_solves_tridiagonal_system() {
+        let n = 50;
+        let b = tridiagonal(n);
+        let x_true: Vec<f64> = (0..n).map(|i| ((i * 7) % 5) as f64 - 2.0).collect();
+        let rhs = b.gemv(&x_true).unwrap();
+        let lu = BandLu::factorize(&b).unwrap();
+        let x = lu.solve(&rhs).unwrap();
+        for (a, c) in x.iter().zip(x_true.iter()) {
+            assert!((a - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn band_lu_agrees_with_dense_lu() {
+        let n = 20;
+        let mut b = BandMatrix::zeros(n, 2, 1);
+        for i in 0..n {
+            b.set(i, i, 10.0 + i as f64);
+            if i > 0 {
+                b.set(i, i - 1, -2.0);
+            }
+            if i > 1 {
+                b.set(i, i - 2, 1.0);
+            }
+            if i + 1 < n {
+                b.set(i, i + 1, -3.0);
+            }
+        }
+        let d = b.to_dense();
+        let rhs: Vec<f64> = (0..n).map(|i| (i as f64).cos()).collect();
+        let xb = BandLu::factorize(&b).unwrap().solve(&rhs).unwrap();
+        let xd = DenseLu::factorize(&d).unwrap().solve(&rhs).unwrap();
+        for (a, c) in xb.iter().zip(xd.iter()) {
+            assert!((a - c).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn singular_band_matrix_detected() {
+        let mut b = tridiagonal(4);
+        b.set(0, 0, 0.0);
+        assert!(matches!(
+            BandLu::factorize(&b),
+            Err(DenseError::SingularPivot { column: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn flops_scale_with_order() {
+        let small = BandLu::factorize(&tridiagonal(10)).unwrap();
+        let large = BandLu::factorize(&tridiagonal(100)).unwrap();
+        assert!(large.flops() > small.flops());
+    }
+}

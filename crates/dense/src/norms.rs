@@ -1,0 +1,139 @@
+//! Vector and matrix norms plus residual helpers.
+//!
+//! The multisplitting iteration stops when the local solution increment (or
+//! the global residual) drops below a tolerance; the paper fixes the accuracy
+//! to `1e-8` for every experiment.  These helpers centralize the norm
+//! computations used for that test.
+
+use crate::matrix::DenseMatrix;
+
+/// Maximum-magnitude (infinity) norm of a vector.
+pub fn inf_norm(v: &[f64]) -> f64 {
+    v.iter().fold(0.0_f64, |m, x| m.max(x.abs()))
+}
+
+/// Sum-of-magnitudes (1) norm of a vector.
+pub fn one_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x.abs()).sum()
+}
+
+/// Euclidean (2) norm of a vector.
+pub fn two_norm(v: &[f64]) -> f64 {
+    v.iter().map(|x| x * x).sum::<f64>().sqrt()
+}
+
+/// Infinity norm of the difference of two vectors, `||a - b||_inf`.
+///
+/// This is the per-iteration convergence measure of Algorithm 1: each
+/// processor compares its new `XSub` against the previous one.
+pub fn diff_inf_norm(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0_f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+/// Relative infinity-norm difference `||a - b||_inf / max(||b||_inf, eps)`.
+pub fn relative_diff_inf_norm(a: &[f64], b: &[f64]) -> f64 {
+    let denom = inf_norm(b).max(f64::EPSILON);
+    diff_inf_norm(a, b) / denom
+}
+
+/// Infinity norm of the residual `b - A x` for a dense matrix.
+pub fn residual_inf_norm(a: &DenseMatrix, x: &[f64], b: &[f64]) -> f64 {
+    let ax = a.gemv(x).expect("dimension mismatch in residual");
+    b.iter()
+        .zip(ax.iter())
+        .fold(0.0_f64, |m, (bi, axi)| m.max((bi - axi).abs()))
+}
+
+/// Row-sum (infinity) norm of a dense matrix.
+pub fn matrix_inf_norm(a: &DenseMatrix) -> f64 {
+    (0..a.rows())
+        .map(|i| a.row(i).iter().map(|v| v.abs()).sum::<f64>())
+        .fold(0.0_f64, f64::max)
+}
+
+/// Column-sum (1) norm of a dense matrix.
+pub fn matrix_one_norm(a: &DenseMatrix) -> f64 {
+    let mut col_sums = vec![0.0_f64; a.cols()];
+    for i in 0..a.rows() {
+        for (j, v) in a.row(i).iter().enumerate() {
+            col_sums[j] += v.abs();
+        }
+    }
+    col_sums.into_iter().fold(0.0_f64, f64::max)
+}
+
+/// AXPY: `y += alpha * x`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "vectors must have equal length");
+    for (yi, xi) in y.iter_mut().zip(x.iter()) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Dot product of two vectors.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "vectors must have equal length");
+    a.iter().zip(b.iter()).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_norms() {
+        let v = [3.0, -4.0, 0.0];
+        assert_eq!(inf_norm(&v), 4.0);
+        assert_eq!(one_norm(&v), 7.0);
+        assert!((two_norm(&v) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_vector_norms_are_zero() {
+        let v: [f64; 0] = [];
+        assert_eq!(inf_norm(&v), 0.0);
+        assert_eq!(one_norm(&v), 0.0);
+        assert_eq!(two_norm(&v), 0.0);
+    }
+
+    #[test]
+    fn diff_norms() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [1.0, 0.0, 3.5];
+        assert_eq!(diff_inf_norm(&a, &b), 2.0);
+        assert!((relative_diff_inf_norm(&a, &b) - 2.0 / 3.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn residual_of_exact_solution_is_zero() {
+        let a = DenseMatrix::from_rows(&[&[2.0, 1.0], &[1.0, 3.0]]);
+        let x = [1.0, 2.0];
+        let b = [4.0, 7.0];
+        assert!(residual_inf_norm(&a, &x, &b) < 1e-12);
+    }
+
+    #[test]
+    fn matrix_norms() {
+        let a = DenseMatrix::from_rows(&[&[1.0, -2.0], &[3.0, 4.0]]);
+        assert_eq!(matrix_inf_norm(&a), 7.0);
+        assert_eq!(matrix_one_norm(&a), 6.0);
+    }
+
+    #[test]
+    fn axpy_and_dot() {
+        let x = [1.0, 2.0];
+        let mut y = [10.0, 20.0];
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [12.0, 24.0]);
+        assert_eq!(dot(&x, &y), 12.0 + 48.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn diff_inf_norm_length_mismatch_panics() {
+        let _ = diff_inf_norm(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,187 @@
+//! Forward and backward substitution for dense triangular systems.
+//!
+//! These kernels are the "solve" half of every direct method in the stack:
+//! once the per-block factorization `P A = L U` is available, each
+//! multisplitting iteration only performs two triangular solves, which is why
+//! the factorization time is reported separately in the paper's tables
+//! (Remark 4).
+
+use crate::matrix::DenseMatrix;
+use crate::DenseError;
+
+/// Solves `L y = b` where `L` is lower triangular with a **unit** diagonal
+/// (the convention produced by LU factorization with partial pivoting).
+pub fn forward_substitution_unit(l: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, DenseError> {
+    check_square(l)?;
+    check_len(l.rows(), b.len())?;
+    let n = l.rows();
+    let mut y = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = y[i];
+        for (j, &lij) in row.iter().enumerate().take(i) {
+            acc -= lij * y[j];
+        }
+        y[i] = acc;
+    }
+    Ok(y)
+}
+
+/// Solves `L y = b` where `L` is lower triangular with an explicit diagonal.
+pub fn forward_substitution(l: &DenseMatrix, b: &[f64]) -> Result<Vec<f64>, DenseError> {
+    check_square(l)?;
+    check_len(l.rows(), b.len())?;
+    let n = l.rows();
+    let mut y = b.to_vec();
+    for i in 0..n {
+        let row = l.row(i);
+        let mut acc = y[i];
+        for (j, &lij) in row.iter().enumerate().take(i) {
+            acc -= lij * y[j];
+        }
+        let diag = row[i];
+        if diag == 0.0 {
+            return Err(DenseError::SingularPivot {
+                column: i,
+                value: diag,
+            });
+        }
+        y[i] = acc / diag;
+    }
+    Ok(y)
+}
+
+/// Solves `U x = y` where `U` is upper triangular with an explicit diagonal.
+pub fn backward_substitution(u: &DenseMatrix, y: &[f64]) -> Result<Vec<f64>, DenseError> {
+    check_square(u)?;
+    check_len(u.rows(), y.len())?;
+    let n = u.rows();
+    let mut x = y.to_vec();
+    for i in (0..n).rev() {
+        let row = u.row(i);
+        let mut acc = x[i];
+        for (j, &uij) in row.iter().enumerate().skip(i + 1) {
+            acc -= uij * x[j];
+        }
+        let diag = row[i];
+        if diag == 0.0 {
+            return Err(DenseError::SingularPivot {
+                column: i,
+                value: diag,
+            });
+        }
+        x[i] = acc / diag;
+    }
+    Ok(x)
+}
+
+/// Solves `U^T x = y` (equivalently a forward substitution with the transpose
+/// of an upper triangular matrix), used by transpose solves and condition
+/// number estimation.
+pub fn backward_substitution_transposed(
+    u: &DenseMatrix,
+    y: &[f64],
+) -> Result<Vec<f64>, DenseError> {
+    check_square(u)?;
+    check_len(u.rows(), y.len())?;
+    let n = u.rows();
+    let mut x = y.to_vec();
+    for i in 0..n {
+        let diag = u.get(i, i);
+        if diag == 0.0 {
+            return Err(DenseError::SingularPivot {
+                column: i,
+                value: diag,
+            });
+        }
+        x[i] /= diag;
+        let xi = x[i];
+        for j in (i + 1)..n {
+            x[j] -= u.get(i, j) * xi;
+        }
+    }
+    Ok(x)
+}
+
+fn check_square(m: &DenseMatrix) -> Result<(), DenseError> {
+    if !m.is_square() {
+        return Err(DenseError::NotSquare {
+            rows: m.rows(),
+            cols: m.cols(),
+        });
+    }
+    Ok(())
+}
+
+fn check_len(expected: usize, found: usize) -> Result<(), DenseError> {
+    if expected != found {
+        return Err(DenseError::DimensionMismatch { expected, found });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_unit_solves_lower_system() {
+        // L = [[1,0],[2,1]], b = [1, 4] -> y = [1, 2]
+        let l = DenseMatrix::from_rows(&[&[1.0, 0.0], &[2.0, 1.0]]);
+        let y = forward_substitution_unit(&l, &[1.0, 4.0]).unwrap();
+        assert_eq!(y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn forward_with_diagonal() {
+        // L = [[2,0],[2,4]], b = [2, 6] -> y = [1, 1]
+        let l = DenseMatrix::from_rows(&[&[2.0, 0.0], &[2.0, 4.0]]);
+        let y = forward_substitution(&l, &[2.0, 6.0]).unwrap();
+        assert_eq!(y, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn backward_solves_upper_system() {
+        // U = [[2,1],[0,3]], y = [4, 3] -> x = [1.5, 1]
+        let u = DenseMatrix::from_rows(&[&[2.0, 1.0], &[0.0, 3.0]]);
+        let x = backward_substitution(&u, &[4.0, 3.0]).unwrap();
+        assert!((x[0] - 1.5).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn backward_transposed_agrees_with_explicit_transpose() {
+        let u = DenseMatrix::from_rows(&[&[2.0, 1.0, -1.0], &[0.0, 3.0, 0.5], &[0.0, 0.0, 4.0]]);
+        let y = [1.0, 2.0, 3.0];
+        let xt = backward_substitution_transposed(&u, &y).unwrap();
+        // Solve with the explicit transpose using forward substitution.
+        let lt = u.transpose();
+        let xf = forward_substitution(&lt, &y).unwrap();
+        for (a, b) in xt.iter().zip(xf.iter()) {
+            assert!((a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_pivot_is_reported() {
+        let u = DenseMatrix::from_rows(&[&[0.0, 1.0], &[0.0, 3.0]]);
+        assert!(matches!(
+            backward_substitution(&u, &[1.0, 1.0]),
+            Err(DenseError::SingularPivot { column: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn shape_errors_are_reported() {
+        let rect = DenseMatrix::zeros(2, 3);
+        assert!(matches!(
+            forward_substitution_unit(&rect, &[1.0, 1.0]),
+            Err(DenseError::NotSquare { .. })
+        ));
+        let sq = DenseMatrix::identity(2);
+        assert!(matches!(
+            backward_substitution(&sq, &[1.0]),
+            Err(DenseError::DimensionMismatch { .. })
+        ));
+    }
+}

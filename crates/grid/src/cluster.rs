@@ -1,0 +1,318 @@
+//! Sites, grids and the paper's three cluster configurations.
+
+use crate::machine::Machine;
+use crate::network::NetworkModel;
+use crate::GridError;
+use serde::{Deserialize, Serialize};
+
+/// A site: a set of machines behind one LAN.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Site {
+    /// Site name.
+    pub name: String,
+    /// Machines hosted at this site.
+    pub machines: Vec<Machine>,
+}
+
+impl Site {
+    /// Creates a site from a name and machines.
+    pub fn new(name: impl Into<String>, machines: Vec<Machine>) -> Self {
+        Site {
+            name: name.into(),
+            machines,
+        }
+    }
+}
+
+/// A grid: one or more sites plus a network model.
+///
+/// Machines are addressed by a global *rank* assigned site by site in order,
+/// mirroring how MPI ranks were laid out in the paper's experiments.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Grid {
+    /// Grid name (used in experiment reports).
+    pub name: String,
+    /// The sites of the grid.
+    pub sites: Vec<Site>,
+    /// The network joining machines within and across sites.
+    pub network: NetworkModel,
+}
+
+impl Grid {
+    /// Creates a grid, validating that it has at least one non-empty site.
+    pub fn new(
+        name: impl Into<String>,
+        sites: Vec<Site>,
+        network: NetworkModel,
+    ) -> Result<Self, GridError> {
+        if sites.is_empty() || sites.iter().any(|s| s.machines.is_empty()) {
+            return Err(GridError::InvalidConfig(
+                "a grid needs at least one site and every site needs at least one machine"
+                    .to_string(),
+            ));
+        }
+        Ok(Grid {
+            name: name.into(),
+            sites,
+            network,
+        })
+    }
+
+    /// Total number of machines (the maximum usable processor count).
+    pub fn num_machines(&self) -> usize {
+        self.sites.iter().map(|s| s.machines.len()).sum()
+    }
+
+    /// The machine behind a global rank.
+    pub fn machine(&self, rank: usize) -> Result<&Machine, GridError> {
+        let mut r = rank;
+        for site in &self.sites {
+            if r < site.machines.len() {
+                return Ok(&site.machines[r]);
+            }
+            r -= site.machines.len();
+        }
+        Err(GridError::UnknownRank {
+            rank,
+            total: self.num_machines(),
+        })
+    }
+
+    /// The site index of a global rank.
+    pub fn site_of(&self, rank: usize) -> Result<usize, GridError> {
+        let mut r = rank;
+        for (s, site) in self.sites.iter().enumerate() {
+            if r < site.machines.len() {
+                return Ok(s);
+            }
+            r -= site.machines.len();
+        }
+        Err(GridError::UnknownRank {
+            rank,
+            total: self.num_machines(),
+        })
+    }
+
+    /// Seconds to transfer `bytes` from `rank_a` to `rank_b`.
+    pub fn transfer_seconds(
+        &self,
+        rank_a: usize,
+        rank_b: usize,
+        bytes: usize,
+    ) -> Result<f64, GridError> {
+        let sa = self.site_of(rank_a)?;
+        let sb = self.site_of(rank_b)?;
+        Ok(self.network.transfer_seconds(sa, sb, bytes))
+    }
+
+    /// Restricts the grid to its first `n` machines (in rank order), keeping
+    /// the site structure.  This is how the scalability tables use 2, 3, …,
+    /// 20 processors of cluster1.
+    pub fn take_machines(&self, n: usize) -> Result<Grid, GridError> {
+        if n == 0 || n > self.num_machines() {
+            return Err(GridError::InvalidConfig(format!(
+                "cannot take {n} machines out of {}",
+                self.num_machines()
+            )));
+        }
+        let mut remaining = n;
+        let mut sites = Vec::new();
+        for site in &self.sites {
+            if remaining == 0 {
+                break;
+            }
+            let take = remaining.min(site.machines.len());
+            sites.push(Site::new(site.name.clone(), site.machines[..take].to_vec()));
+            remaining -= take;
+        }
+        Grid::new(format!("{}[{}]", self.name, n), sites, self.network.clone())
+    }
+
+    /// Returns this grid with `flows` perturbing flows on the inter-site link.
+    pub fn with_perturbing_flows(mut self, flows: usize) -> Grid {
+        self.network.perturbation.flows = flows;
+        self
+    }
+
+    /// Relative speeds of all machines, normalized so the slowest is 1.0
+    /// (used for heterogeneity-aware band sizing).
+    pub fn relative_speeds(&self) -> Vec<f64> {
+        let speeds: Vec<f64> = (0..self.num_machines())
+            .map(|r| self.machine(r).expect("rank in range").sparse_gflops)
+            .collect();
+        let min = speeds.iter().cloned().fold(f64::INFINITY, f64::min);
+        speeds.into_iter().map(|s| s / min).collect()
+    }
+}
+
+/// The paper's **cluster1**: 20 homogeneous Pentium IV 2.6 GHz machines with
+/// 256 MB, 100 Mb/s LAN.
+pub fn cluster1() -> Grid {
+    let machines = (0..20)
+        .map(|i| Machine::pentium4(format!("c1-n{i:02}"), 2.6, 256))
+        .collect();
+    Grid::new(
+        "cluster1",
+        vec![Site::new("lifc-lan", machines)],
+        NetworkModel::single_site_lan(),
+    )
+    .expect("static configuration is valid")
+}
+
+/// The paper's **cluster2**: 8 heterogeneous machines (P-IV 1.7 to 2.6 GHz,
+/// 512 MB), 100 Mb/s LAN.
+pub fn cluster2() -> Grid {
+    let clocks = [1.7, 1.8, 2.0, 2.0, 2.2, 2.4, 2.6, 2.6];
+    let machines = clocks
+        .iter()
+        .enumerate()
+        .map(|(i, &ghz)| Machine::pentium4(format!("c2-n{i:02}"), ghz, 512))
+        .collect();
+    Grid::new(
+        "cluster2",
+        vec![Site::new("hetero-lan", machines)],
+        NetworkModel::single_site_lan(),
+    )
+    .expect("static configuration is valid")
+}
+
+/// The paper's **cluster3**: 10 heterogeneous machines on two sites (7 + 3),
+/// 100 Mb/s LANs joined by a 20 Mb/s Internet link.
+pub fn cluster3() -> Grid {
+    let site_a_clocks = [1.7, 1.8, 2.0, 2.2, 2.4, 2.6, 2.6];
+    let site_b_clocks = [1.7, 2.0, 2.6];
+    let site_a = Site::new(
+        "site-a",
+        site_a_clocks
+            .iter()
+            .enumerate()
+            .map(|(i, &ghz)| Machine::pentium4(format!("c3a-n{i:02}"), ghz, 512))
+            .collect(),
+    );
+    let site_b = Site::new(
+        "site-b",
+        site_b_clocks
+            .iter()
+            .enumerate()
+            .map(|(i, &ghz)| Machine::pentium4(format!("c3b-n{i:02}"), ghz, 512))
+            .collect(),
+    );
+    Grid::new(
+        "cluster3",
+        vec![site_a, site_b],
+        NetworkModel::two_site_wan(),
+    )
+    .expect("static configuration is valid")
+}
+
+/// A single-machine "grid" used to model the sequential baseline runs (the
+/// 1-processor column of Table 1 and the failed sequential cage11 run).
+pub fn single_machine(memory_mb: usize) -> Grid {
+    Grid::new(
+        "single",
+        vec![Site::new(
+            "local",
+            vec![Machine::pentium4("seq-n0", 2.6, memory_mb)],
+        )],
+        NetworkModel::single_site_lan(),
+    )
+    .expect("static configuration is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn predefined_clusters_match_the_paper() {
+        let c1 = cluster1();
+        assert_eq!(c1.num_machines(), 20);
+        assert_eq!(c1.sites.len(), 1);
+        // homogeneous
+        assert!(c1
+            .relative_speeds()
+            .iter()
+            .all(|&s| (s - 1.0).abs() < 1e-12));
+
+        let c2 = cluster2();
+        assert_eq!(c2.num_machines(), 8);
+        assert!(c2.relative_speeds().iter().any(|&s| s > 1.0));
+
+        let c3 = cluster3();
+        assert_eq!(c3.num_machines(), 10);
+        assert_eq!(c3.sites.len(), 2);
+        assert_eq!(c3.sites[0].machines.len(), 7);
+        assert_eq!(c3.sites[1].machines.len(), 3);
+    }
+
+    #[test]
+    fn rank_lookup_and_site_mapping() {
+        let c3 = cluster3();
+        assert_eq!(c3.site_of(0).unwrap(), 0);
+        assert_eq!(c3.site_of(6).unwrap(), 0);
+        assert_eq!(c3.site_of(7).unwrap(), 1);
+        assert_eq!(c3.site_of(9).unwrap(), 1);
+        assert!(matches!(
+            c3.site_of(10),
+            Err(GridError::UnknownRank { rank: 10, total: 10 })
+        ));
+        assert!(c3.machine(9).is_ok());
+        assert!(c3.machine(10).is_err());
+    }
+
+    #[test]
+    fn transfer_cost_depends_on_sites() {
+        let c3 = cluster3();
+        let intra = c3.transfer_seconds(0, 1, 100_000).unwrap();
+        let inter = c3.transfer_seconds(0, 8, 100_000).unwrap();
+        assert!(inter > intra);
+    }
+
+    #[test]
+    fn take_machines_preserves_prefix() {
+        let c1 = cluster1();
+        let sub = c1.take_machines(6).unwrap();
+        assert_eq!(sub.num_machines(), 6);
+        assert!(c1.take_machines(0).is_err());
+        assert!(c1.take_machines(21).is_err());
+
+        let c3 = cluster3();
+        let sub8 = c3.take_machines(8).unwrap();
+        assert_eq!(sub8.sites.len(), 2);
+        assert_eq!(sub8.sites[0].machines.len(), 7);
+        assert_eq!(sub8.sites[1].machines.len(), 1);
+    }
+
+    #[test]
+    fn perturbing_flows_slow_down_inter_site_links_only() {
+        let base = cluster3();
+        let perturbed = cluster3().with_perturbing_flows(10);
+        let bytes = 500_000;
+        assert_eq!(
+            base.transfer_seconds(0, 1, bytes).unwrap(),
+            perturbed.transfer_seconds(0, 1, bytes).unwrap()
+        );
+        assert!(
+            perturbed.transfer_seconds(0, 8, bytes).unwrap()
+                > base.transfer_seconds(0, 8, bytes).unwrap()
+        );
+    }
+
+    #[test]
+    fn empty_configurations_rejected() {
+        assert!(Grid::new("bad", vec![], NetworkModel::single_site_lan()).is_err());
+        assert!(Grid::new(
+            "bad",
+            vec![Site::new("empty", vec![])],
+            NetworkModel::single_site_lan()
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn single_machine_grid() {
+        let g = single_machine(1024);
+        assert_eq!(g.num_machines(), 1);
+        assert_eq!(g.machine(0).unwrap().memory_mb, 1024);
+    }
+}

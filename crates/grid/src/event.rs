@@ -1,0 +1,244 @@
+//! Minimal discrete-event simulation engine.
+//!
+//! The performance replay in `msplit-core::perf_model` walks a solver
+//! execution (factorizations, per-iteration solves, messages) over a virtual
+//! clock.  This engine provides the priority queue of timestamped events and
+//! per-processor clocks needed for that replay; it is deliberately small —
+//! the heavy lifting (what events to schedule) belongs to the caller.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scheduled<T> {
+    /// Virtual time at which the event fires.
+    pub time: f64,
+    /// Monotonic sequence number breaking ties deterministically (FIFO).
+    seq: u64,
+    /// The payload.
+    pub event: T,
+}
+
+impl<T> Eq for Scheduled<T> where T: PartialEq {}
+
+impl<T: PartialEq> PartialOrd for Scheduled<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: PartialEq> Ord for Scheduled<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest time pops first.
+        other
+            .time
+            .partial_cmp(&self.time)
+            .unwrap_or(Ordering::Equal)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A discrete-event queue with a virtual clock.
+#[derive(Debug)]
+pub struct EventQueue<T: PartialEq> {
+    heap: BinaryHeap<Scheduled<T>>,
+    now: f64,
+    next_seq: u64,
+}
+
+impl<T: PartialEq> Default for EventQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: PartialEq> EventQueue<T> {
+    /// Creates an empty queue with the clock at zero.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            now: 0.0,
+            next_seq: 0,
+        }
+    }
+
+    /// Current virtual time (the timestamp of the last popped event).
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Schedules an event at absolute time `time`.
+    ///
+    /// # Panics
+    /// Panics if `time` is NaN or earlier than the current clock (events in
+    /// the past would make the simulation non-causal).
+    pub fn schedule_at(&mut self, time: f64, event: T) {
+        assert!(!time.is_nan(), "event time must not be NaN");
+        assert!(
+            time >= self.now,
+            "cannot schedule an event in the past ({time} < {})",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Schedules an event `delay` seconds after the current clock.
+    pub fn schedule_after(&mut self, delay: f64, event: T) {
+        self.schedule_at(self.now + delay.max(0.0), event);
+    }
+
+    /// Pops the earliest event, advancing the clock to its timestamp.
+    pub fn pop(&mut self) -> Option<(f64, T)> {
+        self.heap.pop().map(|s| {
+            self.now = s.time;
+            (s.time, s.event)
+        })
+    }
+
+    /// Peeks at the earliest pending event time without popping.
+    pub fn peek_time(&self) -> Option<f64> {
+        self.heap.peek().map(|s| s.time)
+    }
+}
+
+/// Tracks the busy-until time of a set of processors over virtual time.
+///
+/// This is the simplest possible resource model: each processor executes one
+/// activity at a time; an activity submitted at `earliest_start` begins at
+/// `max(earliest_start, busy_until)` and occupies the processor for its
+/// duration.
+#[derive(Debug, Clone)]
+pub struct ProcessorClocks {
+    busy_until: Vec<f64>,
+}
+
+impl ProcessorClocks {
+    /// Creates clocks for `n` processors, all idle at time 0.
+    pub fn new(n: usize) -> Self {
+        ProcessorClocks {
+            busy_until: vec![0.0; n],
+        }
+    }
+
+    /// Number of processors tracked.
+    pub fn len(&self) -> usize {
+        self.busy_until.len()
+    }
+
+    /// Whether the tracker is empty.
+    pub fn is_empty(&self) -> bool {
+        self.busy_until.is_empty()
+    }
+
+    /// Time at which processor `p` becomes idle.
+    pub fn busy_until(&self, p: usize) -> f64 {
+        self.busy_until[p]
+    }
+
+    /// Schedules an activity of `duration` seconds on processor `p` that may
+    /// not start before `earliest_start`.  Returns `(start, end)`.
+    pub fn run(&mut self, p: usize, earliest_start: f64, duration: f64) -> (f64, f64) {
+        let start = self.busy_until[p].max(earliest_start);
+        let end = start + duration.max(0.0);
+        self.busy_until[p] = end;
+        (start, end)
+    }
+
+    /// The makespan: the time at which every processor is idle.
+    pub fn makespan(&self) -> f64 {
+        self.busy_until.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Advances every processor to at least `time` (a synchronization
+    /// barrier: nobody proceeds before the slowest).
+    pub fn barrier(&mut self, time: f64) {
+        for b in &mut self.busy_until {
+            *b = b.max(time);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_pop_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(3.0, "c");
+        q.schedule_at(1.0, "a");
+        q.schedule_at(2.0, "b");
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.pop(), Some((1.0, "a")));
+        assert_eq!(q.pop(), Some((2.0, "b")));
+        assert_eq!(q.now(), 2.0);
+        assert_eq!(q.pop(), Some((3.0, "c")));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn ties_break_in_fifo_order() {
+        let mut q = EventQueue::new();
+        q.schedule_at(1.0, "first");
+        q.schedule_at(1.0, "second");
+        assert_eq!(q.pop().unwrap().1, "first");
+        assert_eq!(q.pop().unwrap().1, "second");
+    }
+
+    #[test]
+    fn schedule_after_uses_current_clock() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "x");
+        q.pop();
+        q.schedule_after(2.0, "y");
+        assert_eq!(q.peek_time(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule_at(5.0, "x");
+        q.pop();
+        q.schedule_at(1.0, "y");
+    }
+
+    #[test]
+    fn processor_clocks_serialize_activities() {
+        let mut clocks = ProcessorClocks::new(2);
+        let (s1, e1) = clocks.run(0, 0.0, 2.0);
+        assert_eq!((s1, e1), (0.0, 2.0));
+        // Submitted at time 1 but the processor is busy until 2.
+        let (s2, e2) = clocks.run(0, 1.0, 1.0);
+        assert_eq!((s2, e2), (2.0, 3.0));
+        // The other processor is still free.
+        let (s3, _) = clocks.run(1, 1.0, 1.0);
+        assert_eq!(s3, 1.0);
+        assert_eq!(clocks.makespan(), 3.0);
+    }
+
+    #[test]
+    fn barrier_aligns_all_processors() {
+        let mut clocks = ProcessorClocks::new(3);
+        clocks.run(0, 0.0, 5.0);
+        clocks.run(1, 0.0, 1.0);
+        clocks.barrier(clocks.makespan());
+        for p in 0..3 {
+            assert_eq!(clocks.busy_until(p), 5.0);
+        }
+    }
+}

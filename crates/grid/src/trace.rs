@@ -1,0 +1,180 @@
+//! Per-processor execution timelines.
+//!
+//! The performance replay records what every modelled processor was doing and
+//! when.  The resulting timeline supports the analyses reported in the
+//! paper's discussion sections: how much of the run is factorization versus
+//! iteration versus communication, how unbalanced the processors are, and how
+//! much time is lost to synchronization.
+
+use serde::{Deserialize, Serialize};
+
+/// What a processor was doing during a trace interval.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TraceKind {
+    /// One-off factorization of the local diagonal block.
+    Factorize,
+    /// Per-iteration local computation (RHS update + triangular solves).
+    Compute,
+    /// Sending dependency data to a neighbour.
+    Send,
+    /// Waiting for dependency data or for a synchronization barrier.
+    Wait,
+    /// Convergence-detection protocol work.
+    Detection,
+}
+
+/// One interval of a processor's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// Processor rank.
+    pub rank: usize,
+    /// Activity performed.
+    pub kind: TraceKind,
+    /// Start of the interval (virtual seconds).
+    pub start: f64,
+    /// End of the interval (virtual seconds).
+    pub end: f64,
+}
+
+impl TraceEvent {
+    /// Duration of the interval.
+    pub fn duration(&self) -> f64 {
+        self.end - self.start
+    }
+}
+
+/// A collection of trace events for a whole run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Timeline {
+    events: Vec<TraceEvent>,
+}
+
+impl Timeline {
+    /// Creates an empty timeline.
+    pub fn new() -> Self {
+        Timeline { events: Vec::new() }
+    }
+
+    /// Records one interval.
+    pub fn record(&mut self, rank: usize, kind: TraceKind, start: f64, end: f64) {
+        debug_assert!(end >= start, "trace interval must not be negative");
+        self.events.push(TraceEvent {
+            rank,
+            kind,
+            start,
+            end,
+        });
+    }
+
+    /// All recorded events.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the timeline is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// End time of the last interval (the modelled makespan).
+    pub fn makespan(&self) -> f64 {
+        self.events.iter().map(|e| e.end).fold(0.0, f64::max)
+    }
+
+    /// Total time spent by `rank` in activities of the given kind.
+    pub fn time_in(&self, rank: usize, kind: TraceKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank && e.kind == kind)
+            .map(TraceEvent::duration)
+            .sum()
+    }
+
+    /// Total time spent by all processors in activities of the given kind.
+    pub fn total_time_in(&self, kind: TraceKind) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.kind == kind)
+            .map(TraceEvent::duration)
+            .sum()
+    }
+
+    /// Busy time (everything except [`TraceKind::Wait`]) of a processor.
+    pub fn busy_time(&self, rank: usize) -> f64 {
+        self.events
+            .iter()
+            .filter(|e| e.rank == rank && e.kind != TraceKind::Wait)
+            .map(TraceEvent::duration)
+            .sum()
+    }
+
+    /// Parallel efficiency proxy: average busy time divided by the makespan.
+    pub fn efficiency(&self, num_ranks: usize) -> f64 {
+        if num_ranks == 0 || self.makespan() == 0.0 {
+            return 0.0;
+        }
+        let avg_busy: f64 = (0..num_ranks).map(|r| self.busy_time(r)).sum::<f64>()
+            / num_ranks as f64;
+        avg_busy / self.makespan()
+    }
+
+    /// Merges another timeline into this one.
+    pub fn merge(&mut self, other: &Timeline) {
+        self.events.extend_from_slice(&other.events);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Timeline {
+        let mut t = Timeline::new();
+        t.record(0, TraceKind::Factorize, 0.0, 2.0);
+        t.record(0, TraceKind::Compute, 2.0, 3.0);
+        t.record(0, TraceKind::Wait, 3.0, 4.0);
+        t.record(1, TraceKind::Factorize, 0.0, 1.0);
+        t.record(1, TraceKind::Compute, 1.0, 4.0);
+        t
+    }
+
+    #[test]
+    fn makespan_and_per_kind_accounting() {
+        let t = sample();
+        assert_eq!(t.len(), 5);
+        assert!(!t.is_empty());
+        assert_eq!(t.makespan(), 4.0);
+        assert_eq!(t.time_in(0, TraceKind::Factorize), 2.0);
+        assert_eq!(t.time_in(1, TraceKind::Compute), 3.0);
+        assert_eq!(t.total_time_in(TraceKind::Factorize), 3.0);
+    }
+
+    #[test]
+    fn busy_time_excludes_waits() {
+        let t = sample();
+        assert_eq!(t.busy_time(0), 3.0);
+        assert_eq!(t.busy_time(1), 4.0);
+    }
+
+    #[test]
+    fn efficiency_between_zero_and_one() {
+        let t = sample();
+        let e = t.efficiency(2);
+        assert!(e > 0.0 && e <= 1.0);
+        assert!((e - (3.0 + 4.0) / 2.0 / 4.0).abs() < 1e-12);
+        assert_eq!(Timeline::new().efficiency(2), 0.0);
+    }
+
+    #[test]
+    fn merge_concatenates_events() {
+        let mut a = sample();
+        let b = sample();
+        a.merge(&b);
+        assert_eq!(a.len(), 10);
+    }
+}

@@ -1,0 +1,323 @@
+//! Structural graph analysis of sparse matrices.
+//!
+//! The adjacency graph of `A` (vertices = unknowns, edges = nonzero
+//! off-diagonal couplings) drives:
+//!
+//! * the fill-reducing orderings in [`crate::ordering`] (BFS levels and
+//!   pseudo-peripheral start vertices for RCM, degree tracking for minimum
+//!   degree),
+//! * the irreducibility test needed by Proposition 1 of the paper
+//!   ("irreducibly diagonally dominant"): `A` is irreducible iff its directed
+//!   adjacency graph is strongly connected.
+
+use crate::csr::CsrMatrix;
+
+/// Undirected adjacency structure of the symmetrized pattern of a square
+/// sparse matrix (pattern of `A + Aᵀ`, diagonal excluded).
+#[derive(Debug, Clone)]
+pub struct AdjacencyGraph {
+    n: usize,
+    adj_ptr: Vec<usize>,
+    adj: Vec<usize>,
+}
+
+impl AdjacencyGraph {
+    /// Builds the symmetrized adjacency graph of a square matrix.
+    ///
+    /// # Panics
+    /// Panics if the matrix is not square.
+    pub fn from_matrix(a: &CsrMatrix) -> Self {
+        assert!(a.is_square(), "adjacency graph requires a square matrix");
+        let n = a.rows();
+        // Collect neighbour sets from the pattern of A and Aᵀ.
+        let mut neighbours: Vec<Vec<usize>> = vec![Vec::new(); n];
+        for i in 0..n {
+            for (j, _) in a.row(i) {
+                if i != j {
+                    neighbours[i].push(j);
+                    neighbours[j].push(i);
+                }
+            }
+        }
+        let mut adj_ptr = Vec::with_capacity(n + 1);
+        let mut adj = Vec::new();
+        adj_ptr.push(0);
+        for nb in neighbours.iter_mut() {
+            nb.sort_unstable();
+            nb.dedup();
+            adj.extend_from_slice(nb);
+            adj_ptr.push(adj.len());
+        }
+        AdjacencyGraph { n, adj_ptr, adj }
+    }
+
+    /// Number of vertices.
+    pub fn order(&self) -> usize {
+        self.n
+    }
+
+    /// Neighbours of vertex `v`.
+    pub fn neighbours(&self, v: usize) -> &[usize] {
+        &self.adj[self.adj_ptr[v]..self.adj_ptr[v + 1]]
+    }
+
+    /// Degree of vertex `v`.
+    pub fn degree(&self, v: usize) -> usize {
+        self.adj_ptr[v + 1] - self.adj_ptr[v]
+    }
+
+    /// Breadth-first level structure rooted at `start`.
+    ///
+    /// Returns `(levels, level_of)` where `levels[k]` lists the vertices at
+    /// distance `k` from `start` and `level_of[v]` is the distance of `v`
+    /// (or `usize::MAX` if unreachable).
+    pub fn bfs_levels(&self, start: usize) -> (Vec<Vec<usize>>, Vec<usize>) {
+        let mut level_of = vec![usize::MAX; self.n];
+        let mut levels: Vec<Vec<usize>> = Vec::new();
+        let mut current = vec![start];
+        level_of[start] = 0;
+        while !current.is_empty() {
+            let mut next = Vec::new();
+            for &v in &current {
+                for &w in self.neighbours(v) {
+                    if level_of[w] == usize::MAX {
+                        level_of[w] = levels.len() + 1;
+                        next.push(w);
+                    }
+                }
+            }
+            levels.push(current);
+            current = next;
+        }
+        (levels, level_of)
+    }
+
+    /// Finds a pseudo-peripheral vertex starting from `start` by repeatedly
+    /// moving to a minimum-degree vertex of the last BFS level (the classic
+    /// George–Liu heuristic used to seed RCM).
+    pub fn pseudo_peripheral(&self, start: usize) -> usize {
+        let (mut levels, _) = self.bfs_levels(start);
+        let mut ecc = levels.len();
+        loop {
+            let last = levels.last().expect("BFS from a vertex has >= 1 level");
+            let candidate = *last
+                .iter()
+                .min_by_key(|&&w| self.degree(w))
+                .expect("last level is non-empty");
+            let (new_levels, _) = self.bfs_levels(candidate);
+            if new_levels.len() > ecc {
+                ecc = new_levels.len();
+                levels = new_levels;
+            } else {
+                return candidate;
+            }
+        }
+    }
+
+    /// Connected components of the undirected graph.  Returns the component id
+    /// of each vertex and the number of components.
+    pub fn connected_components(&self) -> (Vec<usize>, usize) {
+        let mut comp = vec![usize::MAX; self.n];
+        let mut count = 0;
+        for s in 0..self.n {
+            if comp[s] != usize::MAX {
+                continue;
+            }
+            let mut stack = vec![s];
+            comp[s] = count;
+            while let Some(v) = stack.pop() {
+                for &w in self.neighbours(v) {
+                    if comp[w] == usize::MAX {
+                        comp[w] = count;
+                        stack.push(w);
+                    }
+                }
+            }
+            count += 1;
+        }
+        (comp, count)
+    }
+
+    /// Whether the undirected graph is connected (every vertex reachable).
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        self.connected_components().1 == 1
+    }
+}
+
+/// Whether a square matrix is irreducible, i.e. its *directed* adjacency
+/// graph is strongly connected (Tarjan's algorithm, iterative formulation).
+///
+/// Irreducibility combined with weak diagonal dominance plus at least one
+/// strict row is the "irreducibly diagonally dominant" hypothesis of
+/// Proposition 1.
+pub fn is_irreducible(a: &CsrMatrix) -> bool {
+    assert!(a.is_square(), "irreducibility requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return true;
+    }
+    if n == 1 {
+        return true;
+    }
+
+    // Build directed adjacency lists (off-diagonal pattern of A).
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        for (j, _) in a.row(i) {
+            if i != j {
+                adj[i].push(j);
+            }
+        }
+    }
+
+    // Iterative Tarjan SCC: count the strongly connected components.
+    let mut index = vec![usize::MAX; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut scc_count = 0usize;
+
+    // Explicit DFS stack: (vertex, next child position).
+    for root in 0..n {
+        if index[root] != usize::MAX {
+            continue;
+        }
+        let mut dfs: Vec<(usize, usize)> = vec![(root, 0)];
+        while let Some(&mut (v, ref mut child)) = dfs.last_mut() {
+            if *child == 0 {
+                index[v] = next_index;
+                lowlink[v] = next_index;
+                next_index += 1;
+                stack.push(v);
+                on_stack[v] = true;
+            }
+            if *child < adj[v].len() {
+                let w = adj[v][*child];
+                *child += 1;
+                if index[w] == usize::MAX {
+                    dfs.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                // Done with v: pop it, propagate the lowlink, emit an SCC if root.
+                dfs.pop();
+                if let Some(&(parent, _)) = dfs.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    scc_count += 1;
+                    while let Some(w) = stack.pop() {
+                        on_stack[w] = false;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    if scc_count > 1 {
+                        return false;
+                    }
+                }
+            }
+        }
+    }
+    scc_count == 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TripletBuilder;
+
+    fn path_matrix(n: usize) -> CsrMatrix {
+        // Tridiagonal pattern: a path graph.
+        let mut b = TripletBuilder::square(n);
+        for i in 0..n {
+            b.push(i, i, 4.0).unwrap();
+            if i > 0 {
+                b.push(i, i - 1, -1.0).unwrap();
+            }
+            if i + 1 < n {
+                b.push(i, i + 1, -1.0).unwrap();
+            }
+        }
+        b.build_csr()
+    }
+
+    #[test]
+    fn adjacency_of_path() {
+        let g = AdjacencyGraph::from_matrix(&path_matrix(5));
+        assert_eq!(g.order(), 5);
+        assert_eq!(g.neighbours(0), &[1]);
+        assert_eq!(g.neighbours(2), &[1, 3]);
+        assert_eq!(g.degree(4), 1);
+    }
+
+    #[test]
+    fn bfs_levels_of_path() {
+        let g = AdjacencyGraph::from_matrix(&path_matrix(5));
+        let (levels, level_of) = g.bfs_levels(0);
+        assert_eq!(levels.len(), 5);
+        assert_eq!(level_of[4], 4);
+        let (levels_mid, _) = g.bfs_levels(2);
+        assert_eq!(levels_mid.len(), 3);
+    }
+
+    #[test]
+    fn pseudo_peripheral_finds_path_end() {
+        let g = AdjacencyGraph::from_matrix(&path_matrix(9));
+        let p = g.pseudo_peripheral(4);
+        assert!(p == 0 || p == 8, "expected an endpoint, got {p}");
+    }
+
+    #[test]
+    fn connected_components_detects_blocks() {
+        // Block diagonal with two decoupled blocks.
+        let mut b = TripletBuilder::square(4);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 1, 1.0).unwrap();
+        b.push(1, 0, 1.0).unwrap();
+        b.push(1, 1, 1.0).unwrap();
+        b.push(2, 2, 1.0).unwrap();
+        b.push(2, 3, 1.0).unwrap();
+        b.push(3, 2, 1.0).unwrap();
+        b.push(3, 3, 1.0).unwrap();
+        let m = b.build_csr();
+        let g = AdjacencyGraph::from_matrix(&m);
+        let (comp, count) = g.connected_components();
+        assert_eq!(count, 2);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_ne!(comp[0], comp[2]);
+        assert!(!g.is_connected());
+        assert!(!is_irreducible(&m));
+    }
+
+    #[test]
+    fn path_is_irreducible() {
+        assert!(is_irreducible(&path_matrix(6)));
+    }
+
+    #[test]
+    fn one_directional_coupling_is_reducible() {
+        // Upper triangular: 0 -> 1 only, not strongly connected.
+        let mut b = TripletBuilder::square(2);
+        b.push(0, 0, 1.0).unwrap();
+        b.push(0, 1, 1.0).unwrap();
+        b.push(1, 1, 1.0).unwrap();
+        let m = b.build_csr();
+        assert!(!is_irreducible(&m));
+        // But the undirected (symmetrized) graph is connected.
+        assert!(AdjacencyGraph::from_matrix(&m).is_connected());
+    }
+
+    #[test]
+    fn single_vertex_is_irreducible() {
+        let mut b = TripletBuilder::square(1);
+        b.push(0, 0, 1.0).unwrap();
+        assert!(is_irreducible(&b.build_csr()));
+    }
+}

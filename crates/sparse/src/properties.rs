@@ -1,0 +1,315 @@
+//! Structural and spectral properties backing the convergence theory.
+//!
+//! Section 5 of the paper identifies the classes of matrices for which the
+//! multisplitting-direct algorithm provably converges:
+//!
+//! * strictly or irreducibly diagonally dominant matrices (Proposition 1),
+//! * Z-matrices that are M-matrices (Propositions 2 and 3).
+//!
+//! The predicates in this module let the solver check these hypotheses before
+//! launching, and [`jacobi_spectral_radius`] provides the quantitative
+//! `ρ(|J|) < 1` estimate used throughout the theory module of `msplit-core`.
+
+use crate::csr::CsrMatrix;
+use crate::graph::is_irreducible;
+
+/// Per-row diagonal dominance classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowDominance {
+    /// `|a_ii| > Σ_{j≠i} |a_ij|`
+    Strict,
+    /// `|a_ii| = Σ_{j≠i} |a_ij|` (within a small relative tolerance)
+    Weak,
+    /// `|a_ii| < Σ_{j≠i} |a_ij|`
+    None,
+}
+
+/// Classifies every row's diagonal dominance.
+pub fn row_dominance(a: &CsrMatrix) -> Vec<RowDominance> {
+    assert!(a.is_square(), "dominance requires a square matrix");
+    let n = a.rows();
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        let mut diag = 0.0;
+        let mut off = 0.0;
+        for (j, v) in a.row(i) {
+            if j == i {
+                diag = v.abs();
+            } else {
+                off += v.abs();
+            }
+        }
+        let tol = 1e-14 * (diag + off).max(1.0);
+        out.push(if diag > off + tol {
+            RowDominance::Strict
+        } else if (diag - off).abs() <= tol {
+            RowDominance::Weak
+        } else {
+            RowDominance::None
+        });
+    }
+    out
+}
+
+/// `|a_ii| > Σ_{j≠i} |a_ij|` for every row.
+pub fn is_strictly_diagonally_dominant(a: &CsrMatrix) -> bool {
+    row_dominance(a)
+        .into_iter()
+        .all(|d| d == RowDominance::Strict)
+}
+
+/// `|a_ii| ≥ Σ_{j≠i} |a_ij|` for every row.
+pub fn is_weakly_diagonally_dominant(a: &CsrMatrix) -> bool {
+    row_dominance(a)
+        .into_iter()
+        .all(|d| d != RowDominance::None)
+}
+
+/// Irreducibly diagonally dominant: the matrix is irreducible, every row is
+/// weakly dominant, and at least one row is strictly dominant.  Together with
+/// strict dominance this is the hypothesis of Proposition 1.
+pub fn is_irreducibly_diagonally_dominant(a: &CsrMatrix) -> bool {
+    let dom = row_dominance(a);
+    if dom.iter().any(|&d| d == RowDominance::None) {
+        return false;
+    }
+    if !dom.iter().any(|&d| d == RowDominance::Strict) {
+        return false;
+    }
+    is_irreducible(a)
+}
+
+/// Whether `A` is a Z-matrix: all off-diagonal entries are `<= 0`.
+pub fn is_z_matrix(a: &CsrMatrix) -> bool {
+    assert!(a.is_square(), "Z-matrix test requires a square matrix");
+    a.iter().all(|(i, j, v)| i == j || v <= 0.0)
+}
+
+/// Whether the diagonal of `A` is strictly positive (a prerequisite for the
+/// Jacobi splitting and for the M-matrix tests).
+pub fn has_positive_diagonal(a: &CsrMatrix) -> bool {
+    assert!(a.is_square(), "diagonal test requires a square matrix");
+    a.diagonal().into_iter().all(|d| d > 0.0)
+}
+
+/// Estimates the spectral radius of the **point-Jacobi iteration matrix**
+/// `J = D⁻¹ (D - A)` in absolute value, i.e. `ρ(|J|)`, by power iteration on
+/// the nonnegative matrix `|J|`.
+///
+/// For nonnegative matrices the power method converges to the Perron root,
+/// which is exactly the quantity appearing in the asynchronous convergence
+/// condition.  `ρ(|J|) < 1` also implies `ρ(J) < 1`, so this single estimate
+/// certifies both modes (Theorem 1 of the paper).
+///
+/// Returns `f64::INFINITY` when a diagonal entry is zero.
+pub fn jacobi_spectral_radius(a: &CsrMatrix, max_iters: usize, tol: f64) -> f64 {
+    assert!(a.is_square(), "spectral radius requires a square matrix");
+    let n = a.rows();
+    if n == 0 {
+        return 0.0;
+    }
+    let diag = a.diagonal();
+    if diag.iter().any(|&d| d == 0.0) {
+        return f64::INFINITY;
+    }
+
+    // Power iteration on |J| x = |D^{-1}(D - A)| x computed row-wise without
+    // forming J explicitly.  The eigenvalue estimate is the Rayleigh quotient
+    // xᵀ|J|x / xᵀx, which converges faster and more smoothly than the norm
+    // ratio (the norm ratio can stagnate for many iterations on banded
+    // matrices because boundary effects propagate one row per step).
+    let mut x = vec![1.0f64; n];
+    let mut radius = 0.0f64;
+    for _ in 0..max_iters {
+        let mut y = vec![0.0f64; n];
+        for i in 0..n {
+            let mut acc = 0.0;
+            for (j, v) in a.row(i) {
+                if j != i {
+                    acc += (v / diag[i]).abs() * x[j];
+                }
+            }
+            y[i] = acc;
+        }
+        let xx: f64 = x.iter().map(|v| v * v).sum();
+        let xy: f64 = x.iter().zip(y.iter()).map(|(a, b)| a * b).sum();
+        if xy == 0.0 {
+            return 0.0;
+        }
+        let estimate = xy / xx;
+        let y_norm = y.iter().map(|v| v * v).sum::<f64>().sqrt();
+        if y_norm == 0.0 {
+            return 0.0;
+        }
+        for v in &mut y {
+            *v /= y_norm;
+        }
+        let delta = (estimate - radius).abs();
+        radius = estimate;
+        x = y;
+        if delta < tol * radius.max(1.0) {
+            break;
+        }
+    }
+    radius
+}
+
+/// Summary report of the convergence-relevant properties of a matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MatrixProperties {
+    /// Matrix order.
+    pub n: usize,
+    /// Number of stored nonzeros.
+    pub nnz: usize,
+    /// Strictly diagonally dominant (Proposition 1, strict case).
+    pub strictly_dominant: bool,
+    /// Irreducibly diagonally dominant (Proposition 1, irreducible case).
+    pub irreducibly_dominant: bool,
+    /// Z-matrix (all off-diagonal entries non-positive).
+    pub z_matrix: bool,
+    /// Positive diagonal.
+    pub positive_diagonal: bool,
+    /// Estimated point-Jacobi spectral radius ρ(|J|).
+    pub jacobi_radius: f64,
+}
+
+impl MatrixProperties {
+    /// Computes the full property report for a matrix.
+    pub fn analyze(a: &CsrMatrix) -> Self {
+        MatrixProperties {
+            n: a.rows(),
+            nnz: a.nnz(),
+            strictly_dominant: is_strictly_diagonally_dominant(a),
+            irreducibly_dominant: is_irreducibly_diagonally_dominant(a),
+            z_matrix: is_z_matrix(a),
+            positive_diagonal: has_positive_diagonal(a),
+            jacobi_radius: jacobi_spectral_radius(a, 500, 1e-10),
+        }
+    }
+
+    /// Whether Proposition 1 (diagonal dominance) guarantees convergence of
+    /// the multisplitting-direct algorithm for this matrix.
+    pub fn satisfies_proposition_1(&self) -> bool {
+        self.strictly_dominant || self.irreducibly_dominant
+    }
+
+    /// Whether the M-matrix route (Propositions 2–3) guarantees convergence:
+    /// Z-matrix with `ρ(|J|) < 1` (which for a Z-matrix with positive diagonal
+    /// is equivalent to being a nonsingular M-matrix).
+    pub fn satisfies_m_matrix_conditions(&self) -> bool {
+        self.z_matrix && self.positive_diagonal && self.jacobi_radius < 1.0
+    }
+
+    /// Whether any of the paper's sufficient conditions hold.
+    pub fn convergence_guaranteed(&self) -> bool {
+        self.satisfies_proposition_1() || self.satisfies_m_matrix_conditions()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::TripletBuilder;
+    use crate::generators;
+
+    #[test]
+    fn dominance_classification() {
+        let mut b = TripletBuilder::square(3);
+        // row 0: strict (3 > 1), row 1: weak (2 = 2), row 2: none (1 < 2)
+        b.push_row(0, [(0, 3.0), (1, -1.0)]).unwrap();
+        b.push_row(1, [(0, 1.0), (1, 2.0), (2, -1.0)]).unwrap();
+        b.push_row(2, [(1, 2.0), (2, 1.0)]).unwrap();
+        let a = b.build_csr();
+        let dom = row_dominance(&a);
+        assert_eq!(
+            dom,
+            vec![RowDominance::Strict, RowDominance::Weak, RowDominance::None]
+        );
+        assert!(!is_strictly_diagonally_dominant(&a));
+        assert!(!is_weakly_diagonally_dominant(&a));
+    }
+
+    #[test]
+    fn poisson_is_irreducibly_but_not_strictly_dominant() {
+        let a = generators::poisson_2d(4);
+        assert!(!is_strictly_diagonally_dominant(&a));
+        assert!(is_weakly_diagonally_dominant(&a));
+        assert!(is_irreducibly_diagonally_dominant(&a));
+    }
+
+    #[test]
+    fn z_matrix_and_positive_diagonal() {
+        let a = generators::poisson_2d(3);
+        assert!(is_z_matrix(&a));
+        assert!(has_positive_diagonal(&a));
+        let b = generators::cage_like(50, 3);
+        // cage-like has some positive off-diagonal entries
+        assert!(!is_z_matrix(&b));
+        assert!(has_positive_diagonal(&b));
+    }
+
+    #[test]
+    fn jacobi_radius_of_known_tridiagonal() {
+        // For the [-1, 2, -1] tridiagonal of order n, rho(J) = cos(pi/(n+1)).
+        let n = 50;
+        let a = generators::tridiagonal(n, 2.0, -1.0);
+        let expected = (std::f64::consts::PI / (n as f64 + 1.0)).cos();
+        let est = jacobi_spectral_radius(&a, 5000, 1e-12);
+        assert!(
+            (est - expected).abs() < 1e-3,
+            "estimate {est} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    fn jacobi_radius_small_for_strongly_dominant() {
+        let a = generators::tridiagonal(30, 10.0, -1.0);
+        let est = jacobi_spectral_radius(&a, 1000, 1e-10);
+        assert!(est < 0.3);
+    }
+
+    #[test]
+    fn jacobi_radius_infinite_for_zero_diagonal() {
+        let mut b = TripletBuilder::square(2);
+        b.push(0, 1, 1.0).unwrap();
+        b.push(1, 0, 1.0).unwrap();
+        b.push(1, 1, 1.0).unwrap();
+        let a = b.build_csr();
+        assert!(jacobi_spectral_radius(&a, 100, 1e-8).is_infinite());
+    }
+
+    #[test]
+    fn analyze_reports_convergence_guarantee() {
+        let dd = generators::diag_dominant(&generators::DiagDominantConfig {
+            n: 100,
+            seed: 5,
+            ..Default::default()
+        });
+        let p = MatrixProperties::analyze(&dd);
+        assert!(p.strictly_dominant);
+        assert!(p.satisfies_proposition_1());
+        assert!(p.convergence_guaranteed());
+
+        let poisson = generators::poisson_2d(5);
+        let p2 = MatrixProperties::analyze(&poisson);
+        assert!(p2.z_matrix);
+        assert!(p2.satisfies_m_matrix_conditions() || p2.satisfies_proposition_1());
+
+        // A clearly non-dominant, non-Z matrix should not be certified.
+        let mut b = TripletBuilder::square(2);
+        b.push_row(0, [(0, 1.0), (1, 5.0)]).unwrap();
+        b.push_row(1, [(0, 5.0), (1, 1.0)]).unwrap();
+        let bad = b.build_csr();
+        let p3 = MatrixProperties::analyze(&bad);
+        assert!(!p3.convergence_guaranteed());
+    }
+
+    #[test]
+    fn m_matrix_condition_for_rho_targeted_matrix() {
+        let a = generators::spectral_radius_targeted(60, 0.9);
+        let p = MatrixProperties::analyze(&a);
+        assert!(p.z_matrix);
+        assert!(p.jacobi_radius < 1.0);
+        assert!(p.satisfies_m_matrix_conditions());
+    }
+}
