@@ -10,7 +10,10 @@ use msplit_core::experiment::{render_scalability, table1};
 fn bench_table1(c: &mut Criterion) {
     let cfg = bench_config();
     let rows = table1(&cfg).expect("table 1 generation failed");
-    println!("{}", render_scalability("Table 1: cage10-like on cluster1", &rows));
+    println!(
+        "{}",
+        render_scalability("Table 1: cage10-like on cluster1", &rows)
+    );
 
     let mut group = c.benchmark_group("table1");
     group.sample_size(10);

@@ -8,7 +8,10 @@ use msplit_core::experiment::{render_scalability, table2};
 fn bench_table2(c: &mut Criterion) {
     let cfg = bench_config();
     let rows = table2(&cfg).expect("table 2 generation failed");
-    println!("{}", render_scalability("Table 2: cage11-like on cluster1", &rows));
+    println!(
+        "{}",
+        render_scalability("Table 2: cage11-like on cluster1", &rows)
+    );
 
     let mut group = c.benchmark_group("table2");
     group.sample_size(10);

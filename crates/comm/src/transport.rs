@@ -61,9 +61,7 @@ impl LinkStats {
     pub fn inter_site_bytes(&self, grid: &Grid) -> usize {
         self.bytes
             .iter()
-            .filter(|(&(from, to), _)| {
-                grid.site_of(from).ok() != grid.site_of(to).ok()
-            })
+            .filter(|(&(from, to), _)| grid.site_of(from).ok() != grid.site_of(to).ok())
             .map(|(_, &b)| b)
             .sum()
     }
@@ -216,13 +214,13 @@ impl Transport for DelayedTransport {
 
     fn send(&self, from: usize, to: usize, msg: Message) -> Result<(), CommError> {
         let bytes = msg.encoded_len();
-        let delay = self
-            .grid
-            .transfer_seconds(from, to, bytes)
-            .map_err(|_| CommError::UnknownRank {
-                rank: from.max(to),
-                total: self.num_ranks(),
-            })?;
+        let delay =
+            self.grid
+                .transfer_seconds(from, to, bytes)
+                .map_err(|_| CommError::UnknownRank {
+                    rank: from.max(to),
+                    total: self.num_ranks(),
+                })?;
         self.modelled_delay.lock()[to] += delay;
         if self.time_scale > 0.0 {
             std::thread::sleep(Duration::from_secs_f64(delay * self.time_scale));

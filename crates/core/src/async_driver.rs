@@ -16,7 +16,7 @@
 //!   the decentralized algorithm referenced by the paper.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
+use crate::driver_common::{compute_send_targets, increment_norm, NeighborData, WorkerInput};
 use crate::solver::{MultisplittingConfig, PartReport, SolveOutcome};
 use crate::sync_driver::{assemble_outcome, panic_message, WorkerOutput};
 use crate::CoreError;
@@ -58,14 +58,13 @@ pub fn solve_async(
     let comms = group.communicators();
     let board = ConvergenceBoard::new(parts, config.async_confirmations);
 
-    let worker_inputs: Vec<(LocalBlocks, Box<dyn Factorization>, Communicator, Vec<usize>)> =
-        blocks
-            .into_iter()
-            .zip(factors)
-            .zip(comms)
-            .zip(send_targets)
-            .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
-            .collect();
+    let worker_inputs: Vec<WorkerInput> = blocks
+        .into_iter()
+        .zip(factors)
+        .zip(comms)
+        .zip(send_targets)
+        .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
+        .collect();
 
     let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = worker_inputs
@@ -73,7 +72,9 @@ pub fn solve_async(
             .map(|(blk, factor, comm, targets)| {
                 let partition = partition.clone();
                 let board = Arc::clone(&board);
-                scope.spawn(move || async_worker(blk, factor, comm, partition, targets, board, config))
+                scope.spawn(move || {
+                    async_worker(blk, factor, comm, partition, targets, board, config)
+                })
             })
             .collect();
         handles

@@ -163,8 +163,7 @@ impl DistributedDirectBaseline {
         let stats = lu.stats().clone();
 
         // Per-process memory: matrix slice + factor slice + working storage.
-        let memory_per_process = (((stats.factor_memory_bytes() as f64
-            * DIRECT_WORKSPACE_FACTOR
+        let memory_per_process = (((stats.factor_memory_bytes() as f64 * DIRECT_WORKSPACE_FACTOR
             + a.memory_bytes() as f64)
             / p as f64)
             * scaling.memory_factor()) as usize;

@@ -38,7 +38,7 @@ impl Decomposition {
         speeds: &[f64],
         overlap: usize,
     ) -> Result<Self, CoreError> {
-        if speeds.is_empty() || speeds.iter().any(|&s| !(s > 0.0)) {
+        if speeds.is_empty() || speeds.iter().any(|&s| s.is_nan() || s <= 0.0) {
             return Err(CoreError::Decomposition(
                 "relative speeds must be positive".to_string(),
             ));

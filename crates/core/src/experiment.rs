@@ -324,8 +324,7 @@ fn scalability_table(
             continue;
         }
         let sub_grid = grid.take_machines(p)?;
-        let dist = DistributedDirectBaseline::new(sub_grid.clone(), p)?
-            .run(a, b, scaling)?;
+        let dist = DistributedDirectBaseline::new(sub_grid.clone(), p)?.run(a, b, scaling)?;
         let run = run_multisplitting_on_grid(a, b, &sub_grid, p, 0, cfg, scaling)?;
         rows.push(ScalabilityRow {
             processors: p,
@@ -446,8 +445,7 @@ pub fn table4(cfg: &ExperimentConfig) -> Result<Vec<PerturbationRow>, CoreError>
     for &flows in &[0usize, 1, 5, 10] {
         let grid = cluster3().with_perturbing_flows(flows);
         let p = grid.num_machines();
-        let dist =
-            DistributedDirectBaseline::new(grid.clone(), p)?.run(&a, &b, scaling)?;
+        let dist = DistributedDirectBaseline::new(grid.clone(), p)?.run(&a, &b, scaling)?;
         let run = run_multisplitting_on_grid(&a, &b, &grid, p, 0, cfg, scaling)?;
         rows.push(PerturbationRow {
             flows,
@@ -473,7 +471,9 @@ pub fn figure3(cfg: &ExperimentConfig) -> Result<Vec<OverlapRow>, CoreError> {
     let grid = cluster3();
     let parts = grid.num_machines();
 
-    let paper_overlaps = [0usize, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000];
+    let paper_overlaps = [
+        0usize, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000, 4500, 5000,
+    ];
     let mut rows = Vec::new();
     for &paper_overlap in &paper_overlaps {
         let overlap = ((paper_overlap as f64 / scaling.ratio()).round() as usize)

@@ -70,8 +70,7 @@ impl ProblemScaling {
     pub fn scale_profile(&self, profile: &WorkProfile) -> WorkProfile {
         WorkProfile {
             factor_flops: (profile.factor_flops as f64 * self.factor_flops_factor()) as u64,
-            per_iteration_flops: (profile.per_iteration_flops as f64 * self.linear_factor())
-                as u64,
+            per_iteration_flops: (profile.per_iteration_flops as f64 * self.linear_factor()) as u64,
             per_iteration_send_bytes: (profile.per_iteration_send_bytes as f64
                 * self.linear_factor()) as usize,
             per_iteration_messages: profile.per_iteration_messages,
@@ -126,7 +125,14 @@ pub fn replay_async(
     model: &CostModel,
     scaling: ProblemScaling,
 ) -> Result<ReplayOutcome, CoreError> {
-    replay(reports, send_targets, sync_iterations, model, scaling, false)
+    replay(
+        reports,
+        send_targets,
+        sync_iterations,
+        model,
+        scaling,
+        false,
+    )
 }
 
 fn replay(
@@ -197,13 +203,17 @@ fn replay(
 
     let (iteration_seconds, effective_iterations) = if synchronous {
         // Lockstep: slowest compute + slowest message batch + detection.
-        let detection =
-            model.convergence_detection_overhead_s * (p as f64).log2().max(1.0).ceil();
+        let detection = model.convergence_detection_overhead_s * (p as f64).log2().max(1.0).ceil();
         let per_iter = max_compute + max_comm + detection;
         for r in 0..p {
             let base = factor_seconds;
             timeline.record(r, TraceKind::Compute, base, base + compute[r]);
-            timeline.record(r, TraceKind::Send, base + compute[r], base + compute[r] + comm[r]);
+            timeline.record(
+                r,
+                TraceKind::Send,
+                base + compute[r],
+                base + compute[r] + comm[r],
+            );
             timeline.record(
                 r,
                 TraceKind::Wait,
@@ -223,10 +233,10 @@ fn replay(
         };
         let inflated = ((iterations as f64) * (1.0 + staleness)).ceil() as u64;
         let per_iter = max_compute + detection;
-        for r in 0..p {
+        for (r, &comp) in compute.iter().enumerate() {
             let base = factor_seconds;
-            timeline.record(r, TraceKind::Compute, base, base + compute[r]);
-            timeline.record(r, TraceKind::Detection, base + compute[r], base + per_iter);
+            timeline.record(r, TraceKind::Compute, base, base + comp);
+            timeline.record(r, TraceKind::Detection, base + comp, base + per_iter);
         }
         (per_iter * inflated as f64, inflated)
     };
@@ -309,7 +319,9 @@ mod tests {
     #[test]
     fn sync_replay_accounts_factor_and_iterations() {
         let model = CostModel::new(cluster1().take_machines(4).unwrap());
-        let reports: Vec<PartReport> = (0..4).map(|l| report(l, 1_000_000, 50_000, 8_000)).collect();
+        let reports: Vec<PartReport> = (0..4)
+            .map(|l| report(l, 1_000_000, 50_000, 8_000))
+            .collect();
         let out = replay_sync(
             &reports,
             &chain_targets(4),
@@ -330,8 +342,9 @@ mod tests {
     fn async_replay_is_more_robust_to_slow_links() {
         // Same work, replayed on a LAN and on the two-site WAN: the sync
         // penalty for the WAN must exceed the async penalty.
-        let reports: Vec<PartReport> =
-            (0..10).map(|l| report(l, 2_000_000, 80_000, 40_000)).collect();
+        let reports: Vec<PartReport> = (0..10)
+            .map(|l| report(l, 2_000_000, 80_000, 40_000))
+            .collect();
         let targets = chain_targets(10);
         let scaling = ProblemScaling::identity(100);
         let lan = CostModel::new(cluster1().take_machines(10).unwrap());
@@ -352,8 +365,9 @@ mod tests {
 
     #[test]
     fn perturbed_wan_hurts_sync_more_than_async() {
-        let reports: Vec<PartReport> =
-            (0..10).map(|l| report(l, 2_000_000, 80_000, 40_000)).collect();
+        let reports: Vec<PartReport> = (0..10)
+            .map(|l| report(l, 2_000_000, 80_000, 40_000))
+            .collect();
         let targets = chain_targets(10);
         let scaling = ProblemScaling::identity(100);
         let quiet = CostModel::new(cluster3());

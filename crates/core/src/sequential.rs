@@ -32,6 +32,11 @@ pub struct SequentialOutcome {
 }
 
 /// Solves `A x = b` by the sequential multisplitting-direct iteration.
+///
+/// Deliberately takes the full flat parameter list: this is the low-level
+/// reference entry point; ergonomic construction lives in
+/// [`crate::solver::MultisplittingSolver`]'s builder.
+#[allow(clippy::too_many_arguments)]
 pub fn solve_sequential(
     a: &CsrMatrix,
     b: &[f64],
@@ -43,7 +48,13 @@ pub fn solve_sequential(
     max_iterations: u64,
 ) -> Result<SequentialOutcome, CoreError> {
     let decomposition = Decomposition::uniform(a, b, parts, overlap)?;
-    solve_sequential_decomposed(&decomposition, scheme, solver_kind, tolerance, max_iterations)
+    solve_sequential_decomposed(
+        &decomposition,
+        scheme,
+        solver_kind,
+        tolerance,
+        max_iterations,
+    )
 }
 
 /// Sequential solve over an existing decomposition.
@@ -244,17 +255,8 @@ mod tests {
         let a = generators::cage_like(240, 8);
         let (x_true, b) = generators::rhs_for_solution(&a, |i| (i as f64 * 0.01).cos());
         for scheme in WeightingScheme::all() {
-            let out = solve_sequential(
-                &a,
-                &b,
-                3,
-                5,
-                scheme,
-                SolverKind::SparseLu,
-                1e-10,
-                1000,
-            )
-            .unwrap();
+            let out =
+                solve_sequential(&a, &b, 3, 5, scheme, SolverKind::SparseLu, 1e-10, 1000).unwrap();
             assert!(out.converged, "{scheme:?} did not converge");
             assert!(max_err(&out.x, &x_true) < 1e-6, "{scheme:?} inaccurate");
         }
@@ -264,18 +266,13 @@ mod tests {
     fn band_and_dense_solvers_give_same_answer() {
         let a = generators::tridiagonal(120, 5.0, -1.0);
         let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 4) as f64);
-        for kind in [SolverKind::BandLu, SolverKind::DenseLu, SolverKind::SparseLu] {
-            let out = solve_sequential(
-                &a,
-                &b,
-                4,
-                0,
-                WeightingScheme::OwnerTakes,
-                kind,
-                1e-10,
-                500,
-            )
-            .unwrap();
+        for kind in [
+            SolverKind::BandLu,
+            SolverKind::DenseLu,
+            SolverKind::SparseLu,
+        ] {
+            let out = solve_sequential(&a, &b, 4, 0, WeightingScheme::OwnerTakes, kind, 1e-10, 500)
+                .unwrap();
             assert!(out.converged);
             assert!(max_err(&out.x, &x_true) < 1e-7, "{kind:?}");
         }

@@ -13,7 +13,7 @@
 //! any singularity is reported before the threads start exchanging messages.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
+use crate::driver_common::{compute_send_targets, increment_norm, NeighborData, WorkerInput};
 use crate::solver::{ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome};
 use crate::CoreError;
 use msplit_comm::communicator::{CommGroup, Communicator};
@@ -65,14 +65,13 @@ pub fn solve_sync(
     let group = CommGroup::new(transport);
     let comms = group.communicators();
 
-    let worker_inputs: Vec<(LocalBlocks, Box<dyn Factorization>, Communicator, Vec<usize>)> =
-        blocks
-            .into_iter()
-            .zip(factors)
-            .zip(comms)
-            .zip(send_targets)
-            .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
-            .collect();
+    let worker_inputs: Vec<WorkerInput> = blocks
+        .into_iter()
+        .zip(factors)
+        .zip(comms)
+        .zip(send_targets)
+        .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
+        .collect();
 
     let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = worker_inputs
@@ -283,10 +282,7 @@ mod tests {
         assert_eq!(out.part_reports.len(), 4);
         assert!(out.iterations >= 2);
         // every part ran the same number of iterations in synchronous mode
-        assert!(out
-            .iterations_per_part
-            .iter()
-            .all(|&i| i == out.iterations));
+        assert!(out.iterations_per_part.iter().all(|&i| i == out.iterations));
     }
 
     #[test]

@@ -75,9 +75,7 @@ pub fn iteration_matrix(
     let mut m = DenseMatrix::zeros(n, n);
     for i in 0..n {
         for (j, v) in a.row(i) {
-            if range.contains(&i) && range.contains(&j) {
-                m.set(i, j, v);
-            } else if i == j {
+            if (range.contains(&i) && range.contains(&j)) || i == j {
                 m.set(i, j, v);
             }
         }
@@ -234,8 +232,12 @@ mod tests {
         let a = generators::spectral_radius_targeted(60, 0.9);
         let p2 = BandPartition::uniform(60, 2).unwrap();
         let p6 = BandPartition::uniform(60, 6).unwrap();
-        let r2 = SplittingAnalysis::analyze(&a, &p2, 400).unwrap().max_radius();
-        let r6 = SplittingAnalysis::analyze(&a, &p6, 400).unwrap().max_radius();
+        let r2 = SplittingAnalysis::analyze(&a, &p2, 400)
+            .unwrap()
+            .max_radius();
+        let r6 = SplittingAnalysis::analyze(&a, &p6, 400)
+            .unwrap()
+            .max_radius();
         assert!(r6 >= r2 - 1e-6, "r2={r2} r6={r6}");
         assert!(r2 < 1.0 && r6 < 1.0);
     }
@@ -245,8 +247,12 @@ mod tests {
         let a = generators::spectral_radius_targeted(60, 0.95);
         let p0 = BandPartition::uniform_with_overlap(60, 3, 0).unwrap();
         let p8 = BandPartition::uniform_with_overlap(60, 3, 8).unwrap();
-        let r0 = SplittingAnalysis::analyze(&a, &p0, 400).unwrap().max_radius();
-        let r8 = SplittingAnalysis::analyze(&a, &p8, 400).unwrap().max_radius();
+        let r0 = SplittingAnalysis::analyze(&a, &p0, 400)
+            .unwrap()
+            .max_radius();
+        let r8 = SplittingAnalysis::analyze(&a, &p8, 400)
+            .unwrap()
+            .max_radius();
         assert!(r8 < r0, "overlap should reduce the radius: {r8} vs {r0}");
     }
 

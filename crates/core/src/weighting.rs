@@ -76,11 +76,7 @@ impl WeightingScheme {
     ///
     /// `local[l]` must hold part `l`'s solution over its *extended* range
     /// (`partition.extended_range(l)`).
-    pub fn assemble(
-        &self,
-        partition: &BandPartition,
-        local: &[Vec<f64>],
-    ) -> Vec<f64> {
+    pub fn assemble(&self, partition: &BandPartition, local: &[Vec<f64>]) -> Vec<f64> {
         assert_eq!(local.len(), partition.num_parts(), "one solution per part");
         let n = partition.order();
         let mut x = vec![0.0; n];
@@ -130,11 +126,7 @@ mod tests {
         let p = overlapped_partition();
         for scheme in WeightingScheme::all() {
             for i in 0..12 {
-                let w: f64 = scheme
-                    .weights_for(&p, i)
-                    .iter()
-                    .map(|&(_, w)| w)
-                    .sum();
+                let w: f64 = scheme.weights_for(&p, i).iter().map(|&(_, w)| w).sum();
                 assert!((w - 1.0).abs() < 1e-12, "{scheme:?} index {i}");
             }
         }

@@ -134,14 +134,14 @@ impl BandMatrix {
             });
         }
         let mut y = vec![0.0; self.n];
-        for i in 0..self.n {
+        for (i, yi) in y.iter_mut().enumerate() {
             let lo = i.saturating_sub(self.kl);
             let hi = (i + self.ku).min(self.n.saturating_sub(1));
-            let mut acc = 0.0;
-            for j in lo..=hi {
-                acc += self.get(i, j) * x[j];
-            }
-            y[i] = acc;
+            *yi = x[lo..=hi]
+                .iter()
+                .enumerate()
+                .map(|(off, &xj)| self.get(i, lo + off) * xj)
+                .sum();
         }
         Ok(y)
     }
@@ -226,8 +226,8 @@ impl BandLu {
         for i in 0..n {
             let lo = i.saturating_sub(kl);
             let mut acc = x[i];
-            for j in lo..i {
-                acc -= self.factors.get(i, j) * x[j];
+            for (off, &xj) in x[lo..i].iter().enumerate() {
+                acc -= self.factors.get(i, lo + off) * xj;
             }
             x[i] = acc;
         }
@@ -235,8 +235,8 @@ impl BandLu {
         for i in (0..n).rev() {
             let hi = (i + ku).min(n - 1);
             let mut acc = x[i];
-            for j in (i + 1)..=hi {
-                acc -= self.factors.get(i, j) * x[j];
+            for (off, &xj) in x[i + 1..=hi].iter().enumerate() {
+                acc -= self.factors.get(i, i + 1 + off) * xj;
             }
             let diag = self.factors.get(i, i);
             if diag == 0.0 {

@@ -44,10 +44,7 @@ impl DenseLu {
     /// A pivot whose magnitude is `<= threshold` is treated as zero.  The
     /// default threshold of `0.0` only rejects exactly zero pivots, which
     /// matches the behaviour of textbook partial pivoting.
-    pub fn factorize_with_threshold(
-        a: &DenseMatrix,
-        threshold: f64,
-    ) -> Result<Self, DenseError> {
+    pub fn factorize_with_threshold(a: &DenseMatrix, threshold: f64) -> Result<Self, DenseError> {
         if !a.is_square() {
             return Err(DenseError::NotSquare {
                 rows: a.rows(),
@@ -238,12 +235,7 @@ impl DenseLu {
 
     /// One step of iterative refinement: given a candidate solution `x`,
     /// returns an improved solution `x + A^{-1}(b - A x)`.
-    pub fn refine(
-        &self,
-        a: &DenseMatrix,
-        b: &[f64],
-        x: &[f64],
-    ) -> Result<Vec<f64>, DenseError> {
+    pub fn refine(&self, a: &DenseMatrix, b: &[f64], x: &[f64]) -> Result<Vec<f64>, DenseError> {
         let ax = a.gemv(x)?;
         let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
         let d = self.solve(&r)?;

@@ -96,8 +96,8 @@ pub fn backward_substitution_transposed(
         }
         x[i] /= diag;
         let xi = x[i];
-        for j in (i + 1)..n {
-            x[j] -= u.get(i, j) * xi;
+        for (off, xj) in x[i + 1..n].iter_mut().enumerate() {
+            *xj -= u.get(i, i + 1 + off) * xi;
         }
     }
     Ok(x)

@@ -66,7 +66,11 @@ impl SolverKind {
 
     /// All available kinds (used by ablation benches).
     pub fn all() -> [SolverKind; 3] {
-        [SolverKind::SparseLu, SolverKind::DenseLu, SolverKind::BandLu]
+        [
+            SolverKind::SparseLu,
+            SolverKind::DenseLu,
+            SolverKind::BandLu,
+        ]
     }
 }
 
@@ -306,10 +310,7 @@ mod tests {
 
     #[test]
     fn solver_names_are_distinct() {
-        let names: Vec<&str> = SolverKind::all()
-            .iter()
-            .map(|k| k.build().name())
-            .collect();
+        let names: Vec<&str> = SolverKind::all().iter().map(|k| k.build().name()).collect();
         assert_eq!(names.len(), 3);
         assert!(names.contains(&"sparse-lu"));
         assert!(names.contains(&"dense-lu"));

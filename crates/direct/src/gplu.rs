@@ -120,6 +120,10 @@ impl SparseLu {
         let mut x = vec![0.0f64; n];
         let mut flops: u64 = 0;
 
+        // `j` is the elimination step, indexing several parallel structures
+        // (`row_perm`, `pinv`, the factor columns) — an iterator over any one
+        // of them would misrepresent the algorithm.
+        #[allow(clippy::needless_range_loop)]
         for j in 0..n {
             let aj = col_perm.old_of(j);
 
@@ -218,10 +222,7 @@ impl SparseLu {
         // the factor directly.
         let mut l_final = FactorColumns::with_capacity(n, l.nnz());
         for j in 0..n {
-            let mut col: Vec<(usize, f64)> = l
-                .col(j)
-                .map(|(r, v)| (pinv[r], v))
-                .collect();
+            let mut col: Vec<(usize, f64)> = l.col(j).map(|(r, v)| (pinv[r], v)).collect();
             col.sort_unstable_by_key(|&(r, _)| r);
             l_final.push_column(col);
         }
@@ -327,12 +328,10 @@ impl SparseLu {
     ) -> Result<Vec<f64>, DirectError> {
         let mut x = self.solve(b)?;
         for _ in 0..refine_steps {
-            let ax = a
-                .spmv(&x)
-                .map_err(|_| DirectError::DimensionMismatch {
-                    expected: self.n,
-                    found: x.len(),
-                })?;
+            let ax = a.spmv(&x).map_err(|_| DirectError::DimensionMismatch {
+                expected: self.n,
+                found: x.len(),
+            })?;
             let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
             let d = self.solve(&r)?;
             for (xi, di) in x.iter_mut().zip(d.iter()) {
@@ -502,7 +501,9 @@ mod tests {
         let perm: Vec<usize> = {
             let mut p: Vec<usize> = (0..200).collect();
             // simple multiplicative shuffle (gcd(73, 200) = 1)
-            p.iter_mut().enumerate().for_each(|(i, v)| *v = (i * 73) % 200);
+            p.iter_mut()
+                .enumerate()
+                .for_each(|(i, v)| *v = (i * 73) % 200);
             p
         };
         let shuffled = base.permute_symmetric(&perm).unwrap();

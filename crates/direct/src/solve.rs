@@ -83,7 +83,10 @@ pub fn residual_inf_norm(a: &CsrMatrix, x: &[f64], b: &[f64]) -> Result<f64, Dir
 /// dividing by zero for homogeneous systems).
 pub fn relative_residual(a: &CsrMatrix, x: &[f64], b: &[f64]) -> Result<f64, DirectError> {
     let r = residual_inf_norm(a, x, b)?;
-    let bn = b.iter().fold(0.0f64, |m, v| m.max(v.abs())).max(f64::MIN_POSITIVE);
+    let bn = b
+        .iter()
+        .fold(0.0f64, |m, v| m.max(v.abs()))
+        .max(f64::MIN_POSITIVE);
     Ok(r / bn)
 }
 

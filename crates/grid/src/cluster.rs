@@ -3,10 +3,12 @@
 use crate::machine::Machine;
 use crate::network::NetworkModel;
 use crate::GridError;
+#[cfg(msplit_serde)]
 use serde::{Deserialize, Serialize};
 
 /// A site: a set of machines behind one LAN.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct Site {
     /// Site name.
     pub name: String,
@@ -28,7 +30,8 @@ impl Site {
 ///
 /// Machines are addressed by a global *rank* assigned site by site in order,
 /// mirroring how MPI ranks were laid out in the paper's experiments.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct Grid {
     /// Grid name (used in experiment reports).
     pub name: String,
@@ -254,7 +257,10 @@ mod tests {
         assert_eq!(c3.site_of(9).unwrap(), 1);
         assert!(matches!(
             c3.site_of(10),
-            Err(GridError::UnknownRank { rank: 10, total: 10 })
+            Err(GridError::UnknownRank {
+                rank: 10,
+                total: 10
+            })
         ));
         assert!(c3.machine(9).is_ok());
         assert!(c3.machine(10).is_err());

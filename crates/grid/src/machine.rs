@@ -1,5 +1,6 @@
 //! Individual machine (processor) description.
 
+#[cfg(msplit_serde)]
 use serde::{Deserialize, Serialize};
 
 /// A single machine of the grid.
@@ -10,7 +11,8 @@ use serde::{Deserialize, Serialize};
 /// Pentium IV sustains roughly 0.1–0.2 GFLOP/s on irregular sparse
 /// factorization workloads, and the rate is assumed proportional to the clock
 /// (which is what the paper's heterogeneity discussion relies on).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct Machine {
     /// Human-readable name.
     pub name: String,
@@ -95,6 +97,9 @@ mod tests {
         assert!(m.usable_memory_bytes() < 256 * 1024 * 1024);
     }
 
+    // Requires a real `serde`/`serde_json` dependency, so it only compiles
+    // under the custom `--cfg msplit_serde` flag (see vendor/README.md).
+    #[cfg(msplit_serde)]
     #[test]
     fn serde_round_trip() {
         let m = Machine::pentium4("node-3", 2.2, 512);

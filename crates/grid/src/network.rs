@@ -1,10 +1,12 @@
 //! Network links, routing and the perturbing-traffic model.
 
+#[cfg(msplit_serde)]
 use serde::{Deserialize, Serialize};
 
 /// A point-to-point (or shared-medium) link characterized by bandwidth and
 /// latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct LinkSpec {
     /// Nominal bandwidth in megabits per second.
     pub bandwidth_mbps: f64,
@@ -52,7 +54,8 @@ impl LinkSpec {
 /// which a fair-share model reproduces: with `k` background flows the solver
 /// keeps a `1 / (1 + contention * k)` share of the bandwidth, and every flow
 /// also adds queueing latency.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct PerturbationModel {
     /// Number of perturbing background flows on the inter-site link.
     pub flows: usize,
@@ -97,7 +100,8 @@ impl PerturbationModel {
 /// Network model of a whole grid: an intra-site link specification, an
 /// inter-site link specification, and the perturbation applied to the
 /// inter-site link.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct NetworkModel {
     /// Link used between two machines of the same site.
     pub intra_site: LinkSpec,

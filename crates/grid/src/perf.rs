@@ -10,10 +10,12 @@
 
 use crate::cluster::Grid;
 use crate::GridError;
+#[cfg(msplit_serde)]
 use serde::{Deserialize, Serialize};
 
 /// Cost model for a given grid.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct CostModel {
     /// The grid on which the work is replayed.
     pub grid: Grid,
@@ -87,7 +89,8 @@ impl CostModel {
 
 /// Work profile of one processor's share of a solver execution, produced by
 /// the numerical run and consumed by the replay.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct WorkProfile {
     /// Flops spent in the one-off factorization.
     pub factor_flops: u64,

@@ -6,10 +6,12 @@
 //! iteration versus communication, how unbalanced the processors are, and how
 //! much time is lost to synchronization.
 
+#[cfg(msplit_serde)]
 use serde::{Deserialize, Serialize};
 
 /// What a processor was doing during a trace interval.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub enum TraceKind {
     /// One-off factorization of the local diagonal block.
     Factorize,
@@ -24,7 +26,8 @@ pub enum TraceKind {
 }
 
 /// One interval of a processor's timeline.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct TraceEvent {
     /// Processor rank.
     pub rank: usize,
@@ -44,7 +47,8 @@ impl TraceEvent {
 }
 
 /// A collection of trace events for a whole run.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
+#[cfg_attr(msplit_serde, derive(Serialize, Deserialize))]
 pub struct Timeline {
     events: Vec<TraceEvent>,
 }
@@ -118,8 +122,8 @@ impl Timeline {
         if num_ranks == 0 || self.makespan() == 0.0 {
             return 0.0;
         }
-        let avg_busy: f64 = (0..num_ranks).map(|r| self.busy_time(r)).sum::<f64>()
-            / num_ranks as f64;
+        let avg_busy: f64 =
+            (0..num_ranks).map(|r| self.busy_time(r)).sum::<f64>() / num_ranks as f64;
         avg_busy / self.makespan()
     }
 

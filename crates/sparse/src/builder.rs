@@ -77,7 +77,12 @@ impl TripletBuilder {
 
     /// Pushes an entry and its mirror `(col, row)`, building a structurally
     /// symmetric matrix (values are mirrored as-is).
-    pub fn push_symmetric(&mut self, row: usize, col: usize, value: f64) -> Result<(), SparseError> {
+    pub fn push_symmetric(
+        &mut self,
+        row: usize,
+        col: usize,
+        value: f64,
+    ) -> Result<(), SparseError> {
         self.push(row, col, value)?;
         if row != col {
             self.push(col, row, value)?;
@@ -129,9 +134,7 @@ impl TripletBuilder {
                     let (r, c, _) = self.entries[i];
                     let mut last = self.entries[i].2;
                     let mut j = i + 1;
-                    while j < self.entries.len()
-                        && self.entries[j].0 == r
-                        && self.entries[j].1 == c
+                    while j < self.entries.len() && self.entries[j].0 == r && self.entries[j].1 == c
                     {
                         last = self.entries[j].2;
                         j += 1;

@@ -278,12 +278,12 @@ impl CsrMatrix {
                 found: (y.len(), x.len()),
             });
         }
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(i) {
                 acc += v * x[c];
             }
-            y[i] = acc;
+            *yi = acc;
         }
         Ok(())
     }
@@ -297,12 +297,12 @@ impl CsrMatrix {
                 found: (y.len(), x.len()),
             });
         }
-        for i in 0..self.rows {
+        for (i, yi) in y.iter_mut().enumerate() {
             let mut acc = 0.0;
             for (c, v) in self.row(i) {
                 acc += v * x[c];
             }
-            y[i] -= acc;
+            *yi -= acc;
         }
         Ok(())
     }
@@ -601,9 +601,7 @@ mod tests {
         // column index out of range
         assert!(CsrMatrix::from_raw(1, 2, vec![0, 1], vec![5], vec![1.0]).is_err());
         // unsorted columns
-        assert!(
-            CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err()
-        );
+        assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![2, 0], vec![1.0, 2.0]).is_err());
         // valid
         assert!(CsrMatrix::from_raw(1, 3, vec![0, 2], vec![0, 2], vec![1.0, 2.0]).is_ok());
     }

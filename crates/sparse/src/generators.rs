@@ -309,8 +309,8 @@ mod tests {
     fn poisson_3d_row_counts() {
         let a = poisson_3d(3);
         assert_eq!(a.rows(), 27);
-        // interior node has 7 entries
-        let center = (1 * 3 + 1) * 3 + 1;
+        // interior node (i = j = l = 1 on the 3x3x3 grid) has 7 entries
+        let center = (3 + 1) * 3 + 1;
         assert_eq!(a.row_nnz(center), 7);
         assert!(properties::is_z_matrix(&a));
     }

@@ -165,10 +165,10 @@ pub fn is_irreducible(a: &CsrMatrix) -> bool {
 
     // Build directed adjacency lists (off-diagonal pattern of A).
     let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
+    for (i, neighbors) in adj.iter_mut().enumerate() {
         for (j, _) in a.row(i) {
             if i != j {
-                adj[i].push(j);
+                neighbors.push(j);
             }
         }
     }

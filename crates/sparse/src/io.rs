@@ -169,7 +169,13 @@ pub fn write_matrix_market<W: Write>(matrix: &CsrMatrix, mut writer: W) -> Resul
         writer,
         "% written by msplit-sparse (multisplitting-direct reproduction)"
     )?;
-    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    )?;
     for (i, j, v) in matrix.iter() {
         writeln!(writer, "{} {} {:.17e}", i + 1, j + 1, v)?;
     }

@@ -205,8 +205,14 @@ mod tests {
         let before = bandwidth(&a);
         let p = reverse_cuthill_mckee(&a);
         let after = bandwidth(&a.permute_symmetric(p.as_slice()).unwrap());
-        assert!(after < before, "RCM should reduce bandwidth ({before} -> {after})");
-        assert!(after <= 2, "a path should reorder to bandwidth <= 2, got {after}");
+        assert!(
+            after < before,
+            "RCM should reduce bandwidth ({before} -> {after})"
+        );
+        assert!(
+            after <= 2,
+            "a path should reorder to bandwidth <= 2, got {after}"
+        );
     }
 
     #[test]
@@ -232,7 +238,10 @@ mod tests {
         // but one leaf are gone, the hub's degree drops to 1 and ties are
         // broken by index).
         let hub_position = (0..10).find(|&k| p.old_of(k) == 0).unwrap();
-        assert!(hub_position >= 8, "hub eliminated too early: {hub_position}");
+        assert!(
+            hub_position >= 8,
+            "hub eliminated too early: {hub_position}"
+        );
         // Every earlier elimination is a leaf.
         for k in 0..hub_position {
             assert_ne!(p.old_of(k), 0);

@@ -71,7 +71,7 @@ impl BandPartition {
     /// Builds a partition from explicit owned band sizes (useful for
     /// heterogeneity-aware load balancing: faster machines get larger bands).
     pub fn from_sizes(sizes: &[usize], overlap: usize) -> Result<Self, SparseError> {
-        if sizes.is_empty() || sizes.iter().any(|&s| s == 0) {
+        if sizes.is_empty() || sizes.contains(&0) {
             return Err(SparseError::Structure(
                 "band sizes must be non-empty and positive".to_string(),
             ));
@@ -95,7 +95,11 @@ impl BandPartition {
         let mut extended = Vec::with_capacity(parts);
         for (l, &(s, e)) in owned.iter().enumerate() {
             let ext_start = if l == 0 { s } else { s.saturating_sub(overlap) };
-            let ext_end = if l + 1 == parts { e } else { (e + overlap).min(n) };
+            let ext_end = if l + 1 == parts {
+                e
+            } else {
+                (e + overlap).min(n)
+            };
             if ext_start >= ext_end {
                 return Err(SparseError::Structure(format!(
                     "band {l} became empty after overlap expansion"
@@ -405,10 +409,7 @@ mod tests {
         let p = BandPartition::uniform(60, 4).unwrap();
         for l in 0..4 {
             let blocks = LocalBlocks::extract(&a, &b, &p, l).unwrap();
-            let band_nnz: usize = p
-                .extended_range(l)
-                .map(|i| a.row_nnz(i))
-                .sum();
+            let band_nnz: usize = p.extended_range(l).map(|i| a.row_nnz(i)).sum();
             assert_eq!(
                 blocks.a_sub.nnz() + blocks.dep_left.nnz() + blocks.dep_right.nnz(),
                 band_nnz

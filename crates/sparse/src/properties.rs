@@ -70,10 +70,10 @@ pub fn is_weakly_diagonally_dominant(a: &CsrMatrix) -> bool {
 /// strict dominance this is the hypothesis of Proposition 1.
 pub fn is_irreducibly_diagonally_dominant(a: &CsrMatrix) -> bool {
     let dom = row_dominance(a);
-    if dom.iter().any(|&d| d == RowDominance::None) {
+    if dom.contains(&RowDominance::None) {
         return false;
     }
-    if !dom.iter().any(|&d| d == RowDominance::Strict) {
+    if !dom.contains(&RowDominance::Strict) {
         return false;
     }
     is_irreducible(a)
@@ -109,7 +109,7 @@ pub fn jacobi_spectral_radius(a: &CsrMatrix, max_iters: usize, tol: f64) -> f64 
         return 0.0;
     }
     let diag = a.diagonal();
-    if diag.iter().any(|&d| d == 0.0) {
+    if diag.contains(&0.0) {
         return f64::INFINITY;
     }
 

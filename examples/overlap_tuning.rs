@@ -20,7 +20,10 @@ fn main() {
     let (_, b) = generators::rhs_for_solution(&a, |i| 1.0 + (i % 3) as f64);
     let parts = 8;
 
-    println!("{:>8}  {:>10}  {:>12}  {:>12}  {:>10}", "overlap", "iters", "factor(s)", "total(s)", "residual");
+    println!(
+        "{:>8}  {:>10}  {:>12}  {:>12}  {:>10}",
+        "overlap", "iters", "factor(s)", "total(s)", "residual"
+    );
     for overlap in [0usize, 25, 50, 100, 200, 300, 400] {
         let outcome = MultisplittingSolver::builder()
             .parts(parts)

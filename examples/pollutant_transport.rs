@@ -17,7 +17,12 @@ use multisplitting::sparse::{properties::MatrixProperties, TripletBuilder};
 
 /// Builds the 7-point upwind discretization of
 /// `-div(D grad c) + v · grad c + r c = s` on a `k³` grid.
-fn transport_matrix(k: usize, diffusion: f64, wind: [f64; 3], reaction: f64) -> multisplitting::sparse::CsrMatrix {
+fn transport_matrix(
+    k: usize,
+    diffusion: f64,
+    wind: [f64; 3],
+    reaction: f64,
+) -> multisplitting::sparse::CsrMatrix {
     let n = k * k * k;
     let h = 1.0 / (k as f64 + 1.0);
     let idx = |i: usize, j: usize, l: usize| (i * k + j) * k + l;

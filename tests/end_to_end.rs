@@ -23,7 +23,10 @@ fn workloads() -> Vec<(&'static str, CsrMatrix)> {
         ),
         ("cage-like", generators::cage_like(600, 202)),
         ("poisson-2d", generators::poisson_2d(24)),
-        ("rho-targeted", generators::spectral_radius_targeted(600, 0.9)),
+        (
+            "rho-targeted",
+            generators::spectral_radius_targeted(600, 0.9),
+        ),
     ]
 }
 

@@ -2,9 +2,11 @@
 //! stack: format round-trips, factorization correctness, partition/weighting
 //! algebra, and the multisplitting fixed point.
 
-use multisplitting::prelude::*;
 use multisplitting::direct::SparseLu;
-use multisplitting::sparse::{generators::DiagDominantConfig, generators, BandPartition, CsrMatrix};
+use multisplitting::prelude::*;
+use multisplitting::sparse::{
+    generators, generators::DiagDominantConfig, BandPartition, CsrMatrix,
+};
 use proptest::prelude::*;
 
 fn arb_dd_matrix() -> impl Strategy<Value = CsrMatrix> {

@@ -1,0 +1,229 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides [`Bytes`] / [`BytesMut`] plus the little-endian [`Buf`] /
+//! [`BufMut`] accessors the message codec uses. `Bytes` is a cheaply
+//! cloneable view (`Arc<[u8]>` + cursor) so `slice` and `Clone` cost O(1),
+//! matching the upstream semantics the codec tests rely on.
+
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Read cursor over a byte buffer.
+pub trait Buf {
+    /// Bytes left to consume.
+    fn remaining(&self) -> usize;
+
+    /// Consumes and returns one byte.
+    ///
+    /// # Panics
+    /// Panics if the buffer is exhausted (same contract as upstream).
+    fn get_u8(&mut self) -> u8;
+
+    /// Consumes and returns a little-endian `u64`.
+    fn get_u64_le(&mut self) -> u64;
+
+    /// Consumes and returns a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
+}
+
+/// Write cursor over a growable byte buffer.
+pub trait BufMut {
+    /// Appends one byte.
+    fn put_u8(&mut self, v: u8);
+
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
+    }
+}
+
+/// An immutable, cheaply cloneable and sliceable byte buffer.
+#[derive(Debug, Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// Creates an empty buffer.
+    pub fn new() -> Self {
+        Bytes {
+            data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    /// Wraps a static byte slice.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Number of bytes in the view.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a sub-view of `range` (indices relative to this view).
+    ///
+    /// # Panics
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: Range<usize>) -> Bytes {
+        assert!(range.start <= range.end && range.end <= self.len());
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + range.start,
+            end: self.start + range.end,
+        }
+    }
+
+    /// The bytes currently visible through the view.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(vec: Vec<u8>) -> Self {
+        let end = vec.len();
+        Bytes {
+            data: Arc::from(vec),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        assert!(self.remaining() >= 1, "buffer exhausted");
+        let v = self.data[self.start];
+        self.start += 1;
+        v
+    }
+
+    fn get_u64_le(&mut self) -> u64 {
+        assert!(self.remaining() >= 8, "buffer exhausted");
+        let mut raw = [0u8; 8];
+        raw.copy_from_slice(&self.data[self.start..self.start + 8]);
+        self.start += 8;
+        u64::from_le_bytes(raw)
+    }
+}
+
+/// A growable byte buffer for building messages.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// Creates an empty buffer with at least `capacity` bytes reserved.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Number of bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Converts the buffer into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, v: u8) {
+        self.vec.push(v);
+    }
+
+    fn put_u64_le(&mut self, v: u64) {
+        self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trip_scalars() {
+        let mut buf = BytesMut::with_capacity(32);
+        buf.put_u8(7);
+        buf.put_u64_le(0xDEAD_BEEF);
+        buf.put_f64_le(-1.25);
+        let mut bytes = buf.freeze();
+        assert_eq!(bytes.len(), 17);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u64_le(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_f64_le(), -1.25);
+        assert!(bytes.is_empty());
+    }
+
+    #[test]
+    fn slice_is_a_view() {
+        let mut buf = BytesMut::with_capacity(4);
+        for b in [1u8, 2, 3, 4] {
+            buf.put_u8(b);
+        }
+        let bytes = buf.freeze();
+        let mid = bytes.slice(1..3);
+        assert_eq!(mid.as_slice(), &[2, 3]);
+        assert_eq!(bytes.len(), 4, "slicing must not consume the parent");
+    }
+
+    #[test]
+    #[should_panic]
+    fn reading_past_the_end_panics() {
+        let mut b = Bytes::from_static(&[1]);
+        let _ = b.get_u64_le();
+    }
+}

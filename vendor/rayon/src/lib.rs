@@ -1,0 +1,62 @@
+//! Offline stand-in for the `rayon` crate.
+//!
+//! The workspace uses rayon in two places (pre-factorization of the diagonal
+//! blocks and the dense GEMM row loop). This stub keeps the call sites
+//! compiling by mapping the parallel adapters to their *sequential* standard
+//! library twins: `par_iter` is `iter`, `par_chunks_mut` is `chunks_mut`.
+//! Correctness is identical; the parallel speedup returns the day a real
+//! rayon (or a thread-pool implementation of this facade) is dropped in.
+
+/// Sequential stand-ins for rayon's prelude traits.
+pub mod prelude {
+    /// `par_iter` on slices and `Vec`s (sequential fallback).
+    pub trait ParallelSliceRef<T> {
+        /// Returns a "parallel" iterator over the elements — here, the plain
+        /// sequential iterator, which exposes the same adapter surface the
+        /// call sites use (`map`, `collect`, `enumerate`, `for_each`, ...).
+        fn par_iter(&self) -> std::slice::Iter<'_, T>;
+    }
+
+    impl<T> ParallelSliceRef<T> for [T] {
+        #[inline]
+        fn par_iter(&self) -> std::slice::Iter<'_, T> {
+            self.iter()
+        }
+    }
+
+    /// `par_chunks_mut` on mutable slices (sequential fallback).
+    pub trait ParallelSliceMut<T> {
+        /// Returns a "parallel" iterator over non-overlapping mutable chunks.
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T>;
+    }
+
+    impl<T> ParallelSliceMut<T> for [T] {
+        #[inline]
+        fn par_chunks_mut(&mut self, chunk_size: usize) -> std::slice::ChunksMut<'_, T> {
+            self.chunks_mut(chunk_size)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1, 2, 3];
+        let doubled: Vec<i32> = v.par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_chunks_mut_matches_chunks_mut() {
+        let mut v = vec![0u8; 6];
+        v.par_chunks_mut(2).enumerate().for_each(|(i, chunk)| {
+            for c in chunk {
+                *c = i as u8;
+            }
+        });
+        assert_eq!(v, vec![0, 0, 1, 1, 2, 2]);
+    }
+}
