@@ -1,8 +1,8 @@
 //! Local and global convergence detection.
 //!
 //! Algorithm 1 stops "until global convergence is achieved".  The paper
-//! points to two detection schemes: a centralized algorithm [2] where a
-//! coordinator collects local states, and a decentralized algorithm [4]
+//! points to two detection schemes: a centralized algorithm \[2\] where a
+//! coordinator collects local states, and a decentralized algorithm \[4\]
 //! suited to asynchronous iterations where no processor may ever observe a
 //! globally consistent snapshot.
 //!

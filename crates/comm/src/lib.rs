@@ -14,8 +14,8 @@
 //!   receive, barrier, allreduce),
 //! * [`convergence`] — local and global convergence detection for both the
 //!   synchronous (allreduce-based) and asynchronous (shared-board,
-//!   confirmation-window) modes, following the centralized [2] and
-//!   decentralized [4] schemes referenced by the paper.
+//!   confirmation-window) modes, following the centralized \[2\] and
+//!   decentralized \[4\] schemes referenced by the paper.
 
 pub mod communicator;
 pub mod convergence;

@@ -25,6 +25,21 @@ pub enum Message {
         /// The solution values.
         values: Vec<f64>,
     },
+    /// A batch of solution slices produced by a multi-RHS solve: one slice
+    /// per right-hand side of the batch, all sharing the sender, iteration
+    /// stamp and offset.  Batching the columns into one message keeps the
+    /// per-iteration message count of Algorithm 1 unchanged when a prepared
+    /// system serves many right-hand sides at once.
+    SolutionBatch {
+        /// Sender rank.
+        from: usize,
+        /// Sender's outer-iteration counter when the slices were produced.
+        iteration: u64,
+        /// Global index of the first entry of every column.
+        offset: usize,
+        /// One solution slice per right-hand side, all the same length.
+        columns: Vec<Vec<f64>>,
+    },
     /// A local convergence vote used by the centralized detection scheme.
     ConvergenceVote {
         /// Sender rank.
@@ -47,12 +62,15 @@ const TAG_SOLUTION: u8 = 1;
 const TAG_VOTE: u8 = 2;
 const TAG_GLOBAL: u8 = 3;
 const TAG_HALT: u8 = 4;
+const TAG_SOLUTION_BATCH: u8 = 5;
 
 impl Message {
     /// The rank that produced the message, when it carries one.
     pub fn sender(&self) -> Option<usize> {
         match self {
-            Message::Solution { from, .. } | Message::ConvergenceVote { from, .. } => Some(*from),
+            Message::Solution { from, .. }
+            | Message::SolutionBatch { from, .. }
+            | Message::ConvergenceVote { from, .. } => Some(*from),
             _ => None,
         }
     }
@@ -62,6 +80,10 @@ impl Message {
     pub fn encoded_len(&self) -> usize {
         match self {
             Message::Solution { values, .. } => 1 + 8 + 8 + 8 + 8 + 8 * values.len(),
+            Message::SolutionBatch { columns, .. } => {
+                let payload: usize = columns.iter().map(|c| 8 + 8 * c.len()).sum();
+                1 + 8 + 8 + 8 + 8 + payload
+            }
             Message::ConvergenceVote { .. } => 1 + 8 + 8 + 1,
             Message::GlobalConverged { .. } => 1 + 8,
             Message::Halt => 1,
@@ -85,6 +107,24 @@ impl Message {
                 buf.put_u64_le(values.len() as u64);
                 for v in values {
                     buf.put_f64_le(*v);
+                }
+            }
+            Message::SolutionBatch {
+                from,
+                iteration,
+                offset,
+                columns,
+            } => {
+                buf.put_u8(TAG_SOLUTION_BATCH);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(*iteration);
+                buf.put_u64_le(*offset as u64);
+                buf.put_u64_le(columns.len() as u64);
+                for col in columns {
+                    buf.put_u64_le(col.len() as u64);
+                    for v in col {
+                        buf.put_f64_le(*v);
+                    }
                 }
             }
             Message::ConvergenceVote {
@@ -139,6 +179,38 @@ impl Message {
                     values,
                 })
             }
+            TAG_SOLUTION_BATCH => {
+                if data.remaining() < 32 {
+                    return Err(CommError::Codec("truncated batch header".to_string()));
+                }
+                let from = data.get_u64_le() as usize;
+                let iteration = data.get_u64_le();
+                let offset = data.get_u64_le() as usize;
+                let ncols = data.get_u64_le() as usize;
+                let mut columns = Vec::with_capacity(ncols.min(1024));
+                for _ in 0..ncols {
+                    if data.remaining() < 8 {
+                        return Err(CommError::Codec("truncated batch column".to_string()));
+                    }
+                    let len = data.get_u64_le() as usize;
+                    if data.remaining() < 8 * len {
+                        return Err(CommError::Codec(format!(
+                            "truncated batch column payload: expected {len} values"
+                        )));
+                    }
+                    let mut col = Vec::with_capacity(len);
+                    for _ in 0..len {
+                        col.push(data.get_f64_le());
+                    }
+                    columns.push(col);
+                }
+                Ok(Message::SolutionBatch {
+                    from,
+                    iteration,
+                    offset,
+                    columns,
+                })
+            }
             TAG_VOTE => {
                 if data.remaining() < 17 {
                     return Err(CommError::Codec("truncated vote".to_string()));
@@ -183,6 +255,35 @@ mod tests {
         let decoded = Message::decode(encoded).unwrap();
         assert_eq!(decoded, msg);
         assert_eq!(decoded.sender(), Some(3));
+    }
+
+    #[test]
+    fn solution_batch_round_trip() {
+        let msg = Message::SolutionBatch {
+            from: 2,
+            iteration: 11,
+            offset: 64,
+            columns: vec![vec![1.0, 2.0, 3.0], vec![-4.5, 0.0, 1e-12]],
+        };
+        let encoded = msg.encode();
+        assert_eq!(encoded.len(), msg.encoded_len());
+        let decoded = Message::decode(encoded).unwrap();
+        assert_eq!(decoded, msg);
+        assert_eq!(decoded.sender(), Some(2));
+
+        // Empty batch is legal and round-trips too.
+        let empty = Message::SolutionBatch {
+            from: 0,
+            iteration: 1,
+            offset: 0,
+            columns: Vec::new(),
+        };
+        assert_eq!(Message::decode(empty.encode()).unwrap(), empty);
+
+        // Truncated batch payload is rejected.
+        let full = msg.encode();
+        let cut = full.slice(0..full.len() - 8);
+        assert!(matches!(Message::decode(cut), Err(CommError::Codec(_))));
     }
 
     #[test]

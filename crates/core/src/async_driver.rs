@@ -16,9 +16,11 @@
 //!   the decentralized algorithm referenced by the paper.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{compute_send_targets, increment_norm, NeighborData, WorkerInput};
+use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
 use crate::solver::{MultisplittingConfig, PartReport, SolveOutcome};
-use crate::sync_driver::{assemble_outcome, panic_message, WorkerOutput};
+use crate::sync_driver::{
+    assemble_outcome, check_transport_ranks, factorize_blocks, panic_message, WorkerOutput,
+};
 use crate::CoreError;
 use msplit_comm::communicator::{CommGroup, Communicator};
 use msplit_comm::convergence::{ConvergenceBoard, LocalConvergence, ResidualTracker};
@@ -26,7 +28,6 @@ use msplit_comm::message::Message;
 use msplit_comm::transport::Transport;
 use msplit_direct::api::Factorization;
 use msplit_sparse::{BandPartition, LocalBlocks};
-use rayon::prelude::*;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -37,43 +38,65 @@ pub fn solve_async(
     transport: Arc<dyn Transport>,
 ) -> Result<SolveOutcome, CoreError> {
     let start = Instant::now();
+    check_transport_ranks(decomposition.num_parts(), &transport)?;
     let (partition, blocks) = decomposition.into_blocks();
-    let parts = partition.num_parts();
-    if transport.num_ranks() != parts {
-        return Err(CoreError::Decomposition(format!(
-            "transport has {} ranks but the decomposition has {} parts",
-            transport.num_ranks(),
-            parts
-        )));
-    }
-
-    let solver = config.solver_kind.build();
-    let factors: Vec<Box<dyn Factorization>> = blocks
-        .par_iter()
-        .map(|blk| solver.factorize(&blk.a_sub))
-        .collect::<Result<Vec<_>, _>>()?;
-
+    let factors = factorize_blocks(&blocks, config)?;
     let send_targets = compute_send_targets(&partition, &blocks);
+    run_async(
+        &partition,
+        &blocks,
+        &factors,
+        &send_targets,
+        None,
+        config,
+        transport,
+        start,
+    )
+}
+
+/// Asynchronous solve over borrowed prepared state (see
+/// [`crate::sync_driver::run_sync`] for the borrowing contract and the `rhs`
+/// override semantics).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_async(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+    factors: &[Arc<dyn Factorization>],
+    send_targets: &[Vec<usize>],
+    rhs: Option<&[f64]>,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    start: Instant,
+) -> Result<SolveOutcome, CoreError> {
+    let parts = partition.num_parts();
+    check_transport_ranks(parts, &transport)?;
     let group = CommGroup::new(transport);
     let comms = group.communicators();
     let board = ConvergenceBoard::new(parts, config.async_confirmations);
 
-    let worker_inputs: Vec<WorkerInput> = blocks
-        .into_iter()
-        .zip(factors)
-        .zip(comms)
-        .zip(send_targets)
-        .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
-        .collect();
-
     let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = worker_inputs
-            .into_iter()
-            .map(|(blk, factor, comm, targets)| {
-                let partition = partition.clone();
+        let handles: Vec<_> = blocks
+            .iter()
+            .zip(factors.iter())
+            .zip(comms)
+            .zip(send_targets.iter())
+            .map(|(((blk, factor), comm), targets)| {
                 let board = Arc::clone(&board);
                 scope.spawn(move || {
-                    async_worker(blk, factor, comm, partition, targets, board, config)
+                    let b_sub: &[f64] = match rhs {
+                        Some(b) => &b[partition.extended_range(blk.part)],
+                        None => &blk.b_sub,
+                    };
+                    async_worker(
+                        blk,
+                        b_sub,
+                        factor.as_ref(),
+                        comm,
+                        partition,
+                        targets,
+                        board,
+                        config,
+                    )
                 })
             })
             .collect();
@@ -86,15 +109,17 @@ pub fn solve_async(
             .collect()
     });
 
-    assemble_outcome(outputs, &partition, config, start)
+    assemble_outcome(outputs, partition, config, start)
 }
 
+#[allow(clippy::too_many_arguments)]
 fn async_worker(
-    blk: LocalBlocks,
-    factor: Box<dyn Factorization>,
+    blk: &LocalBlocks,
+    b_sub: &[f64],
+    factor: &dyn Factorization,
     comm: Communicator,
-    partition: BandPartition,
-    targets: Vec<usize>,
+    partition: &BandPartition,
+    targets: &[usize],
     board: Arc<ConvergenceBoard>,
     config: &MultisplittingConfig,
 ) -> Result<WorkerOutput, CoreError> {
@@ -105,7 +130,7 @@ fn async_worker(
     let flops_per_iteration = dep_flops + factor_stats.solve_flops();
     let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
 
-    let mut neighbor = NeighborData::new(partition, config.weighting);
+    let mut neighbor = NeighborData::new(partition.clone(), config.weighting);
     let mut x_global = vec![0.0f64; blk.total_size];
     let mut x_sub = vec![0.0f64; blk.size];
     let dependency_columns = blk.dependency_columns();
@@ -143,7 +168,7 @@ fn async_worker(
         // its own; resetting it unconditionally here would livelock the
         // detection (peers send every iteration, so data is always "fresh").
 
-        neighbor.fill_dependencies(&blk, &mut x_global);
+        neighbor.fill_dependencies(blk, &mut x_global);
         // How much the dependency data itself moved since the previous
         // iteration: a processor whose own increment is tiny but whose inputs
         // are still changing must not vote "converged" (that is what keeps an
@@ -153,7 +178,7 @@ fn async_worker(
             dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
             prev_deps[slot] = x_global[g];
         }
-        let rhs = blk.local_rhs(&x_global)?;
+        let rhs = blk.local_rhs_with(b_sub, &x_global)?;
         let new_x = factor.solve(&rhs)?;
         last_increment = increment_norm(&new_x, &x_sub).max(dep_change);
         x_sub = new_x;
@@ -165,7 +190,7 @@ fn async_worker(
             values: x_sub.clone(),
         };
         bytes_sent_per_iteration = msg.encoded_len() * targets.len();
-        for &t in &targets {
+        for &t in targets {
             comm.send(t, msg.clone())?;
         }
 

@@ -1,18 +1,7 @@
 //! Shared plumbing of the synchronous and asynchronous drivers.
 
 use crate::weighting::WeightingScheme;
-use msplit_comm::communicator::Communicator;
-use msplit_direct::api::Factorization;
 use msplit_sparse::{BandPartition, LocalBlocks};
-
-/// Everything one worker thread needs: its blocks, the pre-computed
-/// factorization of `ASub`, its communicator and its send targets.
-pub(crate) type WorkerInput = (
-    LocalBlocks,
-    Box<dyn Factorization>,
-    Communicator,
-    Vec<usize>,
-);
 
 /// Latest dependency data received from the other processors, and the logic
 /// to turn it into the `XLeft` / `XRight` values a band needs.

@@ -60,6 +60,7 @@ pub mod decomposition;
 pub(crate) mod driver_common;
 pub mod experiment;
 pub mod perf_model;
+pub mod prepared;
 pub mod sequential;
 pub mod solver;
 pub mod sync_driver;
@@ -67,14 +68,18 @@ pub mod theory;
 pub mod weighting;
 
 pub use decomposition::Decomposition;
-pub use solver::{ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder};
+pub use prepared::PreparedSystem;
+pub use solver::{
+    BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder,
+};
 pub use weighting::WeightingScheme;
 
 /// Convenient re-exports for downstream users.
 pub mod prelude {
     pub use crate::baseline::{DistributedDirectBaseline, SequentialDirectBaseline};
     pub use crate::decomposition::Decomposition;
-    pub use crate::solver::{ExecutionMode, MultisplittingSolver, SolveOutcome};
+    pub use crate::prepared::PreparedSystem;
+    pub use crate::solver::{BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome};
     pub use crate::theory::SplittingAnalysis;
     pub use crate::weighting::WeightingScheme;
     pub use msplit_direct::SolverKind;

@@ -1,0 +1,379 @@
+//! A fully prepared multisplitting system, reusable across right-hand sides.
+//!
+//! The paper's central economics are that the expensive direct factorization
+//! of every diagonal block is paid **once**, while each outer iteration only
+//! performs cheap triangular solves.  [`PreparedSystem`] turns that
+//! observation into an API boundary: [`PreparedSystem::prepare`] performs the
+//! decomposition (Figure 1), factorizes every `ASub` in parallel and
+//! pre-computes the send-target maps of Algorithm 1; the resulting value can
+//! then serve any number of right-hand sides — one at a time with
+//! [`PreparedSystem::solve`], or as a batch marching in lockstep with
+//! [`PreparedSystem::solve_many`] — without ever touching the factorizations
+//! again.  This is the unit cached by the `msplit-engine` service crate: for
+//! families of systems sharing one operator, every solve after the first is
+//! pure iteration.
+
+use crate::decomposition::Decomposition;
+use crate::driver_common::compute_send_targets;
+use crate::solver::{BatchSolveOutcome, ExecutionMode, MultisplittingConfig, SolveOutcome};
+use crate::{async_driver, sync_driver, CoreError};
+use msplit_comm::transport::Transport;
+use msplit_direct::api::Factorization;
+use msplit_sparse::{BandPartition, CsrMatrix, LocalBlocks};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// A decomposed and factorized system, ready to serve right-hand sides.
+///
+/// Unlike [`crate::solver::MultisplittingSolver::solve`], which rebuilds the
+/// decomposition and refactorizes on every call, a `PreparedSystem` is
+/// immutable shared state: all solve methods take `&self`, so one prepared
+/// system can serve concurrent requests (it is `Send + Sync`).
+pub struct PreparedSystem {
+    config: MultisplittingConfig,
+    partition: BandPartition,
+    blocks: Vec<LocalBlocks>,
+    factors: Vec<Arc<dyn Factorization>>,
+    send_targets: Vec<Vec<usize>>,
+    fingerprint: u64,
+    factor_seconds: f64,
+}
+
+impl PreparedSystem {
+    /// Decomposes and factorizes `a` according to `config`.
+    ///
+    /// This is the expensive step (the "factorization time" column of the
+    /// paper's tables); everything downstream of it only reads the produced
+    /// state.
+    pub fn prepare(config: MultisplittingConfig, a: &CsrMatrix) -> Result<Self, CoreError> {
+        let start = Instant::now();
+        let fingerprint = a.fingerprint();
+        // The blocks capture a zero RHS; per-solve right-hand sides override
+        // it through the drivers' `rhs` parameter.
+        let zero_b = vec![0.0f64; a.rows()];
+        let decomposition = if config.relative_speeds.is_empty() {
+            Decomposition::uniform(a, &zero_b, config.parts, config.overlap)?
+        } else {
+            if config.relative_speeds.len() != config.parts {
+                return Err(CoreError::Decomposition(format!(
+                    "{} relative speeds given for {} parts",
+                    config.relative_speeds.len(),
+                    config.parts
+                )));
+            }
+            Decomposition::balanced_for_speeds(a, &zero_b, &config.relative_speeds, config.overlap)?
+        };
+        let (partition, blocks) = decomposition.into_blocks();
+        let factors = sync_driver::factorize_blocks(&blocks, &config)?;
+        let send_targets = compute_send_targets(&partition, &blocks);
+        Ok(PreparedSystem {
+            config,
+            partition,
+            blocks,
+            factors,
+            send_targets,
+            fingerprint,
+            factor_seconds: start.elapsed().as_secs_f64(),
+        })
+    }
+
+    /// The configuration the system was prepared with.
+    pub fn config(&self) -> &MultisplittingConfig {
+        &self.config
+    }
+
+    /// The band partition of the prepared decomposition.
+    pub fn partition(&self) -> &BandPartition {
+        &self.partition
+    }
+
+    /// Order of the prepared system.
+    pub fn order(&self) -> usize {
+        self.partition.order()
+    }
+
+    /// Number of parts (processors).
+    pub fn num_parts(&self) -> usize {
+        self.partition.num_parts()
+    }
+
+    /// Fingerprint of the matrix the system was prepared from
+    /// (see [`CsrMatrix::fingerprint`]).
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// Wall-clock seconds spent preparing (decomposition + factorizations).
+    pub fn factor_seconds(&self) -> f64 {
+        self.factor_seconds
+    }
+
+    /// Estimated resident bytes of the prepared state (blocks + factors).
+    pub fn memory_bytes(&self) -> usize {
+        let blocks: usize = self.blocks.iter().map(|b| b.memory_bytes()).sum();
+        let factors: usize = self
+            .factors
+            .iter()
+            .map(|f| f.stats().factor_memory_bytes())
+            .sum();
+        blocks + factors
+    }
+
+    fn check_rhs(&self, b: &[f64]) -> Result<(), CoreError> {
+        if b.len() != self.order() {
+            return Err(CoreError::Decomposition(format!(
+                "right-hand side length {} does not match system order {}",
+                b.len(),
+                self.order()
+            )));
+        }
+        Ok(())
+    }
+
+    /// Solves `A x = b` with the prepared factorizations over a fresh
+    /// in-process transport, honouring the prepared configuration's execution
+    /// mode.
+    pub fn solve(&self, b: &[f64]) -> Result<SolveOutcome, CoreError> {
+        let transport = msplit_comm::InProcTransport::new(self.num_parts());
+        self.solve_with_transport(b, transport)
+    }
+
+    /// Solves `A x = b` over an explicit transport.
+    pub fn solve_with_transport(
+        &self,
+        b: &[f64],
+        transport: Arc<dyn Transport>,
+    ) -> Result<SolveOutcome, CoreError> {
+        self.check_rhs(b)?;
+        let start = Instant::now();
+        match self.config.mode {
+            ExecutionMode::Synchronous => sync_driver::run_sync(
+                &self.partition,
+                &self.blocks,
+                &self.factors,
+                &self.send_targets,
+                Some(b),
+                &self.config,
+                transport,
+                start,
+            ),
+            ExecutionMode::Asynchronous => async_driver::run_async(
+                &self.partition,
+                &self.blocks,
+                &self.factors,
+                &self.send_targets,
+                Some(b),
+                &self.config,
+                transport,
+                start,
+            ),
+        }
+    }
+
+    /// Solves `A X = B` for a batch of right-hand sides in a single pass of
+    /// the synchronous driver: every outer iteration performs one batched
+    /// triangular-solve sweep ([`Factorization::solve_many`]) and one message
+    /// exchange for all columns.
+    ///
+    /// Batches always run the synchronous (lockstep) driver — a batch needs a
+    /// single convergence verdict, which is what the synchronous all-reduce
+    /// provides — regardless of the prepared configuration's execution mode.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<BatchSolveOutcome, CoreError> {
+        let transport = msplit_comm::InProcTransport::new(self.num_parts());
+        self.solve_many_with_transport(rhs, transport)
+    }
+
+    /// Batched solve over an explicit transport.
+    pub fn solve_many_with_transport(
+        &self,
+        rhs: &[Vec<f64>],
+        transport: Arc<dyn Transport>,
+    ) -> Result<BatchSolveOutcome, CoreError> {
+        for b in rhs {
+            self.check_rhs(b)?;
+        }
+        sync_driver::run_sync_batch(
+            &self.partition,
+            &self.blocks,
+            &self.factors,
+            &self.send_targets,
+            rhs,
+            &self.config,
+            transport,
+            Instant::now(),
+        )
+    }
+}
+
+impl std::fmt::Debug for PreparedSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("PreparedSystem")
+            .field("order", &self.order())
+            .field("parts", &self.num_parts())
+            .field("fingerprint", &self.fingerprint)
+            .field("factor_seconds", &self.factor_seconds)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::solver::MultisplittingSolver;
+    use crate::weighting::WeightingScheme;
+    use msplit_direct::SolverKind;
+    use msplit_sparse::generators::{self, DiagDominantConfig};
+
+    fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
+        MultisplittingConfig {
+            parts,
+            overlap: 0,
+            weighting: WeightingScheme::OwnerTakes,
+            solver_kind: SolverKind::SparseLu,
+            tolerance: 1e-10,
+            max_iterations: 5000,
+            mode,
+            async_confirmations: 3,
+            relative_speeds: Vec::new(),
+        }
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn prepared_solve_is_bitwise_identical_to_cold_solve() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 240,
+            seed: 33,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 11) as f64) - 5.0);
+        let cfg = config(4, ExecutionMode::Synchronous);
+        let cold = MultisplittingSolver::new(cfg.clone())
+            .solve(&a, &b)
+            .unwrap();
+        let prepared = PreparedSystem::prepare(cfg, &a).unwrap();
+        let warm1 = prepared.solve(&b).unwrap();
+        let warm2 = prepared.solve(&b).unwrap();
+        assert!(cold.converged && warm1.converged && warm2.converged);
+        // The synchronous iteration is deterministic and the factorizations
+        // are identical, so the results agree bitwise.
+        assert_eq!(cold.x, warm1.x);
+        assert_eq!(warm1.x, warm2.x);
+        assert_eq!(cold.iterations, warm1.iterations);
+    }
+
+    #[test]
+    fn prepared_serves_multiple_rhs_without_refactorizing() {
+        let a = generators::cage_like(200, 31);
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let prepared = PreparedSystem::prepare(cfg, &a).unwrap();
+        assert_eq!(prepared.order(), 200);
+        assert_eq!(prepared.num_parts(), 3);
+        assert_eq!(prepared.fingerprint(), a.fingerprint());
+        assert!(prepared.memory_bytes() > 0);
+        for seed in 0..3u64 {
+            let (x_true, b) =
+                generators::rhs_for_solution(&a, |i| ((i as u64 + seed) % 7) as f64 - 3.0);
+            let out = prepared.solve(&b).unwrap();
+            assert!(out.converged);
+            assert!(max_err(&out.x, &x_true) < 1e-7, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn prepared_async_solve_converges() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 200,
+            seed: 9,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 5) as f64);
+        let mut cfg = config(4, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 50_000;
+        let prepared = PreparedSystem::prepare(cfg, &a).unwrap();
+        let out = prepared.solve(&b).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn solve_many_matches_per_rhs_solves() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 180,
+            seed: 4,
+            ..Default::default()
+        });
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let prepared = PreparedSystem::prepare(cfg, &a).unwrap();
+        let batch: Vec<Vec<f64>> = (0..5u64)
+            .map(|seed| generators::rhs_for_solution(&a, |i| ((i as u64 + seed) % 9) as f64).1)
+            .collect();
+        let out = prepared.solve_many(&batch).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.num_rhs(), 5);
+        assert!(out.max_residual(&a, &batch) < 1e-6);
+        for (b, x_batch) in batch.iter().zip(out.columns.iter()) {
+            let single = prepared.solve(b).unwrap();
+            assert!(single.converged);
+            // Columns in a batch see the same Jacobi sweep as a lone solve;
+            // the lockstep convergence test may run a few extra iterations
+            // for already-converged columns, so compare to tolerance.
+            assert!(max_err(x_batch, &single.x) < 1e-8);
+        }
+    }
+
+    #[test]
+    fn solve_many_empty_batch_is_trivially_converged() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let prepared = PreparedSystem::prepare(config(3, ExecutionMode::Synchronous), &a).unwrap();
+        let out = prepared.solve_many(&[]).unwrap();
+        assert!(out.converged);
+        assert_eq!(out.num_rhs(), 0);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn rhs_shape_validation() {
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let prepared = PreparedSystem::prepare(config(2, ExecutionMode::Synchronous), &a).unwrap();
+        assert!(prepared.solve(&[1.0; 19]).is_err());
+        assert!(prepared.solve_many(&[vec![1.0; 20], vec![1.0; 3]]).is_err());
+    }
+
+    #[test]
+    fn prepare_validates_speed_vector() {
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let mut cfg = config(4, ExecutionMode::Synchronous);
+        cfg.relative_speeds = vec![1.0, 2.0];
+        assert!(PreparedSystem::prepare(cfg, &a).is_err());
+    }
+
+    #[test]
+    fn prepared_system_is_shareable_across_threads() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 150,
+            seed: 17,
+            ..Default::default()
+        });
+        let prepared =
+            Arc::new(PreparedSystem::prepare(config(3, ExecutionMode::Synchronous), &a).unwrap());
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 4) as f64);
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let prepared = Arc::clone(&prepared);
+                let b = b.clone();
+                std::thread::spawn(move || prepared.solve(&b).unwrap())
+            })
+            .collect();
+        for h in handles {
+            let out = h.join().unwrap();
+            assert!(out.converged);
+            assert!(max_err(&out.x, &x_true) < 1e-7);
+        }
+    }
+}

@@ -147,6 +147,52 @@ impl SolveOutcome {
     }
 }
 
+/// Result of a batched multi-RHS multisplitting solve (see
+/// [`crate::prepared::PreparedSystem::solve_many`]).
+///
+/// All right-hand sides of the batch iterate in lockstep through one outer
+/// iteration loop, so there is a single iteration count and a single
+/// convergence verdict for the whole batch: `converged` means every column
+/// reached the tolerance.
+#[derive(Debug, Clone)]
+pub struct BatchSolveOutcome {
+    /// One assembled global solution per right-hand side, in request order.
+    pub columns: Vec<Vec<f64>>,
+    /// Whether every column converged within the iteration budget.
+    pub converged: bool,
+    /// Maximum outer-iteration count over all processors.
+    pub iterations: u64,
+    /// Per-processor iteration counts.
+    pub iterations_per_part: Vec<u64>,
+    /// Last observed increment norm (maximum over processors and columns).
+    pub last_increment: f64,
+    /// Per-processor reports (work profiles for the grid model).
+    pub part_reports: Vec<PartReport>,
+    /// Host wall-clock seconds for the whole batched solve.
+    pub wall_seconds: f64,
+}
+
+impl BatchSolveOutcome {
+    /// Number of right-hand sides served.
+    pub fn num_rhs(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Maximum residual infinity norm over all columns of the batch.
+    pub fn max_residual(&self, a: &CsrMatrix, rhs: &[Vec<f64>]) -> f64 {
+        self.columns
+            .iter()
+            .zip(rhs.iter())
+            .map(|(x, b)| {
+                let ax = a.spmv(x).expect("solution length matches the matrix");
+                b.iter()
+                    .zip(ax.iter())
+                    .fold(0.0f64, |m, (bi, axi)| m.max((bi - axi).abs()))
+            })
+            .fold(0.0f64, f64::max)
+    }
+}
+
 /// Builder for [`MultisplittingSolver`].
 #[derive(Debug, Clone, Default)]
 pub struct SolverBuilder {
@@ -257,6 +303,14 @@ impl MultisplittingSolver {
                 self.config.overlap,
             )
         }
+    }
+
+    /// Prepares the system once — decomposition, per-block factorizations and
+    /// send-target maps — so that any number of right-hand sides can be
+    /// served afterwards without refactorizing (the paper's factorize-once
+    /// observation, lifted to an API boundary).
+    pub fn prepare(&self, a: &CsrMatrix) -> Result<crate::prepared::PreparedSystem, CoreError> {
+        crate::prepared::PreparedSystem::prepare(self.config.clone(), a)
     }
 
     /// Solves `A x = b` using the in-process transport.

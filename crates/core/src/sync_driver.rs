@@ -13,8 +13,10 @@
 //! any singularity is reported before the threads start exchanging messages.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{compute_send_targets, increment_norm, NeighborData, WorkerInput};
-use crate::solver::{ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome};
+use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
+use crate::solver::{
+    BatchSolveOutcome, ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome,
+};
 use crate::CoreError;
 use msplit_comm::communicator::{CommGroup, Communicator};
 use msplit_comm::convergence::ResidualTracker;
@@ -36,15 +38,32 @@ pub(crate) struct WorkerOutput {
     pub(crate) report: PartReport,
 }
 
-/// Runs the synchronous multisplitting solve over the given transport.
-pub fn solve_sync(
-    decomposition: Decomposition,
+/// Factorizes every diagonal block of `blocks` in parallel (shared by the
+/// drivers and by [`crate::prepared::PreparedSystem`]).  Failures surface
+/// before any worker thread reaches a barrier.
+pub(crate) fn factorize_blocks(
+    blocks: &[LocalBlocks],
     config: &MultisplittingConfig,
-    transport: Arc<dyn Transport>,
-) -> Result<SolveOutcome, CoreError> {
-    let start = Instant::now();
-    let (partition, blocks) = decomposition.into_blocks();
-    let parts = partition.num_parts();
+) -> Result<Vec<Arc<dyn Factorization>>, CoreError> {
+    let solver = config.solver_kind.build();
+    blocks
+        .par_iter()
+        .map(|blk| {
+            solver
+                .factorize(&blk.a_sub)
+                .map(Arc::<dyn Factorization>::from)
+                .map_err(CoreError::Direct)
+        })
+        .collect()
+}
+
+/// Validates that the transport's rank count matches the decomposition —
+/// checked before the expensive factorizations so misconfiguration fails
+/// fast.
+pub(crate) fn check_transport_ranks(
+    parts: usize,
+    transport: &Arc<dyn Transport>,
+) -> Result<(), CoreError> {
     if transport.num_ranks() != parts {
         return Err(CoreError::Decomposition(format!(
             "transport has {} ranks but the decomposition has {} parts",
@@ -52,33 +71,73 @@ pub fn solve_sync(
             parts
         )));
     }
+    Ok(())
+}
 
-    // Factor every diagonal block up front (failures surface before any
-    // thread reaches a barrier).
-    let solver = config.solver_kind.build();
-    let factors: Vec<Box<dyn Factorization>> = blocks
-        .par_iter()
-        .map(|blk| solver.factorize(&blk.a_sub))
-        .collect::<Result<Vec<_>, _>>()?;
-
+/// Runs the synchronous multisplitting solve over the given transport.
+pub fn solve_sync(
+    decomposition: Decomposition,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+) -> Result<SolveOutcome, CoreError> {
+    let start = Instant::now();
+    check_transport_ranks(decomposition.num_parts(), &transport)?;
+    let (partition, blocks) = decomposition.into_blocks();
+    let factors = factorize_blocks(&blocks, config)?;
     let send_targets = compute_send_targets(&partition, &blocks);
+    run_sync(
+        &partition,
+        &blocks,
+        &factors,
+        &send_targets,
+        None,
+        config,
+        transport,
+        start,
+    )
+}
+
+/// Synchronous solve over borrowed prepared state: blocks and factorizations
+/// are only *read*, so the same prepared system can serve any number of
+/// solves.  `rhs` optionally overrides the right-hand side captured in the
+/// blocks at extraction time.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sync(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+    factors: &[Arc<dyn Factorization>],
+    send_targets: &[Vec<usize>],
+    rhs: Option<&[f64]>,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    start: Instant,
+) -> Result<SolveOutcome, CoreError> {
+    check_transport_ranks(partition.num_parts(), &transport)?;
     let group = CommGroup::new(transport);
     let comms = group.communicators();
 
-    let worker_inputs: Vec<WorkerInput> = blocks
-        .into_iter()
-        .zip(factors)
-        .zip(comms)
-        .zip(send_targets)
-        .map(|(((blk, factor), comm), targets)| (blk, factor, comm, targets))
-        .collect();
-
     let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = worker_inputs
-            .into_iter()
-            .map(|(blk, factor, comm, targets)| {
-                let partition = partition.clone();
-                scope.spawn(move || sync_worker(blk, factor, comm, partition, targets, config))
+        let handles: Vec<_> = blocks
+            .iter()
+            .zip(factors.iter())
+            .zip(comms)
+            .zip(send_targets.iter())
+            .map(|(((blk, factor), comm), targets)| {
+                scope.spawn(move || {
+                    let b_sub: &[f64] = match rhs {
+                        Some(b) => &b[partition.extended_range(blk.part)],
+                        None => &blk.b_sub,
+                    };
+                    sync_worker(
+                        blk,
+                        b_sub,
+                        factor.as_ref(),
+                        comm,
+                        partition,
+                        targets,
+                        config,
+                    )
+                })
             })
             .collect();
         handles
@@ -90,7 +149,7 @@ pub fn solve_sync(
             .collect()
     });
 
-    assemble_outcome(outputs, &partition, config, start)
+    assemble_outcome(outputs, partition, config, start)
 }
 
 /// Turns the per-worker outputs into the global [`SolveOutcome`].
@@ -139,11 +198,12 @@ pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
 }
 
 fn sync_worker(
-    blk: LocalBlocks,
-    factor: Box<dyn Factorization>,
+    blk: &LocalBlocks,
+    b_sub: &[f64],
+    factor: &dyn Factorization,
     comm: Communicator,
-    partition: BandPartition,
-    targets: Vec<usize>,
+    partition: &BandPartition,
+    targets: &[usize],
     config: &MultisplittingConfig,
 ) -> Result<WorkerOutput, CoreError> {
     let t0 = Instant::now();
@@ -153,7 +213,7 @@ fn sync_worker(
     let flops_per_iteration = dep_flops + factor_stats.solve_flops();
     let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
 
-    let mut neighbor = NeighborData::new(partition, config.weighting);
+    let mut neighbor = NeighborData::new(partition.clone(), config.weighting);
     let mut x_global = vec![0.0f64; blk.total_size];
     let mut x_sub = vec![0.0f64; blk.size];
     let mut tracker = ResidualTracker::new(config.tolerance, 1);
@@ -166,10 +226,10 @@ fn sync_worker(
         iterations += 1;
 
         // (1) dependency values from the latest received slices
-        neighbor.fill_dependencies(&blk, &mut x_global);
+        neighbor.fill_dependencies(blk, &mut x_global);
 
         // (2) local solve
-        let rhs = blk.local_rhs(&x_global)?;
+        let rhs = blk.local_rhs_with(b_sub, &x_global)?;
         let new_x = factor.solve(&rhs)?;
         last_increment = increment_norm(&new_x, &x_sub);
         x_sub = new_x;
@@ -182,7 +242,7 @@ fn sync_worker(
             values: x_sub.clone(),
         };
         bytes_sent_per_iteration = msg.encoded_len() * targets.len();
-        for &t in &targets {
+        for &t in targets {
             comm.send(t, msg.clone())?;
         }
 
@@ -210,6 +270,234 @@ fn sync_worker(
     Ok(WorkerOutput {
         part,
         x_local: x_sub,
+        iterations,
+        last_increment,
+        converged,
+        report: PartReport {
+            part,
+            factor_stats,
+            iterations,
+            bytes_sent_per_iteration,
+            messages_per_iteration: targets.len(),
+            flops_per_iteration,
+            memory_bytes,
+            wall_seconds: t0.elapsed().as_secs_f64(),
+        },
+    })
+}
+
+/// Output of one batched worker thread.
+struct BatchWorkerOutput {
+    part: usize,
+    /// One local solution slice per right-hand side of the batch.
+    x_columns: Vec<Vec<f64>>,
+    iterations: u64,
+    last_increment: f64,
+    converged: bool,
+    report: PartReport,
+}
+
+/// Synchronous multi-RHS solve over borrowed prepared state: every outer
+/// iteration performs ONE batched triangular-solve pass
+/// ([`Factorization::solve_many`]) and ONE message exchange for all columns,
+/// so a prepared system answers the whole batch in a single pass of
+/// Algorithm 1 instead of once per right-hand side.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sync_batch(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+    factors: &[Arc<dyn Factorization>],
+    send_targets: &[Vec<usize>],
+    rhs_columns: &[Vec<f64>],
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    start: Instant,
+) -> Result<BatchSolveOutcome, CoreError> {
+    let parts = partition.num_parts();
+    check_transport_ranks(parts, &transport)?;
+    let ncols = rhs_columns.len();
+    if ncols == 0 {
+        return Ok(BatchSolveOutcome {
+            columns: Vec::new(),
+            converged: true,
+            iterations: 0,
+            iterations_per_part: vec![0; parts],
+            last_increment: 0.0,
+            part_reports: Vec::new(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+    for col in rhs_columns {
+        if col.len() != partition.order() {
+            return Err(CoreError::Decomposition(format!(
+                "right-hand side length {} does not match system order {}",
+                col.len(),
+                partition.order()
+            )));
+        }
+    }
+    let group = CommGroup::new(transport);
+    let comms = group.communicators();
+
+    let outputs: Vec<Result<BatchWorkerOutput, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .zip(factors.iter())
+            .zip(comms)
+            .zip(send_targets.iter())
+            .map(|(((blk, factor), comm), targets)| {
+                scope.spawn(move || {
+                    let range = partition.extended_range(blk.part);
+                    let b_cols: Vec<&[f64]> =
+                        rhs_columns.iter().map(|b| &b[range.clone()]).collect();
+                    sync_batch_worker(
+                        blk,
+                        &b_cols,
+                        factor.as_ref(),
+                        comm,
+                        partition,
+                        targets,
+                        config,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
+            })
+            .collect()
+    });
+
+    // Assemble one global solution per column using the weighting scheme.
+    let mut per_part_columns: Vec<Vec<Vec<f64>>> = vec![Vec::new(); parts];
+    let mut reports = Vec::with_capacity(parts);
+    let mut iterations_per_part = vec![0u64; parts];
+    let mut converged = true;
+    let mut last_increment = 0.0f64;
+    for out in outputs {
+        let out = out?;
+        iterations_per_part[out.part] = out.iterations;
+        converged &= out.converged;
+        last_increment = last_increment.max(out.last_increment);
+        per_part_columns[out.part] = out.x_columns;
+        reports.push(out.report);
+    }
+    reports.sort_by_key(|r| r.part);
+    let columns = (0..ncols)
+        .map(|c| {
+            let locals: Vec<Vec<f64>> = per_part_columns
+                .iter()
+                .map(|cols| cols[c].clone())
+                .collect();
+            config.weighting.assemble(partition, &locals)
+        })
+        .collect();
+    let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
+    Ok(BatchSolveOutcome {
+        columns,
+        converged,
+        iterations,
+        iterations_per_part,
+        last_increment,
+        part_reports: reports,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// One worker of the batched synchronous driver: identical to [`sync_worker`]
+/// but with `ncols` solution columns marching in lockstep, one
+/// [`Factorization::solve_many`] call and one [`Message::SolutionBatch`] per
+/// outer iteration.
+fn sync_batch_worker(
+    blk: &LocalBlocks,
+    b_cols: &[&[f64]],
+    factor: &dyn Factorization,
+    comm: Communicator,
+    partition: &BandPartition,
+    targets: &[usize],
+    config: &MultisplittingConfig,
+) -> Result<BatchWorkerOutput, CoreError> {
+    let t0 = Instant::now();
+    let part = blk.part;
+    let ncols = b_cols.len();
+    let factor_stats = factor.stats().clone();
+    let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
+    let flops_per_iteration = (dep_flops + factor_stats.solve_flops()) * ncols as u64;
+    let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
+
+    // One dependency tracker and one global-vector estimate per column: the
+    // columns iterate in lockstep but have independent values.
+    let mut neighbors: Vec<NeighborData> = (0..ncols)
+        .map(|_| NeighborData::new(partition.clone(), config.weighting))
+        .collect();
+    let mut x_globals = vec![vec![0.0f64; blk.total_size]; ncols];
+    let mut x_columns = vec![vec![0.0f64; blk.size]; ncols];
+    let mut tracker = ResidualTracker::new(config.tolerance, 1);
+    let mut iterations = 0u64;
+    let mut last_increment = f64::INFINITY;
+    let mut converged = false;
+    let mut bytes_sent_per_iteration = 0usize;
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+
+        // (1) dependency values + (2) local right-hand sides, all columns
+        let mut rhs_batch = Vec::with_capacity(ncols);
+        for (c, neighbor) in neighbors.iter().enumerate() {
+            neighbor.fill_dependencies(blk, &mut x_globals[c]);
+            rhs_batch.push(blk.local_rhs_with(b_cols[c], &x_globals[c])?);
+        }
+        // One batched triangular-solve pass for every column.
+        let new_xs = factor.solve_many(&rhs_batch)?;
+        last_increment = new_xs
+            .iter()
+            .zip(x_columns.iter())
+            .map(|(n, o)| increment_norm(n, o))
+            .fold(0.0f64, f64::max);
+        x_columns = new_xs;
+
+        // (3) one batched message per dependent processor
+        let msg = Message::SolutionBatch {
+            from: part,
+            iteration: iterations,
+            offset: blk.offset,
+            columns: x_columns.clone(),
+        };
+        bytes_sent_per_iteration = msg.encoded_len() * targets.len();
+        for &t in targets {
+            comm.send(t, msg.clone())?;
+        }
+
+        // (4) synchronize and agree on convergence of the whole batch
+        comm.barrier();
+        for received in comm.drain()? {
+            if let Message::SolutionBatch {
+                from,
+                iteration,
+                offset,
+                columns,
+            } = received
+            {
+                for (c, col) in columns.into_iter().enumerate() {
+                    if let Some(neighbor) = neighbors.get_mut(c) {
+                        neighbor.update(from, iteration, offset, col);
+                    }
+                }
+            }
+        }
+        let local = tracker.record(last_increment);
+        if comm.allreduce_and(local.as_bool()) {
+            converged = true;
+            break;
+        }
+    }
+
+    Ok(BatchWorkerOutput {
+        part,
+        x_columns,
         iterations,
         last_increment,
         converged,

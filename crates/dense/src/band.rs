@@ -249,6 +249,57 @@ impl BandLu {
         }
         Ok(x)
     }
+
+    /// Solves `A X = B` for a batch of right-hand sides in a single pass.
+    ///
+    /// The band factors (and the implicit no-pivot elimination order) are
+    /// traversed once per sweep with the inner loop running over the batch,
+    /// instead of once per right-hand side as repeated [`BandLu::solve`]
+    /// calls would.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DenseError> {
+        let n = self.order();
+        for b in rhs {
+            if b.len() != n {
+                return Err(DenseError::DimensionMismatch {
+                    expected: n,
+                    found: b.len(),
+                });
+            }
+        }
+        let kl = self.factors.lower_bandwidth();
+        let ku = self.factors.upper_bandwidth();
+        let mut xs: Vec<Vec<f64>> = rhs.iter().map(|b| b.to_vec()).collect();
+        // Forward substitution with the unit lower factor.
+        for i in 0..n {
+            let lo = i.saturating_sub(kl);
+            for x in xs.iter_mut() {
+                let mut acc = x[i];
+                for (off, &xj) in x[lo..i].iter().enumerate() {
+                    acc -= self.factors.get(i, lo + off) * xj;
+                }
+                x[i] = acc;
+            }
+        }
+        // Backward substitution with the upper factor.
+        for i in (0..n).rev() {
+            let hi = (i + ku).min(n - 1);
+            let diag = self.factors.get(i, i);
+            if diag == 0.0 {
+                return Err(DenseError::SingularPivot {
+                    column: i,
+                    value: diag,
+                });
+            }
+            for x in xs.iter_mut() {
+                let mut acc = x[i];
+                for (off, &xj) in x[i + 1..=hi].iter().enumerate() {
+                    acc -= self.factors.get(i, i + 1 + off) * xj;
+                }
+                x[i] = acc / diag;
+            }
+        }
+        Ok(xs)
+    }
 }
 
 #[cfg(test)]
@@ -355,6 +406,22 @@ mod tests {
         for (a, c) in xb.iter().zip(xd.iter()) {
             assert!((a - c).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn solve_many_matches_one_at_a_time() {
+        let n = 40;
+        let b = tridiagonal(n);
+        let lu = BandLu::factorize(&b).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..5)
+            .map(|k| (0..n).map(|i| ((i * 3 + k) % 7) as f64 - 3.0).collect())
+            .collect();
+        let batch = lu.solve_many(&rhs).unwrap();
+        for (rhs_col, x_batch) in rhs.iter().zip(batch.iter()) {
+            let x_single = lu.solve(rhs_col).unwrap();
+            assert_eq!(x_batch, &x_single);
+        }
+        assert!(lu.solve_many(&[vec![0.0; n - 1]]).is_err());
     }
 
     #[test]

@@ -160,6 +160,59 @@ impl DenseLu {
         Ok(x)
     }
 
+    /// Solves `A X = B` for a batch of right-hand sides in a single pass.
+    ///
+    /// Unlike calling [`DenseLu::solve`] per column, this applies the stored
+    /// pivot sequence once and then streams every factor row across all
+    /// columns during the forward and backward substitutions, so each packed
+    /// factor row is read exactly once per sweep regardless of batch width.
+    pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DenseError> {
+        let n = self.order();
+        for b in rhs {
+            if b.len() != n {
+                return Err(DenseError::DimensionMismatch {
+                    expected: n,
+                    found: b.len(),
+                });
+            }
+        }
+        // Apply the pivot permutation to every column up front.
+        let mut xs: Vec<Vec<f64>> = rhs
+            .iter()
+            .map(|b| self.perm.iter().map(|&p| b[p]).collect())
+            .collect();
+        // Forward substitution with unit lower triangular L, one row pass.
+        for i in 0..n {
+            let row = self.lu.row(i);
+            for x in xs.iter_mut() {
+                let mut acc = x[i];
+                for (j, &lij) in row.iter().enumerate().take(i) {
+                    acc -= lij * x[j];
+                }
+                x[i] = acc;
+            }
+        }
+        // Backward substitution with U, one row pass.
+        for i in (0..n).rev() {
+            let row = self.lu.row(i);
+            let diag = row[i];
+            if diag == 0.0 {
+                return Err(DenseError::SingularPivot {
+                    column: i,
+                    value: diag,
+                });
+            }
+            for x in xs.iter_mut() {
+                let mut acc = x[i];
+                for (j, &uij) in row.iter().enumerate().skip(i + 1) {
+                    acc -= uij * x[j];
+                }
+                x[i] = acc / diag;
+            }
+        }
+        Ok(xs)
+    }
+
     /// Solves for several right-hand sides given as columns of `b`.
     pub fn solve_matrix(&self, b: &DenseMatrix) -> Result<DenseMatrix, DenseError> {
         if b.rows() != self.order() {
@@ -342,6 +395,29 @@ mod tests {
         let b = DenseMatrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
         let lub = DenseLu::factorize(&b).unwrap();
         assert!((lub.determinant() + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_many_matches_one_at_a_time() {
+        let a = random_dd_matrix(25, 9);
+        let lu = DenseLu::factorize(&a).unwrap();
+        let rhs: Vec<Vec<f64>> = (0..6)
+            .map(|k| (0..25).map(|i| ((i + k) as f64 * 0.7).sin()).collect())
+            .collect();
+        let batch = lu.solve_many(&rhs).unwrap();
+        for (b, x_batch) in rhs.iter().zip(batch.iter()) {
+            let x_single = lu.solve(b).unwrap();
+            // Same arithmetic order per column => bitwise identical results.
+            assert_eq!(x_batch, &x_single);
+        }
+    }
+
+    #[test]
+    fn solve_many_rejects_bad_lengths_and_handles_empty_batch() {
+        let a = random_dd_matrix(5, 2);
+        let lu = DenseLu::factorize(&a).unwrap();
+        assert!(lu.solve_many(&[vec![1.0; 4]]).is_err());
+        assert!(lu.solve_many(&[]).unwrap().is_empty());
     }
 
     #[test]

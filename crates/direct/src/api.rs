@@ -28,6 +28,17 @@ pub trait Factorization: Send + Sync {
     /// Solves `A x = b` for one right-hand side.
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>, DirectError>;
 
+    /// Solves `A X = B` for a batch of right-hand sides.
+    ///
+    /// The default implementation loops over [`Factorization::solve`]; the
+    /// dense and band factorizations override it with single-pass kernels
+    /// that reuse the pivot sequence across all columns.  Column `k` of the
+    /// result always equals `self.solve(&rhs[k])` bitwise, so batched and
+    /// one-at-a-time serving are interchangeable.
+    fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DirectError> {
+        rhs.iter().map(|b| self.solve(b)).collect()
+    }
+
     /// Factorization statistics (fill, flops, timing, memory).
     fn stats(&self) -> &FactorStats;
 }
@@ -173,6 +184,10 @@ impl Factorization for DenseLuFactorization {
         Ok(self.lu.solve(b)?)
     }
 
+    fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DirectError> {
+        Ok(self.lu.solve_many(rhs)?)
+    }
+
     fn stats(&self) -> &FactorStats {
         &self.stats
     }
@@ -250,6 +265,10 @@ impl Factorization for BandLuFactorization {
 
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>, DirectError> {
         Ok(self.lu.solve(b)?)
+    }
+
+    fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DirectError> {
+        Ok(self.lu.solve_many(rhs)?)
     }
 
     fn stats(&self) -> &FactorStats {
@@ -330,6 +349,23 @@ mod tests {
                 .zip(x_true.iter())
                 .fold(0.0f64, |m, (a, b)| m.max((a - b).abs()));
             assert!(err < 1e-9);
+        }
+    }
+
+    #[test]
+    fn solve_many_matches_per_column_solve_for_all_kinds() {
+        let a = generators::tridiagonal(60, 4.0, -1.0);
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..60).map(|i| ((i + 2 * k) % 9) as f64 - 4.0).collect())
+            .collect();
+        for kind in SolverKind::all() {
+            let factor = kind.build().factorize(&a).unwrap();
+            let batch = factor.solve_many(&rhs).unwrap();
+            assert_eq!(batch.len(), rhs.len());
+            for (b, x_batch) in rhs.iter().zip(batch.iter()) {
+                let x_single = factor.solve(b).unwrap();
+                assert_eq!(x_batch, &x_single, "{kind:?} batched != single");
+            }
         }
     }
 

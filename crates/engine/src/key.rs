@@ -1,0 +1,118 @@
+//! Cache keys identifying a prepared system exactly.
+
+use msplit_core::solver::MultisplittingConfig;
+use msplit_sparse::fingerprint::Fnv64;
+use msplit_sparse::CsrMatrix;
+
+/// Key of one [`crate::FactorizationCache`] entry.
+///
+/// Two requests share a cache entry iff they present the identical matrix
+/// (same [`CsrMatrix::fingerprint`]: same shape, sparsity pattern and value
+/// bits) *and* an identical solve configuration — a prepared system bakes in
+/// the partition (parts, overlap, relative speeds), the per-block solver and
+/// the convergence knobs, so any configuration difference must miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct MatrixKey {
+    /// [`CsrMatrix::fingerprint`] of the system matrix.
+    pub fingerprint: u64,
+    /// FNV-1a digest of every configuration field that shapes the prepared
+    /// system or the solve it performs.
+    pub config_digest: u64,
+}
+
+impl MatrixKey {
+    /// Builds the key for a request.
+    pub fn new(a: &CsrMatrix, config: &MultisplittingConfig) -> Self {
+        MatrixKey {
+            fingerprint: a.fingerprint(),
+            config_digest: digest_config(config),
+        }
+    }
+}
+
+fn digest_config(config: &MultisplittingConfig) -> u64 {
+    let mut h = Fnv64::new();
+    h.mix(config.parts as u64);
+    h.mix(config.overlap as u64);
+    // Enum discriminants are hashed through their Debug rendering, which is
+    // stable within a build and keeps this free of per-variant match arms.
+    for b in format!(
+        "{:?}/{:?}/{:?}",
+        config.weighting, config.solver_kind, config.mode
+    )
+    .bytes()
+    {
+        h.mix(b as u64);
+    }
+    h.mix(config.tolerance.to_bits());
+    h.mix(config.max_iterations);
+    h.mix(config.async_confirmations);
+    h.mix(config.relative_speeds.len() as u64);
+    for s in &config.relative_speeds {
+        h.mix(s.to_bits());
+    }
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msplit_core::solver::ExecutionMode;
+    use msplit_direct::SolverKind;
+    use msplit_sparse::generators;
+
+    #[test]
+    fn same_matrix_same_config_same_key() {
+        let a = generators::tridiagonal(40, 4.0, -1.0);
+        let cfg = MultisplittingConfig::default();
+        assert_eq!(MatrixKey::new(&a, &cfg), MatrixKey::new(&a.clone(), &cfg));
+    }
+
+    #[test]
+    fn different_matrices_differ() {
+        let a = generators::tridiagonal(40, 4.0, -1.0);
+        let b = generators::tridiagonal(40, 4.0, -1.5);
+        let cfg = MultisplittingConfig::default();
+        assert_ne!(MatrixKey::new(&a, &cfg), MatrixKey::new(&b, &cfg));
+    }
+
+    #[test]
+    fn every_config_knob_changes_the_digest() {
+        let a = generators::tridiagonal(40, 4.0, -1.0);
+        let base = MultisplittingConfig::default();
+        let base_key = MatrixKey::new(&a, &base);
+        let variants: Vec<MultisplittingConfig> = vec![
+            MultisplittingConfig {
+                parts: base.parts + 1,
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                overlap: 3,
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                solver_kind: SolverKind::DenseLu,
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                tolerance: 1e-6,
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                max_iterations: 7,
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                mode: ExecutionMode::Asynchronous,
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                relative_speeds: vec![1.0, 2.0],
+                ..base.clone()
+            },
+        ];
+        for v in variants {
+            assert_ne!(MatrixKey::new(&a, &v), base_key, "variant {v:?}");
+        }
+    }
+}

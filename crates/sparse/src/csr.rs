@@ -479,6 +479,31 @@ impl CsrMatrix {
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f64)> + '_ {
         (0..self.rows).flat_map(move |i| self.row(i).map(move |(j, v)| (i, j, v)))
     }
+
+    /// Structural + numerical fingerprint of the matrix.
+    ///
+    /// A 64-bit FNV-1a hash over the shape, the row pointers, the column
+    /// indices and the raw IEEE-754 bits of every stored value.  Two matrices
+    /// get the same fingerprint iff they are identical CSR matrices (same
+    /// sparsity pattern *and* same value bits), so the fingerprint can key a
+    /// factorization cache: permuting the matrix or perturbing a single entry
+    /// changes the fingerprint, and a cached factorization keyed by it is
+    /// guaranteed to belong to this exact matrix.
+    pub fn fingerprint(&self) -> u64 {
+        let mut hash = crate::fingerprint::Fnv64::new();
+        hash.mix(self.rows as u64);
+        hash.mix(self.cols as u64);
+        for &p in &self.row_ptr {
+            hash.mix(p as u64);
+        }
+        for &c in &self.col_indices {
+            hash.mix(c as u64);
+        }
+        for &v in &self.values {
+            hash.mix(v.to_bits());
+        }
+        hash.finish()
+    }
 }
 
 #[cfg(test)]
@@ -620,5 +645,59 @@ mod tests {
         let entries: Vec<_> = m.iter().collect();
         assert_eq!(entries.len(), 5);
         assert!(entries.contains(&(2, 2, 5.0)));
+    }
+
+    #[test]
+    fn fingerprint_is_deterministic_and_clone_stable() {
+        let m = sample();
+        assert_eq!(m.fingerprint(), m.fingerprint());
+        assert_eq!(m.clone().fingerprint(), m.fingerprint());
+        // A structurally identical rebuild hashes identically too.
+        let rebuilt = CsrMatrix::from_dense(&m.to_dense());
+        assert_eq!(rebuilt.fingerprint(), m.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_permuted_matrix() {
+        let m = sample();
+        let permuted = m.permute_symmetric(&[2, 1, 0]).unwrap();
+        assert_ne!(permuted.fingerprint(), m.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_perturbed_values() {
+        let m = sample();
+        let mut coo = CooMatrix::new(3, 3);
+        for (i, j, v) in m.iter() {
+            // Perturb a single entry by one ULP-scale amount.
+            let v = if (i, j) == (2, 2) { v + 1e-12 } else { v };
+            coo.push(i, j, v).unwrap();
+        }
+        let perturbed = CsrMatrix::from_coo(&coo);
+        assert_eq!(perturbed.nnz(), m.nnz());
+        assert_ne!(perturbed.fingerprint(), m.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_shape_and_pattern() {
+        // Same stored values, different shape.
+        let a = CsrMatrix::zeros(3, 4);
+        let b = CsrMatrix::zeros(4, 3);
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        // Same values, different sparsity pattern (entry moved).
+        let mut c1 = CooMatrix::new(2, 2);
+        c1.push(0, 0, 1.0).unwrap();
+        let mut c2 = CooMatrix::new(2, 2);
+        c2.push(1, 1, 1.0).unwrap();
+        assert_ne!(
+            CsrMatrix::from_coo(&c1).fingerprint(),
+            CsrMatrix::from_coo(&c2).fingerprint()
+        );
+        // Signed zero differs in bits from +0.0 only if stored; stored zeros
+        // are dropped, so an empty matrix equals itself.
+        assert_eq!(
+            CsrMatrix::zeros(5, 5).fingerprint(),
+            CsrMatrix::zeros(5, 5).fingerprint()
+        );
     }
 }

@@ -1,0 +1,62 @@
+//! FNV-1a hashing shared by matrix fingerprints and downstream cache keys.
+//!
+//! [`CsrMatrix::fingerprint`](crate::CsrMatrix::fingerprint) and the
+//! factorization-cache keys built on top of it must stay bit-compatible, so
+//! the word-mixing kernel lives here once instead of being duplicated at
+//! every call site.
+
+/// Incremental 64-bit FNV-1a hasher over 64-bit words, mixed byte by byte
+/// (little-endian) so the result is independent of host word layout.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv64(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv64 {
+    /// A hasher at the FNV offset basis.
+    pub fn new() -> Self {
+        Fnv64(FNV_OFFSET)
+    }
+
+    /// Mixes one 64-bit word into the state.
+    pub fn mix(&mut self, word: u64) {
+        for shift in (0..64).step_by(8) {
+            self.0 ^= (word >> shift) & 0xff;
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    /// The current hash value.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv64 {
+    fn default() -> Self {
+        Fnv64::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_order_sensitive() {
+        let mut a = Fnv64::new();
+        a.mix(1);
+        a.mix(2);
+        let mut b = Fnv64::new();
+        b.mix(1);
+        b.mix(2);
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv64::new();
+        c.mix(2);
+        c.mix(1);
+        assert_ne!(a.finish(), c.finish());
+        assert_ne!(Fnv64::new().finish(), a.finish());
+        assert_eq!(Fnv64::default().finish(), Fnv64::new().finish());
+    }
+}

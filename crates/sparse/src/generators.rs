@@ -69,7 +69,7 @@ pub fn poisson_2d(k: usize) -> CsrMatrix {
 /// Standard 7-point 3-D Poisson operator on a `k x k x k` grid (order `k³`).
 ///
 /// This is the discretization underlying the 3-D pollutant-transport
-/// application mentioned in the paper's introduction (reference [5]).
+/// application mentioned in the paper's introduction (reference \[5\]).
 pub fn poisson_3d(k: usize) -> CsrMatrix {
     let n = k * k * k;
     let mut b = TripletBuilder::square(n);

@@ -29,6 +29,7 @@ pub mod builder;
 pub mod coo;
 pub mod csc;
 pub mod csr;
+pub mod fingerprint;
 pub mod generators;
 pub mod graph;
 pub mod io;

@@ -257,13 +257,27 @@ impl LocalBlocks {
     /// `BLoc = BSub − DepLeft · XLeft − DepRight · XRight`
     /// from the *global* solution vector.
     pub fn local_rhs(&self, x_global: &[f64]) -> Result<Vec<f64>, SparseError> {
+        self.local_rhs_with(&self.b_sub, x_global)
+    }
+
+    /// Like [`LocalBlocks::local_rhs`], but with a caller-supplied `BSub`
+    /// replacing the slice captured at extraction time.  This is what lets a
+    /// prepared decomposition (blocks + factorizations) be reused across many
+    /// right-hand sides: only the `b_sub` slice changes between solves.
+    pub fn local_rhs_with(&self, b_sub: &[f64], x_global: &[f64]) -> Result<Vec<f64>, SparseError> {
+        if b_sub.len() != self.size {
+            return Err(SparseError::ShapeMismatch {
+                expected: (self.size, 1),
+                found: (b_sub.len(), 1),
+            });
+        }
         if x_global.len() != self.total_size {
             return Err(SparseError::ShapeMismatch {
                 expected: (self.total_size, 1),
                 found: (x_global.len(), 1),
             });
         }
-        let mut rhs = self.b_sub.clone();
+        let mut rhs = b_sub.to_vec();
         let x_left = &x_global[..self.offset];
         let x_right = &x_global[self.offset + self.size..];
         if self.offset > 0 {

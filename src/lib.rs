@@ -14,7 +14,10 @@
 //!   and asynchronous convergence detection,
 //! * [`core`] — the multisplitting-direct solver itself (decomposition,
 //!   weighting schemes, synchronous/asynchronous drivers, theory, baselines,
-//!   experiment runners).
+//!   experiment runners),
+//! * [`engine`] — the persistent solve service: factorization caching with
+//!   single-flight deduplication, a prioritized job queue with backpressure,
+//!   and batched multi-RHS serving over prepared systems.
 //!
 //! # Quickstart
 //!
@@ -51,6 +54,7 @@ pub use msplit_comm as comm;
 pub use msplit_core as core;
 pub use msplit_dense as dense;
 pub use msplit_direct as direct;
+pub use msplit_engine as engine;
 pub use msplit_grid as grid;
 pub use msplit_sparse as sparse;
 
@@ -59,11 +63,17 @@ pub mod prelude {
     pub use msplit_core::baseline::{DistributedDirectBaseline, SequentialDirectBaseline};
     pub use msplit_core::experiment::{self, ExperimentConfig};
     pub use msplit_core::perf_model::{replay_async, replay_sync, ProblemScaling};
-    pub use msplit_core::solver::{ExecutionMode, MultisplittingSolver, SolveOutcome};
+    pub use msplit_core::solver::{
+        BatchSolveOutcome, ExecutionMode, MultisplittingConfig, MultisplittingSolver, SolveOutcome,
+    };
     pub use msplit_core::theory::SplittingAnalysis;
     pub use msplit_core::weighting::WeightingScheme;
-    pub use msplit_core::Decomposition;
+    pub use msplit_core::{Decomposition, PreparedSystem};
     pub use msplit_direct::{DirectSolver, SolverKind};
+    pub use msplit_engine::{
+        Engine, EngineConfig, EngineReport, JobHandle, JobOutcome, Priority, RhsPayload,
+        SolveRequest,
+    };
     pub use msplit_grid::cluster::{cluster1, cluster2, cluster3, Grid};
     pub use msplit_grid::perf::CostModel;
 }
