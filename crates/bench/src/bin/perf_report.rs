@@ -1,0 +1,190 @@
+//! `perf-report` — regenerates `BENCH_kernels.json` at the repository root.
+//!
+//! Times the numeric hot-path kernels (dense LU factorization blocked vs the
+//! retained pre-optimization reference, band triangular solve, CSR SpMV, and
+//! cold-vs-warm `PreparedSystem::solve_many` serving) and writes the results
+//! as a small JSON document so successive PRs accumulate a perf trajectory.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release --bin perf-report            # full run, writes JSON
+//! cargo run --release --bin perf-report -- --check # tiny sizes, no file
+//! ```
+
+use msplit_bench::{dense_dd, penta_band};
+use msplit_core::solver::MultisplittingConfig;
+use msplit_core::PreparedSystem;
+use msplit_dense::{BandLu, DenseLu};
+use msplit_sparse::generators;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Best-of-`reps` wall-clock milliseconds for `f`.
+fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        std::hint::black_box(f());
+        best = best.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+    best
+}
+
+struct KernelRecord {
+    name: &'static str,
+    n: usize,
+    /// Milliseconds of the retained pre-optimization kernel, when one exists.
+    before_ms: Option<f64>,
+    after_ms: f64,
+}
+
+impl KernelRecord {
+    fn speedup(&self) -> Option<f64> {
+        self.before_ms.map(|b| b / self.after_ms)
+    }
+}
+
+fn main() {
+    let check_mode = std::env::args().any(|a| a == "--check");
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        println!("perf-report: regenerate BENCH_kernels.json at the repo root");
+        println!("  --check   run tiny problem sizes and skip the JSON write");
+        return;
+    }
+
+    let mut records: Vec<KernelRecord> = Vec::new();
+
+    // --- Dense LU factorization: blocked production kernel vs the retained
+    // reference (the exact pre-optimization algorithm). ---
+    let dense_sizes: &[usize] = if check_mode { &[64] } else { &[128, 512, 1024] };
+    for &n in dense_sizes {
+        let a = dense_dd(n, 42);
+        let reps = if n >= 1024 { 2 } else { 3 };
+        let after_ms = time_ms(reps, || DenseLu::factorize(&a).expect("factorize"));
+        let before_ms = time_ms(reps, || {
+            DenseLu::factorize_reference(&a).expect("factorize")
+        });
+        records.push(KernelRecord {
+            name: "dense_lu_factorize",
+            n,
+            before_ms: Some(before_ms),
+            after_ms,
+        });
+    }
+
+    // --- Band triangular solve (in place). ---
+    let band_n = if check_mode { 2_000 } else { 20_000 };
+    let band = penta_band(band_n);
+    let lu = BandLu::factorize(&band).expect("band factorize");
+    let rhs: Vec<f64> = (0..band_n).map(|i| ((i % 13) as f64) - 6.0).collect();
+    let mut x = rhs.clone();
+    let after_ms = time_ms(10, || {
+        x.copy_from_slice(&rhs);
+        lu.solve_into(&mut x).expect("solve_into");
+    });
+    records.push(KernelRecord {
+        name: "band_solve_into",
+        n: band_n,
+        before_ms: None,
+        after_ms,
+    });
+
+    // --- CSR SpMV, sequential and row-parallel. ---
+    let grid = if check_mode { 40 } else { 200 };
+    let a = generators::poisson_2d(grid);
+    let n = a.rows();
+    let xv: Vec<f64> = (0..n).map(|i| ((i % 17) as f64) * 0.25 - 2.0).collect();
+    let mut y = vec![0.0; n];
+    let seq_ms = time_ms(10, || a.spmv_into(&xv, &mut y).expect("spmv"));
+    records.push(KernelRecord {
+        name: "spmv_into",
+        n,
+        before_ms: None,
+        after_ms: seq_ms,
+    });
+    let par_ms = time_ms(10, || a.par_spmv_into(&xv, &mut y).expect("par_spmv"));
+    records.push(KernelRecord {
+        name: "par_spmv_into",
+        n,
+        before_ms: None,
+        after_ms: par_ms,
+    });
+
+    // --- Cold vs warm batched serving through a prepared system. ---
+    let serve_n = if check_mode { 300 } else { 1_200 };
+    let batch = 8usize;
+    let a = generators::cage_like(serve_n, 10);
+    let config = MultisplittingConfig {
+        parts: 4,
+        tolerance: 1e-8,
+        ..Default::default()
+    };
+    let rhs_cols: Vec<Vec<f64>> = (0..batch as u64)
+        .map(|s| generators::rhs_for_solution(&a, move |i| ((i as u64 + s) % 11) as f64 - 5.0).1)
+        .collect();
+    let cold_ms = time_ms(3, || {
+        let prepared = PreparedSystem::prepare(config.clone(), &a).expect("prepare");
+        prepared.solve_many(&rhs_cols).expect("solve_many")
+    });
+    let prepared = PreparedSystem::prepare(config, &a).expect("prepare");
+    let warm_ms = time_ms(3, || prepared.solve_many(&rhs_cols).expect("solve_many"));
+    records.push(KernelRecord {
+        name: "prepared_solve_many_cold",
+        n: serve_n,
+        before_ms: None,
+        after_ms: cold_ms,
+    });
+    records.push(KernelRecord {
+        name: "prepared_solve_many_warm",
+        n: serve_n,
+        before_ms: Some(cold_ms),
+        after_ms: warm_ms,
+    });
+
+    // --- Report. ---
+    let mut json = String::new();
+    json.push_str("{\n  \"suite\": \"kernel_suite\",\n  \"unit\": \"ms (best of reps)\",\n");
+    let _ = writeln!(
+        json,
+        "  \"note\": \"before = retained pre-optimization kernel where one exists (dense reference LU; cold prepare for warm serving)\",",
+    );
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let before = r
+            .before_ms
+            .map_or("null".to_string(), |v| format!("{v:.3}"));
+        let speedup = r
+            .speedup()
+            .map_or("null".to_string(), |v| format!("{v:.2}"));
+        let comma = if i + 1 == records.len() { "" } else { "," };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"n\": {}, \"before_ms\": {}, \"after_ms\": {:.3}, \"speedup\": {}}}{}",
+            r.name, r.n, before, r.after_ms, speedup, comma
+        );
+    }
+    json.push_str("  ]\n}\n");
+
+    println!("{json}");
+    for r in &records {
+        if let Some(s) = r.speedup() {
+            println!(
+                "# {} n={}: {:.3} ms -> {:.3} ms ({s:.2}x)",
+                r.name,
+                r.n,
+                r.before_ms.unwrap(),
+                r.after_ms
+            );
+        }
+    }
+
+    if check_mode {
+        println!("# --check: JSON not written");
+        return;
+    }
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../..");
+    let path = std::path::Path::new(root).join("BENCH_kernels.json");
+    std::fs::write(&path, json).expect("write BENCH_kernels.json");
+    println!("# wrote {}", path.display());
+}

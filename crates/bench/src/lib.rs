@@ -6,6 +6,52 @@
 //! fixed overheads.
 
 use msplit_core::experiment::ExperimentConfig;
+use msplit_dense::{BandMatrix, DenseMatrix};
+
+/// Deterministic pseudo-random dense matrix, diagonally dominant so every
+/// direct solver accepts it.  Shared by the kernel-suite Criterion bench and
+/// the `perf-report` binary so both measure the **same** inputs (the
+/// committed `BENCH_kernels.json` and the interactive bench must not drift).
+pub fn dense_dd(n: usize, seed: u64) -> DenseMatrix {
+    let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state % 2000) as f64 / 1000.0 - 1.0
+    };
+    let mut a = DenseMatrix::zeros(n, n);
+    for i in 0..n {
+        let mut row_sum = 0.0;
+        for j in 0..n {
+            if i != j {
+                let v = next();
+                a.set(i, j, v);
+                row_sum += v.abs();
+            }
+        }
+        a.set(i, i, row_sum + 1.0);
+    }
+    a
+}
+
+/// Diagonally dominant pentadiagonal band matrix (kl = ku = 2), the band
+/// kernel workload of the suite.
+pub fn penta_band(n: usize) -> BandMatrix {
+    let mut b = BandMatrix::zeros(n, 2, 2);
+    for i in 0..n {
+        b.set(i, i, 8.0);
+        for d in 1..=2usize {
+            if i >= d {
+                b.set(i, i - d, -1.0);
+            }
+            if i + d < n {
+                b.set(i, i + d, -1.0);
+            }
+        }
+    }
+    b
+}
 
 /// Experiment configuration used by the Criterion benches (small scale).
 pub fn bench_config() -> ExperimentConfig {
@@ -30,6 +76,21 @@ pub fn reproduce_config() -> ExperimentConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn kernel_workloads_are_well_formed() {
+        let a = dense_dd(16, 1);
+        for i in 0..16 {
+            let off: f64 = (0..16).filter(|&j| j != i).map(|j| a.get(i, j).abs()).sum();
+            assert!(a.get(i, i) > off, "row {i} not dominant");
+        }
+        // Deterministic across calls.
+        assert_eq!(a, dense_dd(16, 1));
+        let b = penta_band(10);
+        assert_eq!(b.order(), 10);
+        assert_eq!(b.get(0, 0), 8.0);
+        assert_eq!(b.get(2, 0), -1.0);
+    }
 
     #[test]
     fn configs_are_scaled_down_but_not_degenerate() {

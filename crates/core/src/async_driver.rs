@@ -16,10 +16,13 @@
 //!   the decentralized algorithm referenced by the paper.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
+use crate::driver_common::{
+    compute_send_targets, increment_norm, IterationWorkspace, NeighborData,
+};
 use crate::solver::{MultisplittingConfig, PartReport, SolveOutcome};
 use crate::sync_driver::{
-    assemble_outcome, check_transport_ranks, factorize_blocks, panic_message, WorkerOutput,
+    assemble_outcome, check_transport_ranks, factorize_blocks, fresh_workspaces, panic_message,
+    WorkerOutput,
 };
 use crate::CoreError;
 use msplit_comm::communicator::{CommGroup, Communicator};
@@ -42,6 +45,7 @@ pub fn solve_async(
     let (partition, blocks) = decomposition.into_blocks();
     let factors = factorize_blocks(&blocks, config)?;
     let send_targets = compute_send_targets(&partition, &blocks);
+    let mut workspaces = fresh_workspaces(partition.num_parts());
     run_async(
         &partition,
         &blocks,
@@ -50,6 +54,7 @@ pub fn solve_async(
         None,
         config,
         transport,
+        &mut workspaces,
         start,
     )
 }
@@ -66,10 +71,12 @@ pub(crate) fn run_async(
     rhs: Option<&[f64]>,
     config: &MultisplittingConfig,
     transport: Arc<dyn Transport>,
+    workspaces: &mut [IterationWorkspace],
     start: Instant,
 ) -> Result<SolveOutcome, CoreError> {
     let parts = partition.num_parts();
     check_transport_ranks(parts, &transport)?;
+    debug_assert_eq!(workspaces.len(), parts);
     let group = CommGroup::new(transport);
     let comms = group.communicators();
     let board = ConvergenceBoard::new(parts, config.async_confirmations);
@@ -80,7 +87,8 @@ pub(crate) fn run_async(
             .zip(factors.iter())
             .zip(comms)
             .zip(send_targets.iter())
-            .map(|(((blk, factor), comm), targets)| {
+            .zip(workspaces.iter_mut())
+            .map(|((((blk, factor), comm), targets), ws)| {
                 let board = Arc::clone(&board);
                 scope.spawn(move || {
                     let b_sub: &[f64] = match rhs {
@@ -96,6 +104,7 @@ pub(crate) fn run_async(
                         targets,
                         board,
                         config,
+                        ws,
                     )
                 })
             })
@@ -122,6 +131,7 @@ fn async_worker(
     targets: &[usize],
     board: Arc<ConvergenceBoard>,
     config: &MultisplittingConfig,
+    ws: &mut IterationWorkspace,
 ) -> Result<WorkerOutput, CoreError> {
     let t0 = Instant::now();
     let part = blk.part;
@@ -130,11 +140,16 @@ fn async_worker(
     let flops_per_iteration = dep_flops + factor_stats.solve_flops();
     let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
 
-    let mut neighbor = NeighborData::new(partition.clone(), config.weighting);
-    let mut x_global = vec![0.0f64; blk.total_size];
-    let mut x_sub = vec![0.0f64; blk.size];
-    let dependency_columns = blk.dependency_columns();
-    let mut prev_deps = vec![0.0f64; dependency_columns.len()];
+    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
+    ws.prepare_single(blk);
+    let IterationWorkspace {
+        x_global,
+        rhs,
+        x_sub,
+        scratch,
+        ..
+    } = ws;
+    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
     // The asynchronous tracker uses a 2-iteration stability window: with free
     // running iterations a single tiny increment can be an artifact of not
     // having received fresh data yet.
@@ -168,20 +183,22 @@ fn async_worker(
         // its own; resetting it unconditionally here would livelock the
         // detection (peers send every iteration, so data is always "fresh").
 
-        neighbor.fill_dependencies(blk, &mut x_global);
+        neighbor.fill_dependencies(x_global);
         // How much the dependency data itself moved since the previous
         // iteration: a processor whose own increment is tiny but whose inputs
         // are still changing must not vote "converged" (that is what keeps an
         // inconsistent asynchronous snapshot from terminating the run early).
         let mut dep_change = 0.0f64;
-        for (slot, &g) in dependency_columns.iter().enumerate() {
+        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
             dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
             prev_deps[slot] = x_global[g];
         }
-        let rhs = blk.local_rhs_with(b_sub, &x_global)?;
-        let new_x = factor.solve(&rhs)?;
-        last_increment = increment_norm(&new_x, &x_sub).max(dep_change);
-        x_sub = new_x;
+        // BLoc into the retained buffer, solved in place: the steady-state
+        // iteration allocates nothing on the solve path.
+        blk.local_rhs_into(b_sub, x_global, rhs)?;
+        factor.solve_into(rhs, scratch)?;
+        last_increment = increment_norm(rhs, x_sub).max(dep_change);
+        x_sub.copy_from_slice(rhs);
 
         let msg = Message::Solution {
             from: part,
@@ -216,7 +233,7 @@ fn async_worker(
 
     Ok(WorkerOutput {
         part,
-        x_local: x_sub,
+        x_local: x_sub.clone(),
         iterations,
         last_increment,
         converged,

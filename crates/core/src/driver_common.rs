@@ -1,6 +1,7 @@
 //! Shared plumbing of the synchronous and asynchronous drivers.
 
 use crate::weighting::WeightingScheme;
+use msplit_direct::SolveScratch;
 use msplit_sparse::{BandPartition, LocalBlocks};
 
 /// Latest dependency data received from the other processors, and the logic
@@ -12,24 +13,47 @@ use msplit_sparse::{BandPartition, LocalBlocks};
 /// from those slices using the weighting scheme; senders whose data has not
 /// arrived yet simply do not contribute (their weight is renormalized away),
 /// which is exactly the behaviour the asynchronous model allows.
+///
+/// The dependency columns and their static weights are computed **once** at
+/// construction, so [`NeighborData::fill_dependencies`] — which runs once per
+/// outer iteration — performs no heap allocation.
 #[derive(Debug, Clone)]
 pub(crate) struct NeighborData {
-    partition: BandPartition,
-    scheme: WeightingScheme,
     /// `latest[k]` = (offset, values) of the most recent slice from part `k`.
     latest: Vec<Option<(usize, Vec<f64>)>>,
     /// Iteration stamp of the most recent slice from each part.
     stamps: Vec<u64>,
+    /// Dependency columns of the owning band that lie *outside* its extended
+    /// range (entries inside the range are solved locally).
+    dep_cols: Vec<usize>,
+    /// Static `(part, weight)` pairs per dependency column, in `dep_cols`
+    /// order; renormalization over the senders that have actually supplied
+    /// data happens at fill time.
+    dep_weights: Vec<Vec<(usize, f64)>>,
 }
 
 impl NeighborData {
-    pub(crate) fn new(partition: BandPartition, scheme: WeightingScheme) -> Self {
+    pub(crate) fn new(
+        partition: &BandPartition,
+        scheme: WeightingScheme,
+        blk: &LocalBlocks,
+    ) -> Self {
         let parts = partition.num_parts();
+        let my_range = partition.extended_range(blk.part);
+        let dep_cols: Vec<usize> = blk
+            .dependency_columns()
+            .into_iter()
+            .filter(|g| !my_range.contains(g))
+            .collect();
+        let dep_weights = dep_cols
+            .iter()
+            .map(|&g| scheme.weights_for(partition, g))
+            .collect();
         NeighborData {
-            partition,
-            scheme,
             latest: vec![None; parts],
             stamps: vec![0; parts],
+            dep_cols,
+            dep_weights,
         }
     }
 
@@ -53,6 +77,11 @@ impl NeighborData {
         self.latest.iter().any(Option::is_some)
     }
 
+    /// The precomputed dependency columns outside the band's extended range.
+    pub(crate) fn dependency_columns(&self) -> &[usize] {
+        &self.dep_cols
+    }
+
     /// Value available for global index `g` from part `k`, if its stored
     /// slice covers `g`.
     fn value_from(&self, k: usize, g: usize) -> Option<f64> {
@@ -65,19 +94,17 @@ impl NeighborData {
         })
     }
 
-    /// Writes the current best estimate of every dependency column of `blk`
-    /// into `x_global` (entries inside the band's extended range are left
-    /// untouched — the band solves for those itself).
-    pub(crate) fn fill_dependencies(&self, blk: &LocalBlocks, x_global: &mut [f64]) {
-        let my_range = self.partition.extended_range(blk.part);
-        for g in blk.dependency_columns() {
-            if my_range.contains(&g) {
-                continue;
-            }
-            let weights = self.scheme.weights_for(&self.partition, g);
+    /// Writes the current best estimate of every dependency column of the
+    /// owning band into `x_global` (entries inside the band's extended range
+    /// are left untouched — the band solves for those itself).
+    ///
+    /// Allocation-free: the column list and weights were precomputed at
+    /// construction.
+    pub(crate) fn fill_dependencies(&self, x_global: &mut [f64]) {
+        for (&g, weights) in self.dep_cols.iter().zip(self.dep_weights.iter()) {
             let mut acc = 0.0;
             let mut total_w = 0.0;
-            for (part, w) in weights {
+            for &(part, w) in weights {
                 if let Some(v) = self.value_from(part, g) {
                     acc += w * v;
                     total_w += w;
@@ -87,6 +114,62 @@ impl NeighborData {
                 x_global[g] = acc / total_w;
             }
             // else: no data yet, keep the current (initial-guess) value.
+        }
+    }
+}
+
+/// Per-worker buffers of the driver hot loop, allocated once before the
+/// outer iteration starts so every steady-state iteration runs without heap
+/// allocation on the solve path (dependency fill → `BLoc` assembly →
+/// in-place triangular solve → increment norm).
+///
+/// [`crate::prepared::PreparedSystem`] pools these across solve requests, so
+/// warm engine cache hits reuse fully grown buffers from the first request
+/// onwards.
+#[derive(Debug, Default)]
+pub(crate) struct IterationWorkspace {
+    /// Current estimate of the full solution vector (dependency columns are
+    /// refreshed in place each iteration).
+    pub(crate) x_global: Vec<f64>,
+    /// `BLoc` buffer; after the in-place solve it holds the new local iterate.
+    pub(crate) rhs: Vec<f64>,
+    /// Previous local iterate, retained for the increment norm.
+    pub(crate) x_sub: Vec<f64>,
+    /// Permutation scratch of the direct solver's in-place solve.
+    pub(crate) scratch: SolveScratch,
+    /// Batched counterparts (only sized when the batch driver runs).
+    pub(crate) x_globals: Vec<Vec<f64>>,
+    pub(crate) rhs_cols: Vec<Vec<f64>>,
+    pub(crate) x_cols: Vec<Vec<f64>>,
+}
+
+impl IterationWorkspace {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes and zeroes the single-RHS buffers for a solve over `blk`.
+    pub(crate) fn prepare_single(&mut self, blk: &LocalBlocks) {
+        self.x_global.resize(blk.total_size, 0.0);
+        self.x_global.fill(0.0);
+        self.x_sub.resize(blk.size, 0.0);
+        self.x_sub.fill(0.0);
+        // `rhs` is overwritten by `local_rhs_into` each iteration; only its
+        // capacity matters.
+    }
+
+    /// Sizes and zeroes the batched buffers for an `ncols`-wide solve.
+    pub(crate) fn prepare_batch(&mut self, blk: &LocalBlocks, ncols: usize) {
+        self.x_globals.resize_with(ncols, Vec::new);
+        self.rhs_cols.resize_with(ncols, Vec::new);
+        self.x_cols.resize_with(ncols, Vec::new);
+        for xg in &mut self.x_globals {
+            xg.resize(blk.total_size, 0.0);
+            xg.fill(0.0);
+        }
+        for xc in &mut self.x_cols {
+            xc.resize(blk.size, 0.0);
+            xc.fill(0.0);
         }
     }
 }
@@ -147,32 +230,36 @@ mod tests {
         let b = vec![1.0; 12];
         let partition = BandPartition::uniform(12, 3).unwrap();
         let blk = LocalBlocks::extract(&a, &b, &partition, 1).unwrap();
-        let mut nd = NeighborData::new(partition.clone(), WeightingScheme::OwnerTakes);
+        let mut nd = NeighborData::new(&partition, WeightingScheme::OwnerTakes, &blk);
         assert!(!nd.has_any_data());
+        // band 1 (rows 4..8) depends on columns 3 (left) and 8 (right)
+        assert_eq!(nd.dependency_columns(), &[3, 8]);
 
         let mut x = vec![0.0; 12];
-        nd.fill_dependencies(&blk, &mut x);
+        nd.fill_dependencies(&mut x);
         // no data yet: untouched
         assert!(x.iter().all(|&v| v == 0.0));
 
         // part 0 sends its extended solution (rows 0..4)
         nd.update(0, 1, 0, vec![10.0, 11.0, 12.0, 13.0]);
         assert!(nd.has_any_data());
-        nd.fill_dependencies(&blk, &mut x);
-        // band 1 (rows 4..8) depends on column 3 (left) and 8 (right)
+        nd.fill_dependencies(&mut x);
         assert_eq!(x[3], 13.0);
         assert_eq!(x[8], 0.0);
 
         // part 2 sends rows 8..12
         nd.update(2, 1, 8, vec![20.0, 21.0, 22.0, 23.0]);
-        nd.fill_dependencies(&blk, &mut x);
+        nd.fill_dependencies(&mut x);
         assert_eq!(x[8], 20.0);
     }
 
     #[test]
     fn stale_updates_are_ignored() {
+        let a = generators::tridiagonal(10, 4.0, -1.0);
+        let b = vec![1.0; 10];
         let partition = BandPartition::uniform(10, 2).unwrap();
-        let mut nd = NeighborData::new(partition, WeightingScheme::OwnerTakes);
+        let blk = LocalBlocks::extract(&a, &b, &partition, 0).unwrap();
+        let mut nd = NeighborData::new(&partition, WeightingScheme::OwnerTakes, &blk);
         nd.update(0, 5, 0, vec![1.0; 5]);
         nd.update(0, 3, 0, vec![9.0; 5]);
         // value from iteration 5 must survive
@@ -190,16 +277,40 @@ mod tests {
         let b = vec![1.0; 12];
         let partition = BandPartition::uniform_with_overlap(12, 3, 2).unwrap();
         let blk2 = LocalBlocks::extract(&a, &b, &partition, 2).unwrap();
-        let mut nd = NeighborData::new(partition.clone(), WeightingScheme::Average);
+        let mut nd = NeighborData::new(&partition, WeightingScheme::Average, &blk2);
         let mut x = vec![0.0; 12];
         // Part 2's extended range is 6..12, its left dependency column is 5,
         // covered by parts 0 (ext 0..6) and 1 (ext 2..10).
         nd.update(0, 1, 0, vec![1.0; 6]);
-        nd.fill_dependencies(&blk2, &mut x);
+        nd.fill_dependencies(&mut x);
         assert_eq!(x[5], 1.0); // only part 0 available: weight renormalized to 1
         nd.update(1, 1, 2, vec![3.0; 8]);
-        nd.fill_dependencies(&blk2, &mut x);
+        nd.fill_dependencies(&mut x);
         assert!((x[5] - 2.0).abs() < 1e-12); // average of 1 and 3
+    }
+
+    #[test]
+    fn workspace_prepare_sizes_and_zeroes_buffers() {
+        let a = generators::tridiagonal(12, 4.0, -1.0);
+        let b = vec![1.0; 12];
+        let partition = BandPartition::uniform(12, 3).unwrap();
+        let blk = LocalBlocks::extract(&a, &b, &partition, 1).unwrap();
+        let mut ws = IterationWorkspace::new();
+        ws.prepare_single(&blk);
+        assert_eq!(ws.x_global.len(), 12);
+        assert_eq!(ws.x_sub.len(), 4);
+        // Dirty the buffers, re-prepare, and check they are zeroed again.
+        ws.x_global.fill(7.0);
+        ws.x_sub.fill(7.0);
+        ws.prepare_single(&blk);
+        assert!(ws.x_global.iter().all(|&v| v == 0.0));
+        assert!(ws.x_sub.iter().all(|&v| v == 0.0));
+        ws.prepare_batch(&blk, 3);
+        assert_eq!(ws.x_globals.len(), 3);
+        assert_eq!(ws.x_cols.len(), 3);
+        assert!(ws.x_globals.iter().all(|xg| xg.len() == 12));
+        ws.prepare_batch(&blk, 1);
+        assert_eq!(ws.rhs_cols.len(), 1);
     }
 
     #[test]

@@ -14,14 +14,19 @@
 //! pure iteration.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::compute_send_targets;
+use crate::driver_common::{compute_send_targets, IterationWorkspace};
 use crate::solver::{BatchSolveOutcome, ExecutionMode, MultisplittingConfig, SolveOutcome};
 use crate::{async_driver, sync_driver, CoreError};
 use msplit_comm::transport::Transport;
 use msplit_direct::api::Factorization;
 use msplit_sparse::{BandPartition, CsrMatrix, LocalBlocks};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
+
+/// Upper bound on pooled per-worker workspace sets retained by a
+/// [`PreparedSystem`]: enough for a handful of concurrent solves to each get
+/// warm buffers without the pool growing with peak concurrency forever.
+const MAX_POOLED_WORKSPACE_SETS: usize = 8;
 
 /// A decomposed and factorized system, ready to serve right-hand sides.
 ///
@@ -37,6 +42,11 @@ pub struct PreparedSystem {
     send_targets: Vec<Vec<usize>>,
     fingerprint: u64,
     factor_seconds: f64,
+    /// Pool of per-worker workspace sets (one [`IterationWorkspace`] per
+    /// part), reused across solve requests: after the first solve the buffers
+    /// are fully grown, so every later request — the warm engine cache-hit
+    /// path — iterates without any heap allocation on the solve path.
+    workspace_pool: Mutex<Vec<Vec<IterationWorkspace>>>,
 }
 
 impl PreparedSystem {
@@ -74,7 +84,31 @@ impl PreparedSystem {
             send_targets,
             fingerprint,
             factor_seconds: start.elapsed().as_secs_f64(),
+            workspace_pool: Mutex::new(Vec::new()),
         })
+    }
+
+    /// Pops a pooled workspace set, or builds a fresh one for the first few
+    /// concurrent solves.
+    fn acquire_workspaces(&self) -> Vec<IterationWorkspace> {
+        let mut pool = self
+            .workspace_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        pool.pop()
+            .unwrap_or_else(|| sync_driver::fresh_workspaces(self.num_parts()))
+    }
+
+    /// Returns a workspace set to the pool (bounded, so peak concurrency does
+    /// not pin memory forever).
+    fn release_workspaces(&self, set: Vec<IterationWorkspace>) {
+        let mut pool = self
+            .workspace_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < MAX_POOLED_WORKSPACE_SETS {
+            pool.push(set);
+        }
     }
 
     /// The configuration the system was prepared with.
@@ -146,7 +180,8 @@ impl PreparedSystem {
     ) -> Result<SolveOutcome, CoreError> {
         self.check_rhs(b)?;
         let start = Instant::now();
-        match self.config.mode {
+        let mut workspaces = self.acquire_workspaces();
+        let result = match self.config.mode {
             ExecutionMode::Synchronous => sync_driver::run_sync(
                 &self.partition,
                 &self.blocks,
@@ -155,6 +190,7 @@ impl PreparedSystem {
                 Some(b),
                 &self.config,
                 transport,
+                &mut workspaces,
                 start,
             ),
             ExecutionMode::Asynchronous => async_driver::run_async(
@@ -165,9 +201,12 @@ impl PreparedSystem {
                 Some(b),
                 &self.config,
                 transport,
+                &mut workspaces,
                 start,
             ),
-        }
+        };
+        self.release_workspaces(workspaces);
+        result
     }
 
     /// Solves `A X = B` for a batch of right-hand sides in a single pass of
@@ -192,7 +231,8 @@ impl PreparedSystem {
         for b in rhs {
             self.check_rhs(b)?;
         }
-        sync_driver::run_sync_batch(
+        let mut workspaces = self.acquire_workspaces();
+        let result = sync_driver::run_sync_batch(
             &self.partition,
             &self.blocks,
             &self.factors,
@@ -200,8 +240,11 @@ impl PreparedSystem {
             rhs,
             &self.config,
             transport,
+            &mut workspaces,
             Instant::now(),
-        )
+        );
+        self.release_workspaces(workspaces);
+        result
     }
 }
 

@@ -81,17 +81,20 @@ pub fn solve_sequential_decomposed(
     let mut locals: Vec<Vec<f64>> = (0..parts)
         .map(|l| vec![0.0; decomposition.blocks(l).size])
         .collect();
+    let mut scratch = msplit_direct::SolveScratch::new();
     let mut iterations = 0u64;
     let mut last_increment = f64::INFINITY;
     let mut converged = false;
 
     while iterations < max_iterations {
         iterations += 1;
-        // Jacobi-style sweep: every band solves against the previous global x.
+        // Jacobi-style sweep: every band solves against the previous global x,
+        // assembling BLoc into the retained per-band buffer and solving it in
+        // place (no per-iteration allocation on the solve path).
         for l in 0..parts {
             let blk = decomposition.blocks(l);
-            let rhs = blk.local_rhs(&x)?;
-            locals[l] = factors[l].solve(&rhs)?;
+            blk.local_rhs_into(&blk.b_sub, &x, &mut locals[l])?;
+            factors[l].solve_into(&mut locals[l], &mut scratch)?;
         }
         let x_new = scheme.assemble(partition, &locals);
         last_increment = x

@@ -13,7 +13,9 @@
 //! any singularity is reported before the threads start exchanging messages.
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{compute_send_targets, increment_norm, NeighborData};
+use crate::driver_common::{
+    compute_send_targets, increment_norm, IterationWorkspace, NeighborData,
+};
 use crate::solver::{
     BatchSolveOutcome, ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome,
 };
@@ -74,6 +76,12 @@ pub(crate) fn check_transport_ranks(
     Ok(())
 }
 
+/// Allocates one fresh [`IterationWorkspace`] per part (the cold-solve path;
+/// prepared systems pool and reuse these instead).
+pub(crate) fn fresh_workspaces(parts: usize) -> Vec<IterationWorkspace> {
+    (0..parts).map(|_| IterationWorkspace::new()).collect()
+}
+
 /// Runs the synchronous multisplitting solve over the given transport.
 pub fn solve_sync(
     decomposition: Decomposition,
@@ -85,6 +93,7 @@ pub fn solve_sync(
     let (partition, blocks) = decomposition.into_blocks();
     let factors = factorize_blocks(&blocks, config)?;
     let send_targets = compute_send_targets(&partition, &blocks);
+    let mut workspaces = fresh_workspaces(partition.num_parts());
     run_sync(
         &partition,
         &blocks,
@@ -93,6 +102,7 @@ pub fn solve_sync(
         None,
         config,
         transport,
+        &mut workspaces,
         start,
     )
 }
@@ -100,7 +110,9 @@ pub fn solve_sync(
 /// Synchronous solve over borrowed prepared state: blocks and factorizations
 /// are only *read*, so the same prepared system can serve any number of
 /// solves.  `rhs` optionally overrides the right-hand side captured in the
-/// blocks at extraction time.
+/// blocks at extraction time.  `workspaces` supplies one per-worker
+/// [`IterationWorkspace`] per part; a prepared system passes pooled (already
+/// grown) buffers so warm solves allocate nothing in the iteration loop.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn run_sync(
     partition: &BandPartition,
@@ -110,9 +122,11 @@ pub(crate) fn run_sync(
     rhs: Option<&[f64]>,
     config: &MultisplittingConfig,
     transport: Arc<dyn Transport>,
+    workspaces: &mut [IterationWorkspace],
     start: Instant,
 ) -> Result<SolveOutcome, CoreError> {
     check_transport_ranks(partition.num_parts(), &transport)?;
+    debug_assert_eq!(workspaces.len(), partition.num_parts());
     let group = CommGroup::new(transport);
     let comms = group.communicators();
 
@@ -122,7 +136,8 @@ pub(crate) fn run_sync(
             .zip(factors.iter())
             .zip(comms)
             .zip(send_targets.iter())
-            .map(|(((blk, factor), comm), targets)| {
+            .zip(workspaces.iter_mut())
+            .map(|((((blk, factor), comm), targets), ws)| {
                 scope.spawn(move || {
                     let b_sub: &[f64] = match rhs {
                         Some(b) => &b[partition.extended_range(blk.part)],
@@ -136,6 +151,7 @@ pub(crate) fn run_sync(
                         partition,
                         targets,
                         config,
+                        ws,
                     )
                 })
             })
@@ -197,6 +213,7 @@ pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
     }
 }
 
+#[allow(clippy::too_many_arguments)]
 fn sync_worker(
     blk: &LocalBlocks,
     b_sub: &[f64],
@@ -205,6 +222,7 @@ fn sync_worker(
     partition: &BandPartition,
     targets: &[usize],
     config: &MultisplittingConfig,
+    ws: &mut IterationWorkspace,
 ) -> Result<WorkerOutput, CoreError> {
     let t0 = Instant::now();
     let part = blk.part;
@@ -213,9 +231,15 @@ fn sync_worker(
     let flops_per_iteration = dep_flops + factor_stats.solve_flops();
     let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
 
-    let mut neighbor = NeighborData::new(partition.clone(), config.weighting);
-    let mut x_global = vec![0.0f64; blk.total_size];
-    let mut x_sub = vec![0.0f64; blk.size];
+    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
+    ws.prepare_single(blk);
+    let IterationWorkspace {
+        x_global,
+        rhs,
+        x_sub,
+        scratch,
+        ..
+    } = ws;
     let mut tracker = ResidualTracker::new(config.tolerance, 1);
     let mut iterations = 0u64;
     let mut last_increment = f64::INFINITY;
@@ -226,15 +250,18 @@ fn sync_worker(
         iterations += 1;
 
         // (1) dependency values from the latest received slices
-        neighbor.fill_dependencies(blk, &mut x_global);
+        neighbor.fill_dependencies(x_global);
 
-        // (2) local solve
-        let rhs = blk.local_rhs_with(b_sub, &x_global)?;
-        let new_x = factor.solve(&rhs)?;
-        last_increment = increment_norm(&new_x, &x_sub);
-        x_sub = new_x;
+        // (2) local solve: BLoc assembled into the retained buffer, then
+        // solved in place — zero heap allocations on this path.
+        blk.local_rhs_into(b_sub, x_global, rhs)?;
+        factor.solve_into(rhs, scratch)?;
+        last_increment = increment_norm(rhs, x_sub);
+        x_sub.copy_from_slice(rhs);
 
-        // (3) send XSub to every dependent processor
+        // (3) send XSub to every dependent processor (the message payload is
+        // owned by the transport, so the clone below is the communication
+        // cost, not part of the solve path)
         let msg = Message::Solution {
             from: part,
             iteration: iterations,
@@ -269,7 +296,7 @@ fn sync_worker(
 
     Ok(WorkerOutput {
         part,
-        x_local: x_sub,
+        x_local: x_sub.clone(),
         iterations,
         last_increment,
         converged,
@@ -311,10 +338,12 @@ pub(crate) fn run_sync_batch(
     rhs_columns: &[Vec<f64>],
     config: &MultisplittingConfig,
     transport: Arc<dyn Transport>,
+    workspaces: &mut [IterationWorkspace],
     start: Instant,
 ) -> Result<BatchSolveOutcome, CoreError> {
     let parts = partition.num_parts();
     check_transport_ranks(parts, &transport)?;
+    debug_assert_eq!(workspaces.len(), parts);
     let ncols = rhs_columns.len();
     if ncols == 0 {
         return Ok(BatchSolveOutcome {
@@ -345,7 +374,8 @@ pub(crate) fn run_sync_batch(
             .zip(factors.iter())
             .zip(comms)
             .zip(send_targets.iter())
-            .map(|(((blk, factor), comm), targets)| {
+            .zip(workspaces.iter_mut())
+            .map(|((((blk, factor), comm), targets), ws)| {
                 scope.spawn(move || {
                     let range = partition.extended_range(blk.part);
                     let b_cols: Vec<&[f64]> =
@@ -358,6 +388,7 @@ pub(crate) fn run_sync_batch(
                         partition,
                         targets,
                         config,
+                        ws,
                     )
                 })
             })
@@ -409,8 +440,9 @@ pub(crate) fn run_sync_batch(
 
 /// One worker of the batched synchronous driver: identical to [`sync_worker`]
 /// but with `ncols` solution columns marching in lockstep, one
-/// [`Factorization::solve_many`] call and one [`Message::SolutionBatch`] per
-/// outer iteration.
+/// [`Factorization::solve_many_into`] call and one [`Message::SolutionBatch`]
+/// per outer iteration, all operating on the retained workspace buffers.
+#[allow(clippy::too_many_arguments)]
 fn sync_batch_worker(
     blk: &LocalBlocks,
     b_cols: &[&[f64]],
@@ -419,6 +451,7 @@ fn sync_batch_worker(
     partition: &BandPartition,
     targets: &[usize],
     config: &MultisplittingConfig,
+    ws: &mut IterationWorkspace,
 ) -> Result<BatchWorkerOutput, CoreError> {
     let t0 = Instant::now();
     let part = blk.part;
@@ -431,10 +464,16 @@ fn sync_batch_worker(
     // One dependency tracker and one global-vector estimate per column: the
     // columns iterate in lockstep but have independent values.
     let mut neighbors: Vec<NeighborData> = (0..ncols)
-        .map(|_| NeighborData::new(partition.clone(), config.weighting))
+        .map(|_| NeighborData::new(partition, config.weighting, blk))
         .collect();
-    let mut x_globals = vec![vec![0.0f64; blk.total_size]; ncols];
-    let mut x_columns = vec![vec![0.0f64; blk.size]; ncols];
+    ws.prepare_batch(blk, ncols);
+    let IterationWorkspace {
+        x_globals,
+        rhs_cols,
+        x_cols,
+        scratch,
+        ..
+    } = ws;
     let mut tracker = ResidualTracker::new(config.tolerance, 1);
     let mut iterations = 0u64;
     let mut last_increment = f64::INFINITY;
@@ -444,27 +483,33 @@ fn sync_batch_worker(
     while iterations < config.max_iterations {
         iterations += 1;
 
-        // (1) dependency values + (2) local right-hand sides, all columns
-        let mut rhs_batch = Vec::with_capacity(ncols);
-        for (c, neighbor) in neighbors.iter().enumerate() {
-            neighbor.fill_dependencies(blk, &mut x_globals[c]);
-            rhs_batch.push(blk.local_rhs_with(b_cols[c], &x_globals[c])?);
-        }
-        // One batched triangular-solve pass for every column.
-        let new_xs = factor.solve_many(&rhs_batch)?;
-        last_increment = new_xs
+        // (1) dependency values + (2) local right-hand sides, all columns,
+        // assembled into the retained column buffers.
+        for ((neighbor, x_global), (rhs, b_col)) in neighbors
             .iter()
-            .zip(x_columns.iter())
+            .zip(x_globals.iter_mut())
+            .zip(rhs_cols.iter_mut().zip(b_cols.iter()))
+        {
+            neighbor.fill_dependencies(x_global);
+            blk.local_rhs_into(b_col, x_global, rhs)?;
+        }
+        // One batched in-place triangular-solve pass for every column.
+        factor.solve_many_into(rhs_cols, scratch)?;
+        last_increment = rhs_cols
+            .iter()
+            .zip(x_cols.iter())
             .map(|(n, o)| increment_norm(n, o))
             .fold(0.0f64, f64::max);
-        x_columns = new_xs;
+        for (xc, rc) in x_cols.iter_mut().zip(rhs_cols.iter()) {
+            xc.copy_from_slice(rc);
+        }
 
         // (3) one batched message per dependent processor
         let msg = Message::SolutionBatch {
             from: part,
             iteration: iterations,
             offset: blk.offset,
-            columns: x_columns.clone(),
+            columns: x_cols.clone(),
         };
         bytes_sent_per_iteration = msg.encoded_len() * targets.len();
         for &t in targets {
@@ -497,7 +542,7 @@ fn sync_batch_worker(
 
     Ok(BatchWorkerOutput {
         part,
-        x_columns,
+        x_columns: x_cols.clone(),
         iterations,
         last_increment,
         converged,

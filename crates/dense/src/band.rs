@@ -8,7 +8,12 @@
 //!
 //! Storage is the classic LAPACK-style band layout: for a matrix of order `n`
 //! with `kl` sub-diagonals and `ku` super-diagonals, entry `(i, j)` with
-//! `j - ku <= i <= j + kl` is stored at `bands[ku + i - j][j]`.
+//! `j - ku <= i <= j + kl` is stored at diagonal row `d = ku + i - j`,
+//! column `j`.  The diagonal rows live in **one contiguous buffer**
+//! (`data[d * n + j]`) so the factorization and substitution kernels index it
+//! directly — the hot loops perform no bounds assertions, no `in_band`
+//! branches and no heap allocation, and [`BandLu::solve_into`] /
+//! [`BandLu::solve_many_into`] work entirely in the caller's buffers.
 
 use crate::matrix::DenseMatrix;
 use crate::DenseError;
@@ -19,9 +24,9 @@ pub struct BandMatrix {
     n: usize,
     kl: usize,
     ku: usize,
-    /// `bands[d][j]` stores the entry on diagonal offset `d - ku` (row
-    /// `j + d - ku`, column `j`).
-    bands: Vec<Vec<f64>>,
+    /// Flat diagonal-major storage: the entry on diagonal offset `d - ku`
+    /// (row `j + d - ku`, column `j`) lives at `data[d * n + j]`.
+    data: Vec<f64>,
 }
 
 impl BandMatrix {
@@ -31,23 +36,32 @@ impl BandMatrix {
             n,
             kl,
             ku,
-            bands: vec![vec![0.0; n]; kl + ku + 1],
+            data: vec![0.0; (kl + ku + 1) * n],
         }
     }
 
     /// Order of the matrix.
+    #[inline]
     pub fn order(&self) -> usize {
         self.n
     }
 
     /// Number of sub-diagonals.
+    #[inline]
     pub fn lower_bandwidth(&self) -> usize {
         self.kl
     }
 
     /// Number of super-diagonals.
+    #[inline]
     pub fn upper_bandwidth(&self) -> usize {
         self.ku
+    }
+
+    /// Flat index of the in-band entry `(i, j)`.
+    #[inline]
+    fn idx(&self, i: usize, j: usize) -> usize {
+        (self.ku + i - j) * self.n + j
     }
 
     /// Whether `(i, j)` lies inside the band.
@@ -63,8 +77,7 @@ impl BandMatrix {
         if !self.in_band(i, j) {
             return 0.0;
         }
-        let d = (self.ku as isize + i as isize - j as isize) as usize;
-        self.bands[d][j]
+        self.data[self.idx(i, j)]
     }
 
     /// Sets the entry at `(i, j)`.
@@ -79,8 +92,8 @@ impl BandMatrix {
             self.kl,
             self.ku
         );
-        let d = (self.ku as isize + i as isize - j as isize) as usize;
-        self.bands[d][j] = value;
+        let idx = self.idx(i, j);
+        self.data[idx] = value;
     }
 
     /// Builds a banded matrix from a dense matrix, keeping only entries inside
@@ -126,6 +139,11 @@ impl BandMatrix {
     }
 
     /// Matrix-vector product `y = A x` exploiting the band structure.
+    ///
+    /// The product is accumulated diagonal by diagonal: every diagonal row of
+    /// the storage is a contiguous slice paired with contiguous slices of `x`
+    /// and `y`, so the kernel is three linear streams with no index
+    /// arithmetic in the inner loop.
     pub fn gemv(&self, x: &[f64]) -> Result<Vec<f64>, DenseError> {
         if x.len() != self.n {
             return Err(DenseError::DimensionMismatch {
@@ -134,14 +152,26 @@ impl BandMatrix {
             });
         }
         let mut y = vec![0.0; self.n];
-        for (i, yi) in y.iter_mut().enumerate() {
-            let lo = i.saturating_sub(self.kl);
-            let hi = (i + self.ku).min(self.n.saturating_sub(1));
-            *yi = x[lo..=hi]
-                .iter()
-                .enumerate()
-                .map(|(off, &xj)| self.get(i, lo + off) * xj)
-                .sum();
+        let n = self.n;
+        for d in 0..=(self.kl + self.ku) {
+            // Diagonal offset: row i = j + d - ku.  Bandwidths larger than
+            // the order are legal (the outer diagonals are simply empty), so
+            // both bounds clamp to [0, n].
+            let (j_lo, j_hi) = if d < self.ku {
+                ((self.ku - d).min(n), n)
+            } else {
+                (0, n.saturating_sub(d - self.ku))
+            };
+            if j_lo >= j_hi {
+                continue;
+            }
+            let i_lo = j_lo + d - self.ku;
+            let diag = &self.data[d * n + j_lo..d * n + j_hi];
+            let xs = &x[j_lo..j_hi];
+            let ys = &mut y[i_lo..i_lo + (j_hi - j_lo)];
+            for ((yi, &a), &xj) in ys.iter_mut().zip(diag).zip(xs) {
+                *yi += a * xj;
+            }
         }
         Ok(y)
     }
@@ -162,14 +192,20 @@ pub struct BandLu {
 
 impl BandLu {
     /// Factorizes a banded matrix in place (copying it first).
+    ///
+    /// The elimination runs directly on the flat diagonal-major storage: for
+    /// every step `k` the multiplier column and the rank-1 band update are
+    /// pure index arithmetic on one buffer (the loop ranges guarantee every
+    /// touched entry is inside the band, so no membership test is needed).
     pub fn factorize(a: &BandMatrix) -> Result<Self, DenseError> {
         let n = a.order();
         let kl = a.lower_bandwidth();
         let ku = a.upper_bandwidth();
         let mut f = a.clone();
         let mut flops = 0u64;
+        let data = &mut f.data[..];
         for k in 0..n {
-            let pivot = f.get(k, k);
+            let pivot = data[ku * n + k];
             if pivot == 0.0 {
                 return Err(DenseError::SingularPivot {
                     column: k,
@@ -179,18 +215,18 @@ impl BandLu {
             let i_hi = (k + kl).min(n - 1);
             let j_hi = (k + ku).min(n - 1);
             for i in (k + 1)..=i_hi {
-                let lik = f.get(i, k) / pivot;
-                f.set(i, k, lik);
+                // L entry (i, k) lives on diagonal row ku + i - k.
+                let l_idx = (ku + i - k) * n + k;
+                let lik = data[l_idx] / pivot;
+                data[l_idx] = lik;
                 if lik == 0.0 {
                     continue;
                 }
                 for j in (k + 1)..=j_hi {
-                    // (i, j) stays inside the band because i-j <= kl and j-i <= ku here.
-                    if f.in_band(i, j) {
-                        let v = f.get(i, j) - lik * f.get(k, j);
-                        f.set(i, j, v);
-                        flops += 2;
-                    }
+                    // (i, j) stays inside the band: i - j <= kl - 1 and
+                    // j - i <= ku - 1 over these ranges.
+                    data[(ku + i - j) * n + j] -= lik * data[(ku + k - j) * n + j];
+                    flops += 2;
                 }
             }
             if i_hi > k {
@@ -212,22 +248,31 @@ impl BandLu {
 
     /// Solves `A x = b` with the stored factors.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, DenseError> {
+        let mut x = b.to_vec();
+        self.solve_into(&mut x)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` fully in place: on entry `x` holds `b`, on exit the
+    /// solution.  The band factorization has no pivot permutation, so the
+    /// substitution needs no scratch at all — zero heap allocations.
+    pub fn solve_into(&self, x: &mut [f64]) -> Result<(), DenseError> {
         let n = self.order();
-        if b.len() != n {
+        if x.len() != n {
             return Err(DenseError::DimensionMismatch {
                 expected: n,
-                found: b.len(),
+                found: x.len(),
             });
         }
-        let kl = self.factors.lower_bandwidth();
-        let ku = self.factors.upper_bandwidth();
-        let mut x = b.to_vec();
+        let kl = self.factors.kl;
+        let ku = self.factors.ku;
+        let data = &self.factors.data[..];
         // Forward substitution with the unit lower factor.
         for i in 0..n {
             let lo = i.saturating_sub(kl);
             let mut acc = x[i];
-            for (off, &xj) in x[lo..i].iter().enumerate() {
-                acc -= self.factors.get(i, lo + off) * xj;
+            for j in lo..i {
+                acc -= data[(ku + i - j) * n + j] * x[j];
             }
             x[i] = acc;
         }
@@ -235,10 +280,10 @@ impl BandLu {
         for i in (0..n).rev() {
             let hi = (i + ku).min(n - 1);
             let mut acc = x[i];
-            for (off, &xj) in x[i + 1..=hi].iter().enumerate() {
-                acc -= self.factors.get(i, i + 1 + off) * xj;
+            for j in (i + 1)..=hi {
+                acc -= data[(ku + i - j) * n + j] * x[j];
             }
-            let diag = self.factors.get(i, i);
+            let diag = data[ku * n + i];
             if diag == 0.0 {
                 return Err(DenseError::SingularPivot {
                     column: i,
@@ -247,7 +292,7 @@ impl BandLu {
             }
             x[i] = acc / diag;
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A X = B` for a batch of right-hand sides in a single pass.
@@ -257,8 +302,17 @@ impl BandLu {
     /// instead of once per right-hand side as repeated [`BandLu::solve`]
     /// calls would.
     pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DenseError> {
+        let mut xs: Vec<Vec<f64>> = rhs.to_vec();
+        self.solve_many_into(&mut xs)?;
+        Ok(xs)
+    }
+
+    /// Batched fully in-place solve: every column of `cols` holds a
+    /// right-hand side on entry and the matching solution on exit, with no
+    /// heap allocation (see [`BandLu::solve_into`]).
+    pub fn solve_many_into(&self, cols: &mut [Vec<f64>]) -> Result<(), DenseError> {
         let n = self.order();
-        for b in rhs {
+        for b in cols.iter() {
             if b.len() != n {
                 return Err(DenseError::DimensionMismatch {
                     expected: n,
@@ -266,16 +320,16 @@ impl BandLu {
                 });
             }
         }
-        let kl = self.factors.lower_bandwidth();
-        let ku = self.factors.upper_bandwidth();
-        let mut xs: Vec<Vec<f64>> = rhs.iter().map(|b| b.to_vec()).collect();
+        let kl = self.factors.kl;
+        let ku = self.factors.ku;
+        let data = &self.factors.data[..];
         // Forward substitution with the unit lower factor.
         for i in 0..n {
             let lo = i.saturating_sub(kl);
-            for x in xs.iter_mut() {
+            for x in cols.iter_mut() {
                 let mut acc = x[i];
-                for (off, &xj) in x[lo..i].iter().enumerate() {
-                    acc -= self.factors.get(i, lo + off) * xj;
+                for j in lo..i {
+                    acc -= data[(ku + i - j) * n + j] * x[j];
                 }
                 x[i] = acc;
             }
@@ -283,22 +337,22 @@ impl BandLu {
         // Backward substitution with the upper factor.
         for i in (0..n).rev() {
             let hi = (i + ku).min(n - 1);
-            let diag = self.factors.get(i, i);
+            let diag = data[ku * n + i];
             if diag == 0.0 {
                 return Err(DenseError::SingularPivot {
                     column: i,
                     value: diag,
                 });
             }
-            for x in xs.iter_mut() {
+            for x in cols.iter_mut() {
                 let mut acc = x[i];
-                for (off, &xj) in x[i + 1..=hi].iter().enumerate() {
-                    acc -= self.factors.get(i, i + 1 + off) * xj;
+                for j in (i + 1)..=hi {
+                    acc -= data[(ku + i - j) * n + j] * x[j];
                 }
                 x[i] = acc / diag;
             }
         }
-        Ok(xs)
+        Ok(())
     }
 }
 
@@ -371,6 +425,42 @@ mod tests {
     }
 
     #[test]
+    fn gemv_matches_dense_gemv_asymmetric_bandwidths() {
+        let n = 12;
+        let mut b = BandMatrix::zeros(n, 3, 1);
+        for i in 0..n {
+            for j in i.saturating_sub(3)..(i + 2).min(n) {
+                b.set(i, j, (1 + (i * 7 + j * 3) % 5) as f64);
+            }
+        }
+        let d = b.to_dense();
+        let x: Vec<f64> = (0..n).map(|i| ((i % 4) as f64) - 1.5).collect();
+        let yb = b.gemv(&x).unwrap();
+        let yd = d.gemv(&x).unwrap();
+        for (a, c) in yb.iter().zip(yd.iter()) {
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gemv_handles_bandwidths_exceeding_order() {
+        // zeros() accepts any bandwidth; diagonals beyond the order are
+        // simply empty and must not trip the index arithmetic.
+        let mut b = BandMatrix::zeros(3, 5, 4);
+        for i in 0..3 {
+            for j in 0..3 {
+                b.set(i, j, (1 + i * 3 + j) as f64);
+            }
+        }
+        let x = [1.0, -2.0, 0.5];
+        let y = b.gemv(&x).unwrap();
+        let yd = b.to_dense().gemv(&x).unwrap();
+        for (a, c) in y.iter().zip(yd.iter()) {
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
     fn band_lu_solves_tridiagonal_system() {
         let n = 50;
         let b = tridiagonal(n);
@@ -406,6 +496,19 @@ mod tests {
         for (a, c) in xb.iter().zip(xd.iter()) {
             assert!((a - c).abs() < 1e-9);
         }
+    }
+
+    #[test]
+    fn solve_into_matches_solve() {
+        let n = 30;
+        let b = tridiagonal(n);
+        let lu = BandLu::factorize(&b).unwrap();
+        let rhs: Vec<f64> = (0..n).map(|i| ((i * 5) % 9) as f64 - 4.0).collect();
+        let expected = lu.solve(&rhs).unwrap();
+        let mut x = rhs.clone();
+        lu.solve_into(&mut x).unwrap();
+        assert_eq!(x, expected);
+        assert!(lu.solve_into(&mut [1.0; 3]).is_err());
     }
 
     #[test]

@@ -13,7 +13,7 @@
 //! step measured by the "factorization time" column of the tables) and reused
 //! for every outer iteration's triangular solves.
 
-use crate::gplu::{SparseLu, SparseLuConfig};
+use crate::gplu::{SolveScratch, SparseLu, SparseLuConfig};
 use crate::stats::FactorStats;
 use crate::DirectError;
 use msplit_dense::{BandLu, BandMatrix, DenseLu};
@@ -28,6 +28,23 @@ pub trait Factorization: Send + Sync {
     /// Solves `A x = b` for one right-hand side.
     fn solve(&self, b: &[f64]) -> Result<Vec<f64>, DirectError>;
 
+    /// Solves `A x = b` in place: on entry `b` holds the right-hand side, on
+    /// exit the solution.  `scratch` is a caller-retained workspace
+    /// ([`SolveScratch`]), so with a warm scratch the solve performs **no
+    /// heap allocation** — this is the per-iteration kernel of the
+    /// multisplitting drivers.  The result is bitwise identical to
+    /// [`Factorization::solve`].
+    ///
+    /// The default implementation falls back to [`Factorization::solve`] and
+    /// copies the result back; the sparse, dense and band factorizations all
+    /// override it with genuinely in-place kernels.
+    fn solve_into(&self, b: &mut [f64], scratch: &mut SolveScratch) -> Result<(), DirectError> {
+        let _ = scratch;
+        let x = self.solve(b)?;
+        b.copy_from_slice(&x);
+        Ok(())
+    }
+
     /// Solves `A X = B` for a batch of right-hand sides.
     ///
     /// The default implementation loops over [`Factorization::solve`]; the
@@ -37,6 +54,22 @@ pub trait Factorization: Send + Sync {
     /// one-at-a-time serving are interchangeable.
     fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DirectError> {
         rhs.iter().map(|b| self.solve(b)).collect()
+    }
+
+    /// Batched in-place counterpart of [`Factorization::solve_many`]: every
+    /// column of `cols` holds a right-hand side on entry and the matching
+    /// solution on exit, with `scratch` reused across columns and calls.
+    /// This is what the batched multisplitting driver runs once per outer
+    /// iteration; with warm buffers it allocates nothing.
+    fn solve_many_into(
+        &self,
+        cols: &mut [Vec<f64>],
+        scratch: &mut SolveScratch,
+    ) -> Result<(), DirectError> {
+        for b in cols.iter_mut() {
+            self.solve_into(b, scratch)?;
+        }
+        Ok(())
     }
 
     /// Factorization statistics (fill, flops, timing, memory).
@@ -127,6 +160,10 @@ impl Factorization for SparseLuFactorization {
         self.lu.solve(b)
     }
 
+    fn solve_into(&self, b: &mut [f64], scratch: &mut SolveScratch) -> Result<(), DirectError> {
+        self.lu.solve_into(b, scratch)
+    }
+
     fn stats(&self) -> &FactorStats {
         self.lu.stats()
     }
@@ -184,8 +221,20 @@ impl Factorization for DenseLuFactorization {
         Ok(self.lu.solve(b)?)
     }
 
+    fn solve_into(&self, b: &mut [f64], scratch: &mut SolveScratch) -> Result<(), DirectError> {
+        Ok(self.lu.solve_into(b, scratch.raw())?)
+    }
+
     fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DirectError> {
         Ok(self.lu.solve_many(rhs)?)
+    }
+
+    fn solve_many_into(
+        &self,
+        cols: &mut [Vec<f64>],
+        scratch: &mut SolveScratch,
+    ) -> Result<(), DirectError> {
+        Ok(self.lu.solve_many_into(cols, scratch.raw())?)
     }
 
     fn stats(&self) -> &FactorStats {
@@ -267,8 +316,21 @@ impl Factorization for BandLuFactorization {
         Ok(self.lu.solve(b)?)
     }
 
+    fn solve_into(&self, b: &mut [f64], _scratch: &mut SolveScratch) -> Result<(), DirectError> {
+        // The band factorization has no pivot permutation: fully in place.
+        Ok(self.lu.solve_into(b)?)
+    }
+
     fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<Vec<Vec<f64>>, DirectError> {
         Ok(self.lu.solve_many(rhs)?)
+    }
+
+    fn solve_many_into(
+        &self,
+        cols: &mut [Vec<f64>],
+        _scratch: &mut SolveScratch,
+    ) -> Result<(), DirectError> {
+        Ok(self.lu.solve_many_into(cols)?)
     }
 
     fn stats(&self) -> &FactorStats {
@@ -366,6 +428,30 @@ mod tests {
                 let x_single = factor.solve(b).unwrap();
                 assert_eq!(x_batch, &x_single, "{kind:?} batched != single");
             }
+        }
+    }
+
+    #[test]
+    fn solve_into_and_solve_many_into_match_solve_for_all_kinds() {
+        let a = generators::tridiagonal(60, 4.0, -1.0);
+        let rhs: Vec<Vec<f64>> = (0..4)
+            .map(|k| (0..60).map(|i| ((i + 2 * k) % 9) as f64 - 4.0).collect())
+            .collect();
+        for kind in SolverKind::all() {
+            let factor = kind.build().factorize(&a).unwrap();
+            let mut scratch = SolveScratch::new();
+            // Single in-place solve, scratch reused across calls.
+            for b in &rhs {
+                let expected = factor.solve(b).unwrap();
+                let mut x = b.clone();
+                factor.solve_into(&mut x, &mut scratch).unwrap();
+                assert_eq!(x, expected, "{kind:?} solve_into != solve");
+            }
+            // Batched in-place solve.
+            let expected = factor.solve_many(&rhs).unwrap();
+            let mut cols = rhs.clone();
+            factor.solve_many_into(&mut cols, &mut scratch).unwrap();
+            assert_eq!(cols, expected, "{kind:?} solve_many_into != solve_many");
         }
     }
 

@@ -62,6 +62,43 @@ impl Default for SparseLuConfig {
     }
 }
 
+/// Reusable scratch for the in-place triangular solves of
+/// [`SparseLu::solve_into`] (and, through the [`crate::api::Factorization`]
+/// trait, of every solver kind).
+///
+/// The sparse solve needs one order-`n` buffer to hold the row-permuted
+/// right-hand side while the factors are applied; the dense solve uses the
+/// same buffer for its pivot gather.  Allocated once and reused, it makes
+/// every steady-state solve allocation-free.
+#[derive(Debug, Default, Clone)]
+pub struct SolveScratch {
+    work: Vec<f64>,
+}
+
+impl SolveScratch {
+    /// Creates an empty scratch (the buffer grows on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a scratch pre-sized for systems of order `n`.
+    pub fn with_order(n: usize) -> Self {
+        SolveScratch { work: vec![0.0; n] }
+    }
+
+    /// The reusable `f64` buffer, grown to at least `n` entries.
+    pub fn buffer(&mut self, n: usize) -> &mut [f64] {
+        self.work.resize(n, 0.0);
+        &mut self.work[..n]
+    }
+
+    /// The raw growable buffer, for kernels that manage sizing themselves
+    /// (the dense LU gather workspace).
+    pub fn raw(&mut self) -> &mut Vec<f64> {
+        &mut self.work
+    }
+}
+
 /// A computed sparse LU factorization `P A Q = L U`.
 ///
 /// `P` is the row permutation from partial pivoting, `Q` the fill-reducing
@@ -270,6 +307,18 @@ impl SparseLu {
 
     /// Solves `A x = b` using the stored factors.
     pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>, DirectError> {
+        let mut x = b.to_vec();
+        let mut scratch = SolveScratch::new();
+        self.solve_into(&mut x, &mut scratch)?;
+        Ok(x)
+    }
+
+    /// Solves `A x = b` in place: on entry `b` holds the right-hand side, on
+    /// exit the solution.  The permutation scratch lives in `scratch` and is
+    /// reused across calls, so steady-state solves perform **no heap
+    /// allocation** — this is the kernel the multisplitting drivers run once
+    /// per outer iteration.
+    pub fn solve_into(&self, b: &mut [f64], scratch: &mut SolveScratch) -> Result<(), DirectError> {
         if b.len() != self.n {
             return Err(DirectError::DimensionMismatch {
                 expected: self.n,
@@ -277,7 +326,10 @@ impl SparseLu {
             });
         }
         // y = P b
-        let mut y: Vec<f64> = self.row_perm.iter().map(|&r| b[r]).collect();
+        let y = scratch.buffer(self.n);
+        for (yj, &r) in y.iter_mut().zip(self.row_perm.iter()) {
+            *yj = b[r];
+        }
 
         // Forward solve L y = P b (L unit lower triangular, columns in pivot order).
         for j in 0..self.n {
@@ -311,30 +363,40 @@ impl SparseLu {
         }
 
         // Undo the column permutation: x[col_perm[j]] = z[j].
-        let mut x = vec![0.0; self.n];
         for j in 0..self.n {
-            x[self.col_perm.old_of(j)] = y[j];
+            b[self.col_perm.old_of(j)] = y[j];
         }
-        Ok(x)
+        Ok(())
     }
 
     /// Solves `A x = b` and applies `refine_steps` rounds of iterative
     /// refinement using the original matrix.
+    ///
+    /// Routed through [`SparseLu::solve_into`] with buffers reused across
+    /// refinement steps: one residual buffer and one permutation scratch are
+    /// allocated up front, then every step is allocation-free.
     pub fn solve_refined(
         &self,
         a: &CsrMatrix,
         b: &[f64],
         refine_steps: usize,
     ) -> Result<Vec<f64>, DirectError> {
-        let mut x = self.solve(b)?;
+        let mut scratch = SolveScratch::new();
+        let mut x = b.to_vec();
+        self.solve_into(&mut x, &mut scratch)?;
+        let mut r = vec![0.0; self.n];
         for _ in 0..refine_steps {
-            let ax = a.spmv(&x).map_err(|_| DirectError::DimensionMismatch {
-                expected: self.n,
-                found: x.len(),
-            })?;
-            let r: Vec<f64> = b.iter().zip(ax.iter()).map(|(bi, axi)| bi - axi).collect();
-            let d = self.solve(&r)?;
-            for (xi, di) in x.iter_mut().zip(d.iter()) {
+            // r = b - A x, computed into the retained residual buffer.
+            a.spmv_into(&x, &mut r)
+                .map_err(|_| DirectError::DimensionMismatch {
+                    expected: self.n,
+                    found: x.len(),
+                })?;
+            for (ri, &bi) in r.iter_mut().zip(b.iter()) {
+                *ri = bi - *ri;
+            }
+            self.solve_into(&mut r, &mut scratch)?;
+            for (xi, di) in x.iter_mut().zip(r.iter()) {
                 *xi += di;
             }
         }
@@ -460,6 +522,22 @@ mod tests {
     fn cage_like_matrix_solves_accurately() {
         let a = generators::cage_like(400, 17);
         check_solve(&a, &SparseLuConfig::default(), 1e-7);
+    }
+
+    #[test]
+    fn solve_into_matches_solve_and_reuses_scratch() {
+        let a = generators::cage_like(150, 3);
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 7) as f64) - 3.0);
+        let lu = SparseLu::factorize(&a).unwrap();
+        let expected = lu.solve(&b).unwrap();
+        let mut scratch = SolveScratch::with_order(150);
+        for _ in 0..3 {
+            let mut x = b.clone();
+            lu.solve_into(&mut x, &mut scratch).unwrap();
+            assert_eq!(x, expected);
+        }
+        let mut short = vec![0.0; 10];
+        assert!(lu.solve_into(&mut short, &mut scratch).is_err());
     }
 
     #[test]

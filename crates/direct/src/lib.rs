@@ -26,7 +26,7 @@ pub mod symbolic;
 pub use api::{
     BandLuSolver, DenseLuSolver, DirectSolver, Factorization, SolverKind, SparseLuSolver,
 };
-pub use gplu::SparseLu;
+pub use gplu::{SolveScratch, SparseLu};
 pub use stats::FactorStats;
 
 /// Errors produced by the direct solvers.

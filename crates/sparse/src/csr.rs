@@ -26,6 +26,61 @@ pub struct CsrMatrix {
     values: Vec<f64>,
 }
 
+/// Stored-entry threshold above which [`CsrMatrix::par_spmv_into`]
+/// distributes rows across rayon worker threads.
+pub const PAR_SPMV_MIN_NNZ: usize = 1 << 15;
+
+/// Inner dot product of one CSR row against a dense vector.
+///
+/// Kept as a free function with `#[inline(always)]` so every SpMV variant
+/// (sequential, subtracting, parallel) compiles down to the same tight
+/// gather-multiply-accumulate loop.
+#[inline(always)]
+fn sparse_dot(cols: &[usize], vals: &[f64], x: &[f64]) -> f64 {
+    let mut acc = 0.0;
+    for (&c, &v) in cols.iter().zip(vals) {
+        acc += v * x[c];
+    }
+    acc
+}
+
+/// A reusable workspace for repeated sparse matrix-vector products.
+///
+/// Holds the output buffer across calls so steady-state products perform no
+/// heap allocation: the buffer is grown once to the largest row count seen
+/// and reused afterwards.
+#[derive(Debug, Default, Clone)]
+pub struct SpmvWorkspace {
+    y: Vec<f64>,
+}
+
+impl SpmvWorkspace {
+    /// Creates an empty workspace (buffers grow on first use).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a workspace pre-sized for matrices with `rows` rows.
+    pub fn with_rows(rows: usize) -> Self {
+        SpmvWorkspace { y: vec![0.0; rows] }
+    }
+
+    /// Computes `A x` into the workspace buffer and returns it as a slice.
+    pub fn spmv<'a>(&'a mut self, a: &CsrMatrix, x: &[f64]) -> Result<&'a [f64], SparseError> {
+        self.y.resize(a.rows(), 0.0);
+        a.spmv_into(x, &mut self.y)?;
+        Ok(&self.y)
+    }
+
+    /// Like [`SpmvWorkspace::spmv`] but using the row-parallel kernel for
+    /// large matrices.
+    pub fn par_spmv<'a>(&'a mut self, a: &CsrMatrix, x: &[f64]) -> Result<&'a [f64], SparseError> {
+        self.y.resize(a.rows(), 0.0);
+        a.par_spmv_into(x, &mut self.y)?;
+        Ok(&self.y)
+    }
+}
+
 impl CsrMatrix {
     /// Creates an empty (all-zero) matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -206,21 +261,25 @@ impl CsrMatrix {
     }
 
     /// Number of stored nonzero entries.
+    #[inline]
     pub fn nnz(&self) -> usize {
         self.values.len()
     }
 
     /// Raw row pointer array.
+    #[inline]
     pub fn row_ptr(&self) -> &[usize] {
         &self.row_ptr
     }
 
     /// Raw column index array.
+    #[inline]
     pub fn col_indices(&self) -> &[usize] {
         &self.col_indices
     }
 
     /// Raw value array.
+    #[inline]
     pub fn values(&self) -> &[f64] {
         &self.values
     }
@@ -236,6 +295,7 @@ impl CsrMatrix {
     }
 
     /// Number of stored entries in row `i`.
+    #[inline]
     pub fn row_nnz(&self, i: usize) -> usize {
         self.row_ptr[i + 1] - self.row_ptr[i]
     }
@@ -252,9 +312,26 @@ impl CsrMatrix {
     }
 
     /// The diagonal of the matrix as a vector (missing entries are zero).
+    ///
+    /// Each row is scanned once (columns are sorted, so the scan stops at the
+    /// first column `>= i`) instead of running a binary-search
+    /// [`CsrMatrix::get`] per row.
     pub fn diagonal(&self) -> Vec<f64> {
         let n = self.rows.min(self.cols);
-        (0..n).map(|i| self.get(i, i)).collect()
+        let mut d = vec![0.0; n];
+        for (i, di) in d.iter_mut().enumerate() {
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            for (&c, &v) in self.col_indices[lo..hi].iter().zip(&self.values[lo..hi]) {
+                if c >= i {
+                    if c == i {
+                        *di = v;
+                    }
+                    break;
+                }
+            }
+        }
+        d
     }
 
     /// Sparse matrix-vector product `y = A x`.
@@ -270,20 +347,28 @@ impl CsrMatrix {
         Ok(y)
     }
 
-    /// Sparse matrix-vector product into a caller-provided buffer.
-    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+    #[inline]
+    fn check_spmv_shapes(&self, x: &[f64], y: &[f64]) -> Result<(), SparseError> {
         if x.len() != self.cols || y.len() != self.rows {
             return Err(SparseError::ShapeMismatch {
                 expected: (self.rows, self.cols),
                 found: (y.len(), x.len()),
             });
         }
+        Ok(())
+    }
+
+    /// Sparse matrix-vector product into a caller-provided buffer.
+    ///
+    /// The kernel iterates the `row_ptr` windows directly over the raw
+    /// column/value slices with the dot product inlined — no iterator
+    /// adapters, no per-entry branching, no allocation.
+    pub fn spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+        self.check_spmv_shapes(x, y)?;
         for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (c, v) in self.row(i) {
-                acc += v * x[c];
-            }
-            *yi = acc;
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            *yi = sparse_dot(&self.col_indices[lo..hi], &self.values[lo..hi], x);
         }
         Ok(())
     }
@@ -291,19 +376,41 @@ impl CsrMatrix {
     /// Accumulating product `y -= A x`, the kernel behind
     /// `BLoc = BSub - DepLeft * XLeft - DepRight * XRight` in Algorithm 1.
     pub fn spmv_sub_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
-        if x.len() != self.cols || y.len() != self.rows {
-            return Err(SparseError::ShapeMismatch {
-                expected: (self.rows, self.cols),
-                found: (y.len(), x.len()),
-            });
-        }
+        self.check_spmv_shapes(x, y)?;
         for (i, yi) in y.iter_mut().enumerate() {
-            let mut acc = 0.0;
-            for (c, v) in self.row(i) {
-                acc += v * x[c];
-            }
-            *yi -= acc;
+            let lo = self.row_ptr[i];
+            let hi = self.row_ptr[i + 1];
+            *yi -= sparse_dot(&self.col_indices[lo..hi], &self.values[lo..hi], x);
         }
+        Ok(())
+    }
+
+    /// Row-parallel sparse matrix-vector product into a caller-provided
+    /// buffer.
+    ///
+    /// Rows are distributed in contiguous chunks with rayon once the matrix
+    /// carries at least [`PAR_SPMV_MIN_NNZ`] stored entries; smaller products
+    /// fall back to the sequential [`CsrMatrix::spmv_into`].  Every row is
+    /// still accumulated by the same inlined dot product in the same order,
+    /// so the result is **bitwise identical** to the sequential kernel.
+    pub fn par_spmv_into(&self, x: &[f64], y: &mut [f64]) -> Result<(), SparseError> {
+        self.check_spmv_shapes(x, y)?;
+        if self.nnz() < PAR_SPMV_MIN_NNZ {
+            return self.spmv_into(x, y);
+        }
+        use rayon::prelude::*;
+        let rows_per_chunk = (self.rows / 64).max(64);
+        y.par_chunks_mut(rows_per_chunk)
+            .enumerate()
+            .for_each(|(chunk, ys)| {
+                let base = chunk * rows_per_chunk;
+                for (off, yi) in ys.iter_mut().enumerate() {
+                    let i = base + off;
+                    let lo = self.row_ptr[i];
+                    let hi = self.row_ptr[i + 1];
+                    *yi = sparse_dot(&self.col_indices[lo..hi], &self.values[lo..hi], x);
+                }
+            });
         Ok(())
     }
 
@@ -563,6 +670,55 @@ mod tests {
     fn spmv_shape_error() {
         let m = sample();
         assert!(m.spmv(&[1.0, 2.0]).is_err());
+        let mut y = vec![0.0; 3];
+        assert!(m.par_spmv_into(&[1.0, 2.0], &mut y).is_err());
+    }
+
+    #[test]
+    fn par_spmv_is_bitwise_identical_to_spmv() {
+        // Below and above the parallel threshold.
+        for n in [50usize, 600] {
+            let m = crate::generators::cage_like(n, 9);
+            let x: Vec<f64> = (0..n)
+                .map(|i| ((i * 13) % 17) as f64 * 0.37 - 2.0)
+                .collect();
+            let mut y_seq = vec![0.0; n];
+            let mut y_par = vec![1.0; n];
+            m.spmv_into(&x, &mut y_seq).unwrap();
+            m.par_spmv_into(&x, &mut y_par).unwrap();
+            assert_eq!(y_seq, y_par, "n={n}");
+        }
+    }
+
+    #[test]
+    fn spmv_workspace_reuses_buffer() {
+        let m = sample();
+        let mut ws = SpmvWorkspace::with_rows(3);
+        let x = [1.0, 2.0, 3.0];
+        let expected = m.spmv(&x).unwrap();
+        assert_eq!(ws.spmv(&m, &x).unwrap(), &expected[..]);
+        assert_eq!(ws.par_spmv(&m, &x).unwrap(), &expected[..]);
+        let fresh = SpmvWorkspace::new().spmv(&m, &x).unwrap().to_vec();
+        assert_eq!(fresh, expected);
+    }
+
+    #[test]
+    fn diagonal_single_pass_matches_get() {
+        // A matrix with rows missing their diagonal and rows whose diagonal
+        // is the last stored entry.
+        let mut coo = CooMatrix::new(5, 5);
+        coo.push(0, 0, 1.5).unwrap();
+        coo.push(1, 0, 2.0).unwrap(); // row 1 has no diagonal
+        coo.push(2, 1, 3.0).unwrap();
+        coo.push(2, 2, 4.0).unwrap();
+        coo.push(3, 4, 5.0).unwrap(); // diagonal missing, entry after it
+        coo.push(4, 0, 6.0).unwrap();
+        coo.push(4, 4, 7.0).unwrap();
+        let m = CsrMatrix::from_coo(&coo);
+        let d = m.diagonal();
+        let expected: Vec<f64> = (0..5).map(|i| m.get(i, i)).collect();
+        assert_eq!(d, expected);
+        assert_eq!(d, vec![1.5, 0.0, 4.0, 0.0, 7.0]);
     }
 
     #[test]

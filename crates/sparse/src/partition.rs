@@ -265,6 +265,22 @@ impl LocalBlocks {
     /// prepared decomposition (blocks + factorizations) be reused across many
     /// right-hand sides: only the `b_sub` slice changes between solves.
     pub fn local_rhs_with(&self, b_sub: &[f64], x_global: &[f64]) -> Result<Vec<f64>, SparseError> {
+        let mut rhs = Vec::new();
+        self.local_rhs_into(b_sub, x_global, &mut rhs)?;
+        Ok(rhs)
+    }
+
+    /// Allocation-free form of [`LocalBlocks::local_rhs_with`]: writes
+    /// `BLoc = BSub − DepLeft · XLeft − DepRight · XRight` into `out`,
+    /// reusing its capacity.  This is the per-iteration kernel of the
+    /// multisplitting drivers — with a caller-retained `out` buffer the
+    /// steady-state iteration performs no heap allocation here.
+    pub fn local_rhs_into(
+        &self,
+        b_sub: &[f64],
+        x_global: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), SparseError> {
         if b_sub.len() != self.size {
             return Err(SparseError::ShapeMismatch {
                 expected: (self.size, 1),
@@ -277,16 +293,17 @@ impl LocalBlocks {
                 found: (x_global.len(), 1),
             });
         }
-        let mut rhs = b_sub.to_vec();
+        out.clear();
+        out.extend_from_slice(b_sub);
         let x_left = &x_global[..self.offset];
         let x_right = &x_global[self.offset + self.size..];
         if self.offset > 0 {
-            self.dep_left.spmv_sub_into(x_left, &mut rhs)?;
+            self.dep_left.spmv_sub_into(x_left, out)?;
         }
         if !x_right.is_empty() {
-            self.dep_right.spmv_sub_into(x_right, &mut rhs)?;
+            self.dep_right.spmv_sub_into(x_right, out)?;
         }
-        Ok(rhs)
+        Ok(())
     }
 
     /// Computes `BLoc` from separately supplied left and right dependency
@@ -466,6 +483,25 @@ mod tests {
             let right = &x[blocks.offset + blocks.size..];
             let parts = blocks.local_rhs_from_parts(left, right).unwrap();
             assert_eq!(full, parts);
+        }
+    }
+
+    #[test]
+    fn local_rhs_into_matches_local_rhs_with_and_reuses_buffer() {
+        let a = generators::cage_like(40, 7);
+        let b: Vec<f64> = (0..40).map(|i| (i as f64) * 0.25).collect();
+        let x: Vec<f64> = (0..40).map(|i| (i as f64 * 0.2).cos()).collect();
+        let p = BandPartition::uniform_with_overlap(40, 4, 3).unwrap();
+        let mut out = Vec::new();
+        for l in 0..4 {
+            let blocks = LocalBlocks::extract(&a, &b, &p, l).unwrap();
+            let range = p.extended_range(l);
+            let expected = blocks.local_rhs_with(&b[range], &x).unwrap();
+            let range = p.extended_range(l);
+            blocks.local_rhs_into(&b[range], &x, &mut out).unwrap();
+            assert_eq!(out, expected);
+            // shape validation
+            assert!(blocks.local_rhs_into(&[1.0], &x, &mut out).is_err());
         }
     }
 

@@ -1,0 +1,179 @@
+//! Counting-allocator proof of the zero-allocation solve path.
+//!
+//! The multisplitting drivers run the same kernel sequence every outer
+//! iteration: dependency fill → `BLoc` assembly (`local_rhs_into`) →
+//! in-place triangular solve (`solve_into`).  This test installs a counting
+//! global allocator and asserts that, once the caller-retained workspaces are
+//! warm, each of those kernels — for every solver kind — performs **zero**
+//! heap allocations.  (Message payloads handed to the transport are the
+//! communication cost and are deliberately out of scope.)
+//!
+//! The test runs with `harness = false` (a plain `main`) so the process
+//! contains nothing but the kernels under measurement — the libtest harness
+//! would otherwise allocate from its own bookkeeping threads concurrently
+//! with the measured sections and trip the process-global counter.
+
+use multisplitting::dense::{BandLu, BandMatrix, DenseLu};
+use multisplitting::direct::{SolveScratch, SolverKind};
+use multisplitting::sparse::generators::{self, DiagDominantConfig};
+use multisplitting::sparse::{BandPartition, LocalBlocks, SpmvWorkspace};
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicUsize, Ordering::Relaxed};
+
+struct CountingAllocator;
+
+static ALLOCATIONS: AtomicUsize = AtomicUsize::new(0);
+
+unsafe impl GlobalAlloc for CountingAllocator {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCATIONS.fetch_add(1, Relaxed);
+        System.alloc_zeroed(layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAllocator = CountingAllocator;
+
+/// Runs `f` once to warm caller-retained buffers, then asserts that `reps`
+/// further calls perform no allocation at all.
+fn assert_zero_alloc(label: &str, reps: usize, mut f: impl FnMut()) {
+    f();
+    let before = ALLOCATIONS.load(Relaxed);
+    for _ in 0..reps {
+        f();
+    }
+    let allocated = ALLOCATIONS.load(Relaxed) - before;
+    assert_eq!(
+        allocated, 0,
+        "{label}: {allocated} allocations across {reps} warm calls"
+    );
+}
+
+fn main() {
+    let n = 120;
+    // Narrow half-bandwidth so the band solver accepts the matrix too.
+    let a = generators::diag_dominant(&DiagDominantConfig {
+        n,
+        seed: 7,
+        half_bandwidth: 10,
+        ..Default::default()
+    });
+    let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 11) as f64) - 5.0);
+
+    // --- In-place solves through the Factorization trait, all kinds. ---
+    for kind in SolverKind::all() {
+        let factor = kind.build().factorize(&a).expect("factorize");
+        let mut x = b.clone();
+        let mut scratch = SolveScratch::new();
+        assert_zero_alloc(&format!("{kind:?} solve_into"), 50, || {
+            x.copy_from_slice(&b);
+            factor.solve_into(&mut x, &mut scratch).expect("solve_into");
+        });
+        // Batched in-place solve with retained columns.
+        let mut cols: Vec<Vec<f64>> = (0..4).map(|_| b.clone()).collect();
+        let template = b.clone();
+        assert_zero_alloc(&format!("{kind:?} solve_many_into"), 20, || {
+            for c in cols.iter_mut() {
+                c.copy_from_slice(&template);
+            }
+            factor
+                .solve_many_into(&mut cols, &mut scratch)
+                .expect("solve_many_into");
+        });
+    }
+
+    // --- Sparse matrix-vector kernels. ---
+    let x: Vec<f64> = (0..n).map(|i| (i as f64 * 0.3).sin()).collect();
+    let mut y = vec![0.0; n];
+    assert_zero_alloc("spmv_into", 100, || {
+        a.spmv_into(&x, &mut y).expect("spmv_into");
+    });
+    assert_zero_alloc("spmv_sub_into", 100, || {
+        a.spmv_sub_into(&x, &mut y).expect("spmv_sub_into");
+    });
+    // Above the parallel threshold (poisson_2d(90) has ~40k stored entries).
+    // NOTE: this assertion holds under the vendored *sequential* rayon stub.
+    // A real rayon's thread-pool scaffolding allocates; when the stub is
+    // replaced, relax this case to "no allocation in the row kernels" (or
+    // gate it on a cfg for the stub) rather than deleting the check.
+    let big = generators::poisson_2d(90);
+    let bx: Vec<f64> = (0..big.rows()).map(|i| ((i % 7) as f64) - 3.0).collect();
+    let mut by = vec![0.0; big.rows()];
+    assert_zero_alloc("par_spmv_into (large)", 10, || {
+        big.par_spmv_into(&bx, &mut by).expect("par_spmv_into");
+    });
+    let mut ws = SpmvWorkspace::new();
+    assert_zero_alloc("SpmvWorkspace::spmv", 50, || {
+        ws.spmv(&a, &x).expect("workspace spmv");
+    });
+
+    // --- BLoc assembly (the per-iteration driver kernel). ---
+    let partition = BandPartition::uniform_with_overlap(n, 4, 3).expect("partition");
+    let blocks: Vec<LocalBlocks> = (0..4)
+        .map(|l| LocalBlocks::extract(&a, &b, &partition, l).expect("extract"))
+        .collect();
+    let x_global = vec![0.5; n];
+    let mut rhs = Vec::new();
+    for blk in &blocks {
+        assert_zero_alloc(&format!("local_rhs_into part {}", blk.part), 50, || {
+            blk.local_rhs_into(&blk.b_sub, &x_global, &mut rhs)
+                .expect("local_rhs_into");
+        });
+    }
+
+    // --- Dense kernels used by the dense fallback solver. ---
+    let ad = a.to_dense();
+    let lu = DenseLu::factorize(&ad).expect("dense factorize");
+    let mut xd = b.clone();
+    let mut work = Vec::new();
+    assert_zero_alloc("DenseLu::solve_into", 50, || {
+        xd.copy_from_slice(&b);
+        lu.solve_into(&mut xd, &mut work).expect("dense solve_into");
+    });
+    let mut yd = vec![0.0; n];
+    assert_zero_alloc("DenseMatrix::gemv_into", 50, || {
+        ad.gemv_into(&x, &mut yd).expect("gemv_into");
+    });
+
+    // --- Band kernels (fully in place, not even a scratch). ---
+    let mut band = BandMatrix::zeros(n, 2, 2);
+    for i in 0..n {
+        band.set(i, i, 8.0);
+        for d in 1..=2usize {
+            if i >= d {
+                band.set(i, i - d, -1.0);
+            }
+            if i + d < n {
+                band.set(i, i + d, -1.0);
+            }
+        }
+    }
+    let blu = BandLu::factorize(&band).expect("band factorize");
+    let mut xb = b.clone();
+    assert_zero_alloc("BandLu::solve_into", 50, || {
+        xb.copy_from_slice(&b);
+        blu.solve_into(&mut xb).expect("band solve_into");
+    });
+
+    // Sanity: the counter itself works (an obvious allocation is seen).
+    let before = ALLOCATIONS.load(Relaxed);
+    let v: Vec<u8> = Vec::with_capacity(1024);
+    drop(v);
+    assert!(ALLOCATIONS.load(Relaxed) > before, "counter is live");
+
+    println!("zero_alloc: all warm solve-path kernels performed 0 allocations");
+}
