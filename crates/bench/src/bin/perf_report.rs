@@ -2,8 +2,11 @@
 //!
 //! Times the numeric hot-path kernels (dense LU factorization blocked vs the
 //! retained pre-optimization reference, band triangular solve, CSR SpMV, and
-//! cold-vs-warm `PreparedSystem::solve_many` serving) and writes the results
-//! as a small JSON document so successive PRs accumulate a perf trajectory.
+//! cold-vs-warm `PreparedSystem::solve_many` serving) plus the **transport**
+//! layer (in-process vs TCP-loopback message round-trip latency, and the
+//! bytes each synchronous outer iteration puts on the links, from
+//! `LinkStats`), and writes the results as a small JSON document so
+//! successive PRs accumulate a perf trajectory.
 //!
 //! Usage:
 //!
@@ -13,11 +16,14 @@
 //! ```
 
 use msplit_bench::{dense_dd, penta_band};
-use msplit_core::solver::MultisplittingConfig;
-use msplit_core::PreparedSystem;
+use msplit_comm::tcp::{LoopbackMesh, TcpOptions};
+use msplit_comm::{InProcTransport, Message, Transport};
+use msplit_core::solver::{ExecutionMode, MultisplittingConfig};
+use msplit_core::{MultisplittingSolver, PreparedSystem};
 use msplit_dense::{BandLu, DenseLu};
 use msplit_sparse::generators;
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Best-of-`reps` wall-clock milliseconds for `f`.
@@ -43,6 +49,61 @@ impl KernelRecord {
     fn speedup(&self) -> Option<f64> {
         self.before_ms.map(|b| b / self.after_ms)
     }
+}
+
+/// One row of the transport table (in-proc vs TCP loopback).
+struct TransportRecord {
+    name: &'static str,
+    world: usize,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Mean microseconds per message round trip between ranks 0 and 1 of
+/// `transport`: rank 1 echoes every solution slice back.
+fn roundtrip_us(transport: Arc<dyn Transport>, rounds: usize, payload: usize) -> f64 {
+    let echo_side = Arc::clone(&transport);
+    let echo = std::thread::spawn(move || {
+        for _ in 0..rounds {
+            let msg = echo_side.recv(1).expect("echo recv");
+            echo_side.send(1, 0, msg).expect("echo send");
+        }
+    });
+    let msg = Message::Solution {
+        from: 0,
+        iteration: 1,
+        offset: 0,
+        values: vec![0.5; payload],
+    };
+    let t0 = Instant::now();
+    for _ in 0..rounds {
+        transport.send(0, 1, msg.clone()).expect("ping send");
+        transport.recv(0).expect("ping recv");
+    }
+    let elapsed = t0.elapsed().as_secs_f64();
+    echo.join().expect("echo thread");
+    elapsed * 1e6 / rounds as f64
+}
+
+/// Bytes per outer iteration a synchronous solve puts on the links of the
+/// given transport (total `LinkStats` bytes over the iteration count).
+fn sync_bytes_per_iteration(
+    a: &msplit_sparse::CsrMatrix,
+    b: &[f64],
+    parts: usize,
+    transport: Arc<dyn Transport>,
+    stats_bytes: impl Fn() -> usize,
+) -> f64 {
+    let config = MultisplittingConfig {
+        parts,
+        tolerance: 1e-8,
+        mode: ExecutionMode::Synchronous,
+        ..Default::default()
+    };
+    let out = MultisplittingSolver::new(config)
+        .solve_with_transport(a, b, transport)
+        .expect("sync solve");
+    stats_bytes() as f64 / out.iterations.max(1) as f64
 }
 
 fn main() {
@@ -142,6 +203,56 @@ fn main() {
         after_ms: warm_ms,
     });
 
+    // --- Transport: in-proc vs TCP loopback. ---
+    let mut transport_records: Vec<TransportRecord> = Vec::new();
+    let (rounds, payload) = if check_mode { (200, 64) } else { (2_000, 256) };
+    let inproc_rtt = roundtrip_us(InProcTransport::new(2), rounds, payload);
+    let mesh = LoopbackMesh::new(2, TcpOptions::default()).expect("loopback mesh");
+    let tcp_rtt = roundtrip_us(mesh, rounds, payload);
+    transport_records.push(TransportRecord {
+        name: "roundtrip_inproc",
+        world: 2,
+        value: inproc_rtt,
+        unit: "us",
+    });
+    transport_records.push(TransportRecord {
+        name: "roundtrip_tcp_loopback",
+        world: 2,
+        value: tcp_rtt,
+        unit: "us",
+    });
+
+    let net_n = if check_mode { 200 } else { 800 };
+    let parts = 4usize;
+    let a = generators::cage_like(net_n, 13);
+    let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 7) as f64) - 3.0);
+    let inproc = InProcTransport::new(parts);
+    let inproc_bytes = {
+        let stats_handle = inproc.clone();
+        sync_bytes_per_iteration(&a, &b, parts, inproc, move || {
+            stats_handle.stats().total_bytes()
+        })
+    };
+    let mesh = LoopbackMesh::new(parts, TcpOptions::default()).expect("loopback mesh");
+    let tcp_bytes = {
+        let stats_handle = mesh.clone();
+        sync_bytes_per_iteration(&a, &b, parts, mesh, move || {
+            stats_handle.stats().total_bytes()
+        })
+    };
+    transport_records.push(TransportRecord {
+        name: "sync_bytes_per_iteration_inproc",
+        world: parts,
+        value: inproc_bytes,
+        unit: "bytes",
+    });
+    transport_records.push(TransportRecord {
+        name: "sync_bytes_per_iteration_tcp_loopback",
+        world: parts,
+        value: tcp_bytes,
+        unit: "bytes",
+    });
+
     // --- Report. ---
     let mut json = String::new();
     json.push_str("{\n  \"suite\": \"kernel_suite\",\n  \"unit\": \"ms (best of reps)\",\n");
@@ -164,6 +275,19 @@ fn main() {
             r.name, r.n, before, r.after_ms, speedup, comma
         );
     }
+    json.push_str("  ],\n  \"transport\": [\n");
+    for (i, t) in transport_records.iter().enumerate() {
+        let comma = if i + 1 == transport_records.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"world\": {}, \"value\": {:.3}, \"unit\": \"{}\"}}{}",
+            t.name, t.world, t.value, t.unit, comma
+        );
+    }
     json.push_str("  ]\n}\n");
 
     println!("{json}");
@@ -178,6 +302,10 @@ fn main() {
             );
         }
     }
+    println!(
+        "# transport: inproc rtt {inproc_rtt:.1} us vs tcp loopback rtt {tcp_rtt:.1} us; \
+         sync solve puts {inproc_bytes:.0} (inproc) vs {tcp_bytes:.0} (tcp) bytes/iteration on the links"
+    );
 
     if check_mode {
         println!("# --check: JSON not written");

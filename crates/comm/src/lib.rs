@@ -1,15 +1,21 @@
-//! In-process message-passing layer for the multisplitting drivers.
+//! Message-passing layer for the multisplitting drivers.
 //!
 //! The paper implements its synchronous solver over MPI and its asynchronous
-//! solver over Corba, running on machines spread across two sites.  Inside
-//! this repository every "processor" is a thread, and this crate provides the
-//! communication primitives those threads use:
+//! solver over Corba, running on machines spread across two sites.  This
+//! crate provides both halves of that story: the in-process transport used
+//! when every "processor" is a thread, and a TCP transport used when every
+//! processor is a separate OS process on a real network:
 //!
 //! * [`message::Message`] — the wire messages (solution slices, convergence
 //!   votes, termination), with a compact binary encoding so message sizes can
 //!   be accounted against the grid's bandwidth model,
+//! * [`wire`] — length-prefixed framing and the connection handshake used by
+//!   the socket transport,
 //! * [`transport`] — the [`transport::Transport`] trait plus the in-process
 //!   channel transport and a delay-modelling wrapper,
+//! * [`tcp`] — the [`tcp::TcpTransport`] per-rank socket endpoint, and the
+//!   [`tcp::LoopbackMesh`] that runs the unchanged threaded drivers over
+//!   real sockets,
 //! * [`communicator::Communicator`] — the MPI-like per-rank handle (send,
 //!   receive, barrier, allreduce),
 //! * [`convergence`] — local and global convergence detection for both the
@@ -20,11 +26,14 @@
 pub mod communicator;
 pub mod convergence;
 pub mod message;
+pub mod tcp;
 pub mod transport;
+pub mod wire;
 
 pub use communicator::{CommGroup, Communicator};
 pub use convergence::{ConvergenceBoard, LocalConvergence, ResidualTracker};
 pub use message::Message;
+pub use tcp::{BoundTcpTransport, LinkDelay, LoopbackMesh, TcpOptions, TcpTransport};
 pub use transport::{DelayedTransport, InProcTransport, LinkStats, Transport};
 
 /// Errors produced by the communication layer.
@@ -32,12 +41,15 @@ pub use transport::{DelayedTransport, InProcTransport, LinkStats, Transport};
 pub enum CommError {
     /// The destination or source rank does not exist.
     UnknownRank { rank: usize, total: usize },
-    /// The peer endpoint has been dropped (its thread exited).
+    /// The peer endpoint is gone (its thread exited, its process died, or
+    /// its socket closed).
     Disconnected { rank: usize },
     /// A blocking receive timed out.
     Timeout { rank: usize },
-    /// A message could not be decoded.
+    /// A message or frame could not be decoded.
     Codec(String),
+    /// A socket operation failed (bind, connect, handshake, read, write).
+    Io(String),
 }
 
 impl std::fmt::Display for CommError {
@@ -49,6 +61,7 @@ impl std::fmt::Display for CommError {
             CommError::Disconnected { rank } => write!(f, "rank {rank} disconnected"),
             CommError::Timeout { rank } => write!(f, "receive on rank {rank} timed out"),
             CommError::Codec(msg) => write!(f, "codec error: {msg}"),
+            CommError::Io(msg) => write!(f, "io error: {msg}"),
         }
     }
 }

@@ -163,7 +163,9 @@ impl Message {
                 let iteration = data.get_u64_le();
                 let offset = data.get_u64_le() as usize;
                 let len = data.get_u64_le() as usize;
-                if data.remaining() < 8 * len {
+                // `remaining / 8` (not `8 * len`) so a corrupted length
+                // cannot overflow the comparison.
+                if data.remaining() / 8 < len {
                     return Err(CommError::Codec(format!(
                         "truncated solution payload: expected {len} values"
                     )));
@@ -193,7 +195,7 @@ impl Message {
                         return Err(CommError::Codec("truncated batch column".to_string()));
                     }
                     let len = data.get_u64_le() as usize;
-                    if data.remaining() < 8 * len {
+                    if data.remaining() / 8 < len {
                         return Err(CommError::Codec(format!(
                             "truncated batch column payload: expected {len} values"
                         )));
@@ -324,6 +326,34 @@ mod tests {
         ));
         assert!(matches!(
             Message::decode(Bytes::from_static(&[99])),
+            Err(CommError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn corrupted_length_fields_do_not_overflow() {
+        // Regression: a corrupted header announcing u64::MAX values used to
+        // overflow the `8 * len` size check in debug builds.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(TAG_SOLUTION);
+        buf.put_u64_le(0); // from
+        buf.put_u64_le(1); // iteration
+        buf.put_u64_le(0); // offset
+        buf.put_u64_le(u64::MAX); // absurd length
+        assert!(matches!(
+            Message::decode(buf.freeze()),
+            Err(CommError::Codec(_))
+        ));
+
+        let mut batch = BytesMut::with_capacity(64);
+        batch.put_u8(TAG_SOLUTION_BATCH);
+        batch.put_u64_le(0);
+        batch.put_u64_le(1);
+        batch.put_u64_le(0);
+        batch.put_u64_le(1); // one column
+        batch.put_u64_le(u64::MAX); // absurd column length
+        assert!(matches!(
+            Message::decode(batch.freeze()),
             Err(CommError::Codec(_))
         ));
     }

@@ -66,16 +66,33 @@ impl LinkStats {
             .sum()
     }
 
-    fn record(&mut self, from: usize, to: usize, bytes: usize) {
+    pub(crate) fn record(&mut self, from: usize, to: usize, bytes: usize) {
         *self.messages.entry((from, to)).or_default() += 1;
         *self.bytes.entry((from, to)).or_default() += bytes;
     }
 }
 
+/// Poll granularity at which blocked in-process receives re-check whether
+/// their rank has been closed (see [`InProcTransport::close_rank`]).
+const CLOSED_RANK_POLL: Duration = Duration::from_millis(50);
+
 /// In-process transport: one unbounded channel per rank.
+///
+/// # Endpoint lifetime
+///
+/// The transport owns **both** halves of every rank's channel, so as long as
+/// the `Arc` is alive the channel layer can never observe a disconnect on its
+/// own — a worker thread exiting does not drop its receiver.  Rank death is
+/// therefore modelled explicitly with [`InProcTransport::close_rank`]: sends
+/// to (and receives on) a closed rank return [`CommError::Disconnected`]
+/// instead of queueing into (or blocking on) a mailbox nobody will ever
+/// drain.  This mirrors what the TCP transport reports when a peer process
+/// dies, keeping error handling transport-generic.
 pub struct InProcTransport {
     senders: Vec<Sender<Message>>,
     receivers: Vec<Receiver<Message>>,
+    /// Ranks explicitly marked dead via [`InProcTransport::close_rank`].
+    closed: Vec<std::sync::atomic::AtomicBool>,
     stats: Mutex<LinkStats>,
 }
 
@@ -92,6 +109,9 @@ impl InProcTransport {
         Arc::new(InProcTransport {
             senders,
             receivers,
+            closed: (0..num_ranks)
+                .map(|_| std::sync::atomic::AtomicBool::new(false))
+                .collect(),
             stats: Mutex::new(LinkStats::default()),
         })
     }
@@ -101,12 +121,29 @@ impl InProcTransport {
         self.stats.lock().clone()
     }
 
+    /// Marks `rank` as dead: subsequent sends to it and receives on it
+    /// return [`CommError::Disconnected`].  Queued messages are dropped.
+    pub fn close_rank(&self, rank: usize) -> Result<(), CommError> {
+        self.check_rank(rank)?;
+        self.closed[rank].store(true, std::sync::atomic::Ordering::SeqCst);
+        while self.receivers[rank].try_recv().is_ok() {}
+        Ok(())
+    }
+
     fn check_rank(&self, rank: usize) -> Result<(), CommError> {
         if rank >= self.senders.len() {
             return Err(CommError::UnknownRank {
                 rank,
                 total: self.senders.len(),
             });
+        }
+        Ok(())
+    }
+
+    fn check_open(&self, rank: usize) -> Result<(), CommError> {
+        self.check_rank(rank)?;
+        if self.closed[rank].load(std::sync::atomic::Ordering::SeqCst) {
+            return Err(CommError::Disconnected { rank });
         }
         Ok(())
     }
@@ -119,7 +156,7 @@ impl Transport for InProcTransport {
 
     fn send(&self, from: usize, to: usize, msg: Message) -> Result<(), CommError> {
         self.check_rank(from)?;
-        self.check_rank(to)?;
+        self.check_open(to)?;
         self.stats.lock().record(from, to, msg.encoded_len());
         self.senders[to]
             .send(msg)
@@ -127,14 +164,23 @@ impl Transport for InProcTransport {
     }
 
     fn recv(&self, rank: usize) -> Result<Message, CommError> {
-        self.check_rank(rank)?;
-        self.receivers[rank]
-            .recv()
-            .map_err(|_| CommError::Disconnected { rank })
+        // Poll in slices so a concurrent `close_rank` wakes this thread up:
+        // the transport holds both channel halves, so the channel itself can
+        // never signal the disconnect.
+        loop {
+            self.check_open(rank)?;
+            match self.receivers[rank].recv_timeout(CLOSED_RANK_POLL) {
+                Ok(msg) => return Ok(msg),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { rank })
+                }
+            }
+        }
     }
 
     fn try_recv(&self, rank: usize) -> Result<Option<Message>, CommError> {
-        self.check_rank(rank)?;
+        self.check_open(rank)?;
         match self.receivers[rank].try_recv() {
             Ok(msg) => Ok(Some(msg)),
             Err(crossbeam_channel::TryRecvError::Empty) => Ok(None),
@@ -145,12 +191,19 @@ impl Transport for InProcTransport {
     }
 
     fn recv_timeout(&self, rank: usize, timeout: Duration) -> Result<Message, CommError> {
-        self.check_rank(rank)?;
-        match self.receivers[rank].recv_timeout(timeout) {
-            Ok(msg) => Ok(msg),
-            Err(crossbeam_channel::RecvTimeoutError::Timeout) => Err(CommError::Timeout { rank }),
-            Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
-                Err(CommError::Disconnected { rank })
+        let deadline = std::time::Instant::now() + timeout;
+        loop {
+            self.check_open(rank)?;
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return Err(CommError::Timeout { rank });
+            }
+            match self.receivers[rank].recv_timeout(CLOSED_RANK_POLL.min(deadline - now)) {
+                Ok(msg) => return Ok(msg),
+                Err(crossbeam_channel::RecvTimeoutError::Timeout) => continue,
+                Err(crossbeam_channel::RecvTimeoutError::Disconnected) => {
+                    return Err(CommError::Disconnected { rank })
+                }
             }
         }
     }
@@ -342,5 +395,64 @@ mod tests {
     fn delayed_transport_requires_enough_machines() {
         let inner = InProcTransport::new(25);
         let _ = DelayedTransport::new(inner, cluster1(), 0.0);
+    }
+
+    #[test]
+    fn send_to_closed_rank_is_disconnected_not_a_panic() {
+        // Regression: the transport owns both channel halves, so a dead rank
+        // used to accept sends forever (its mailbox just grew); callers that
+        // assumed channel-layer disconnection would panic on unwrap paths.
+        // close_rank models the death explicitly.
+        let t = InProcTransport::new(3);
+        t.send(0, 2, Message::Halt).unwrap();
+        t.close_rank(2).unwrap();
+        assert_eq!(
+            t.send(0, 2, Message::Halt),
+            Err(CommError::Disconnected { rank: 2 })
+        );
+        assert_eq!(
+            t.recv_timeout(2, Duration::from_millis(1)),
+            Err(CommError::Disconnected { rank: 2 })
+        );
+        assert_eq!(t.try_recv(2), Err(CommError::Disconnected { rank: 2 }));
+        // Other ranks keep working.
+        t.send(0, 1, Message::Halt).unwrap();
+        assert_eq!(t.recv(1).unwrap(), Message::Halt);
+        assert!(t.close_rank(9).is_err());
+    }
+
+    #[test]
+    fn close_rank_wakes_a_blocked_recv() {
+        let t = InProcTransport::new(2);
+        let t2 = Arc::clone(&t);
+        let blocked = std::thread::spawn(move || t2.recv(1));
+        std::thread::sleep(Duration::from_millis(20));
+        t.close_rank(1).unwrap();
+        // The blocked receiver must observe the close instead of hanging.
+        assert_eq!(
+            blocked.join().unwrap(),
+            Err(CommError::Disconnected { rank: 1 })
+        );
+    }
+
+    #[test]
+    fn drop_order_audit_sender_outlives_worker_exit() {
+        // A worker thread that exits (normally or by panic) does not drop
+        // the transport's channel endpoints: sends to that rank stay Ok
+        // until the rank is closed explicitly, and never panic.
+        let t = InProcTransport::new(2);
+        let t2 = Arc::clone(&t);
+        std::thread::spawn(move || {
+            let _ = t2.recv(1); // worker exits immediately after one recv
+        });
+        t.send(0, 1, Message::Halt).unwrap();
+        // The worker is gone; sending again must still be a clean Ok (the
+        // transport holds the receiver), not a panic in the channel layer.
+        t.send(0, 1, Message::Halt).unwrap();
+        t.close_rank(1).unwrap();
+        assert!(matches!(
+            t.send(0, 1, Message::Halt),
+            Err(CommError::Disconnected { rank: 1 })
+        ));
     }
 }

@@ -174,8 +174,7 @@ fn async_worker(
                 values,
             } = received
             {
-                neighbor.update(from, iteration, offset, values);
-                fresh_data = true;
+                fresh_data |= neighbor.update(from, iteration, offset, values);
             }
         }
         // Fresh dependency data that actually moves the local solution shows

@@ -1,0 +1,838 @@
+//! Per-rank multisplitting drivers for multi-process execution.
+//!
+//! The threaded drivers ([`crate::sync_driver`], [`crate::async_driver`])
+//! run every band inside one process and use shared memory for the
+//! collectives (barrier, allreduce) and the asynchronous convergence board.
+//! When every band is a separate OS process joined by sockets, those shared
+//! structures are unavailable, so this module provides [`run_rank`]: the
+//! same Algorithm 1 iteration body, with **message-based** convergence
+//! detection — the centralized scheme the paper cites \[2\], with rank 0
+//! acting as coordinator:
+//!
+//! * **synchronous** — each iteration every rank sends its
+//!   [`Message::ConvergenceVote`] to rank 0 and then blocks until it has
+//!   both rank 0's decision for that iteration and the solution slices of
+//!   every peer it depends on; the vote wait *is* the barrier and the
+//!   decision broadcast *is* the allreduce, so the iterates are identical to
+//!   the in-process synchronous driver's,
+//! * **asynchronous** — ranks free-run and send votes to rank 0 on verdict
+//!   changes (refreshed periodically); rank 0 runs a confirmation-wave board
+//!   mirroring [`msplit_comm::ConvergenceBoard`] and broadcasts
+//!   [`Message::GlobalConverged`] once every rank has re-confirmed its
+//!   converged vote for the configured number of waves.
+//!
+//! A rank that exhausts its iteration budget (or hits a transport error)
+//! broadcasts [`Message::Halt`] so no peer spins forever.
+
+use crate::driver_common::{increment_norm, IterationWorkspace, NeighborData};
+use crate::solver::{ExecutionMode, MultisplittingConfig};
+use crate::CoreError;
+use msplit_comm::convergence::{LocalConvergence, ResidualTracker};
+use msplit_comm::message::Message;
+use msplit_comm::transport::Transport;
+use msplit_comm::CommError;
+use msplit_sparse::{BandPartition, LocalBlocks};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How often (in iterations) an asynchronous rank re-sends an unchanged
+/// convergence vote to the coordinator, so confirmation waves complete even
+/// when every verdict is stable.
+const VOTE_REFRESH_ITERATIONS: u64 = 25;
+
+/// Poll granularity of the blocking waits.
+const WAIT_SLICE: Duration = Duration::from_millis(100);
+
+/// Result of one rank's participation in a distributed solve.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// This rank (= band index).
+    pub rank: usize,
+    /// The rank's solution over its *extended* range.
+    pub x_local: Vec<f64>,
+    /// Outer iterations performed by this rank.
+    pub iterations: u64,
+    /// Last observed increment norm.
+    pub last_increment: f64,
+    /// Whether global convergence was reached.
+    pub converged: bool,
+    /// Wall-clock seconds spent in the iteration loop (factorization
+    /// included).
+    pub wall_seconds: f64,
+}
+
+/// Options of a distributed rank run that are not part of the numerical
+/// configuration.
+#[derive(Debug, Clone)]
+pub struct RankOptions {
+    /// How long a blocking wait (lockstep votes, peer slices) may stall
+    /// before the run is abandoned with an error.
+    pub peer_timeout: Duration,
+}
+
+impl Default for RankOptions {
+    fn default() -> Self {
+        RankOptions {
+            peer_timeout: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Coordinator-side vote board for the asynchronous mode: a message-based
+/// port of [`msplit_comm::ConvergenceBoard`]'s confirmation waves.  Global
+/// convergence is declared only after every rank has re-sent a "converged"
+/// vote `required` times *after* the all-converged state was first observed,
+/// and any "not converged" vote resets the pending waves.
+#[derive(Debug)]
+pub(crate) struct VoteBoard {
+    votes: Vec<bool>,
+    confirmed: Vec<bool>,
+    in_wave: bool,
+    waves_done: u64,
+    required: u64,
+    global: bool,
+}
+
+impl VoteBoard {
+    pub(crate) fn new(world: usize, required: u64) -> Self {
+        VoteBoard {
+            votes: vec![false; world],
+            confirmed: vec![false; world],
+            in_wave: false,
+            waves_done: 0,
+            required: required.max(1),
+            global: false,
+        }
+    }
+
+    /// Records a vote; returns `true` once global convergence is latched.
+    pub(crate) fn record(&mut self, from: usize, converged: bool) -> bool {
+        if self.global || from >= self.votes.len() {
+            return self.global;
+        }
+        if !converged {
+            self.votes[from] = false;
+            self.in_wave = false;
+            self.waves_done = 0;
+            return false;
+        }
+        self.votes[from] = true;
+        if !self.votes.iter().all(|&v| v) {
+            return false;
+        }
+        if !self.in_wave {
+            self.in_wave = true;
+            self.confirmed.iter_mut().for_each(|c| *c = false);
+        }
+        self.confirmed[from] = true;
+        if self.confirmed.iter().all(|&c| c) {
+            self.waves_done += 1;
+            if self.waves_done >= self.required {
+                self.global = true;
+            } else {
+                self.confirmed.iter_mut().for_each(|c| *c = false);
+            }
+        }
+        self.global
+    }
+
+    pub(crate) fn is_global(&self) -> bool {
+        self.global
+    }
+}
+
+/// Why the iteration loop ended early.
+enum Interrupt {
+    /// A peer (or the coordinator) declared global convergence.
+    Converged,
+    /// A peer aborted the run.
+    Halted,
+}
+
+/// Runs one rank of the distributed multisplitting solve over `transport`.
+///
+/// * `partition` / `blk` — the global band partition and this rank's blocks
+///   (the rank is `blk.part`); the factorization of `blk.a_sub` happens
+///   here, so singularity surfaces before any message is exchanged,
+/// * `send_targets` — the peers this rank's slice must be sent to each
+///   iteration (row `blk.part` of [`crate::Decomposition::send_targets`]),
+/// * `senders_to_me` — the peers whose slices this rank waits for in
+///   lockstep mode (every `t` with `blk.part ∈ send_targets[t]`),
+/// * `transport` — any [`Transport`]; the multi-process runtime passes a
+///   [`msplit_comm::TcpTransport`] endpoint whose local rank is `blk.part`.
+pub fn run_rank(
+    partition: &BandPartition,
+    blk: &LocalBlocks,
+    send_targets: &[usize],
+    senders_to_me: &[usize],
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    options: &RankOptions,
+) -> Result<RankOutcome, CoreError> {
+    let start = Instant::now();
+    let world = partition.num_parts();
+    let rank = blk.part;
+    if transport.num_ranks() != world {
+        return Err(CoreError::Decomposition(format!(
+            "transport has {} ranks but the decomposition has {world} parts",
+            transport.num_ranks()
+        )));
+    }
+    let solver = config.solver_kind.build();
+    let factor = solver.factorize(&blk.a_sub).map_err(CoreError::Direct)?;
+
+    let result = match config.mode {
+        ExecutionMode::Synchronous => sync_rank_loop(
+            partition,
+            blk,
+            factor.as_ref(),
+            send_targets,
+            senders_to_me,
+            config,
+            transport.as_ref(),
+            options,
+        ),
+        ExecutionMode::Asynchronous => async_rank_loop(
+            partition,
+            blk,
+            factor.as_ref(),
+            send_targets,
+            config,
+            transport.as_ref(),
+        ),
+    };
+    match result {
+        Ok((x_local, iterations, last_increment, converged)) => Ok(RankOutcome {
+            rank,
+            x_local,
+            iterations,
+            last_increment,
+            converged,
+            wall_seconds: start.elapsed().as_secs_f64(),
+        }),
+        Err(e) => {
+            // Do not leave peers spinning on a rank that will never answer.
+            broadcast_halt(transport.as_ref(), rank, world);
+            Err(e)
+        }
+    }
+}
+
+fn broadcast_halt(transport: &dyn Transport, rank: usize, world: usize) {
+    for to in 0..world {
+        if to != rank {
+            let _ = transport.send(rank, to, Message::Halt);
+        }
+    }
+}
+
+fn send_slice(
+    transport: &dyn Transport,
+    rank: usize,
+    targets: &[usize],
+    iteration: u64,
+    offset: usize,
+    x_sub: &[f64],
+) -> Result<(), CoreError> {
+    let msg = Message::Solution {
+        from: rank,
+        iteration,
+        offset,
+        values: x_sub.to_vec(),
+    };
+    for &t in targets {
+        transport
+            .send(rank, t, msg.clone())
+            .map_err(CoreError::Comm)?;
+    }
+    Ok(())
+}
+
+type LoopResult = Result<(Vec<f64>, u64, f64, bool), CoreError>;
+
+#[allow(clippy::too_many_arguments)]
+fn sync_rank_loop(
+    partition: &BandPartition,
+    blk: &LocalBlocks,
+    factor: &dyn msplit_direct::api::Factorization,
+    send_targets: &[usize],
+    senders_to_me: &[usize],
+    config: &MultisplittingConfig,
+    transport: &dyn Transport,
+    options: &RankOptions,
+) -> LoopResult {
+    let world = partition.num_parts();
+    let rank = blk.part;
+    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
+    let mut ws = IterationWorkspace::new();
+    ws.prepare_single(blk);
+    let IterationWorkspace {
+        x_global,
+        rhs,
+        x_sub,
+        scratch,
+        ..
+    } = &mut ws;
+    let mut tracker = ResidualTracker::new(config.tolerance, 1);
+    let mut iterations = 0u64;
+    let mut last_increment = f64::INFINITY;
+    let mut converged = false;
+
+    // Coordinator bookkeeping (rank 0 only).
+    let mut votes = vec![false; world];
+    // Slices stamped with a *future* iteration: a fast peer that already
+    // received the continue decision may deliver its next slice while this
+    // rank is still waiting on the current one.  Applying it immediately
+    // would leak (i+1)-data into the (i+1)-th solve, breaking the lockstep
+    // equivalence with the threaded driver, so it is parked until the wait
+    // of the iteration it belongs to.
+    let mut deferred: Vec<(usize, u64, usize, Vec<f64>)> = Vec::new();
+
+    'outer: while iterations < config.max_iterations {
+        iterations += 1;
+
+        neighbor.fill_dependencies(x_global);
+        blk.local_rhs_into(&blk.b_sub, x_global, rhs)?;
+        factor.solve_into(rhs, scratch)?;
+        last_increment = increment_norm(rhs, x_sub);
+        x_sub.copy_from_slice(rhs);
+
+        send_slice(transport, rank, send_targets, iterations, blk.offset, x_sub)?;
+        let local = tracker.record(last_increment).as_bool();
+
+        // Lockstep synchronization: everything below replaces the barrier +
+        // allreduce of the in-process driver with explicit messages.
+        let deadline = Instant::now() + options.peer_timeout;
+        let mut pending_slices: Vec<bool> = senders_to_me.iter().map(|_| true).collect();
+        for (from, iteration, offset, values) in std::mem::take(&mut deferred) {
+            mark_slice(
+                senders_to_me,
+                &mut pending_slices,
+                from,
+                iteration,
+                iterations,
+            );
+            neighbor.update(from, iteration, offset, values);
+        }
+        let decision;
+        if rank == 0 {
+            votes.iter_mut().for_each(|v| *v = false);
+            votes[0] = local;
+            let mut vote_seen = vec![false; world];
+            vote_seen[0] = true;
+            loop {
+                if vote_seen.iter().all(|&v| v) && !pending_slices.iter().any(|&p| p) {
+                    break;
+                }
+                match wait_message(transport, rank, deadline, "votes and slices")? {
+                    Message::Solution {
+                        from,
+                        iteration,
+                        offset,
+                        values,
+                    } => accept_lockstep_slice(
+                        &mut deferred,
+                        senders_to_me,
+                        &mut pending_slices,
+                        &mut neighbor,
+                        iterations,
+                        (from, iteration, offset, values),
+                    ),
+                    Message::ConvergenceVote {
+                        from,
+                        iteration,
+                        converged: vote,
+                    } if iteration == iterations && from < world => {
+                        votes[from] = vote;
+                        vote_seen[from] = true;
+                    }
+                    Message::Halt => break 'outer,
+                    _ => {}
+                }
+            }
+            decision = votes.iter().all(|&v| v);
+            let note = Message::ConvergenceVote {
+                from: 0,
+                iteration: iterations,
+                converged: decision,
+            };
+            for to in 1..world {
+                transport
+                    .send(rank, to, note.clone())
+                    .map_err(CoreError::Comm)?;
+            }
+        } else {
+            transport
+                .send(
+                    rank,
+                    0,
+                    Message::ConvergenceVote {
+                        from: rank,
+                        iteration: iterations,
+                        converged: local,
+                    },
+                )
+                .map_err(CoreError::Comm)?;
+            let mut verdict: Option<bool> = None;
+            loop {
+                match verdict {
+                    // Converged: the pending slices of this iteration are
+                    // irrelevant. Continuing: wait for every dependency so
+                    // the next iterate matches the lockstep semantics.
+                    Some(true) => break,
+                    Some(false) if !pending_slices.iter().any(|&p| p) => break,
+                    _ => {}
+                }
+                match wait_message(transport, rank, deadline, "decision and slices")? {
+                    Message::Solution {
+                        from,
+                        iteration,
+                        offset,
+                        values,
+                    } => accept_lockstep_slice(
+                        &mut deferred,
+                        senders_to_me,
+                        &mut pending_slices,
+                        &mut neighbor,
+                        iterations,
+                        (from, iteration, offset, values),
+                    ),
+                    Message::ConvergenceVote {
+                        from: 0,
+                        iteration,
+                        converged: d,
+                    } if iteration == iterations => verdict = Some(d),
+                    Message::GlobalConverged { .. } => {
+                        converged = true;
+                        break 'outer;
+                    }
+                    Message::Halt => break 'outer,
+                    _ => {}
+                }
+            }
+            decision = verdict.unwrap_or(false);
+        }
+        if decision {
+            converged = true;
+            break;
+        }
+    }
+    Ok((x_sub.clone(), iterations, last_increment, converged))
+}
+
+/// Routes one received solution slice in a lockstep wait (shared by the
+/// coordinator and peer loops): a slice stamped with a *future* iteration is
+/// parked in `deferred` until its iteration's wait, anything else clears its
+/// pending slot and updates the dependency data.
+fn accept_lockstep_slice(
+    deferred: &mut Vec<(usize, u64, usize, Vec<f64>)>,
+    senders: &[usize],
+    pending: &mut [bool],
+    neighbor: &mut NeighborData,
+    current: u64,
+    slice: (usize, u64, usize, Vec<f64>),
+) {
+    let (from, iteration, offset, values) = slice;
+    if iteration > current {
+        deferred.push((from, iteration, offset, values));
+    } else {
+        mark_slice(senders, pending, from, iteration, current);
+        neighbor.update(from, iteration, offset, values);
+    }
+}
+
+/// Marks a pending dependency slice as delivered when its iteration stamp
+/// matches the current lockstep iteration.
+fn mark_slice(senders: &[usize], pending: &mut [bool], from: usize, iteration: u64, current: u64) {
+    if iteration == current {
+        if let Some(slot) = senders.iter().position(|&s| s == from) {
+            pending[slot] = false;
+        }
+    }
+}
+
+/// Blocking receive with an overall deadline, surfacing a descriptive
+/// timeout error (a vanished peer must fail the run, not hang it).
+fn wait_message(
+    transport: &dyn Transport,
+    rank: usize,
+    deadline: Instant,
+    waiting_for: &str,
+) -> Result<Message, CoreError> {
+    loop {
+        let now = Instant::now();
+        if now >= deadline {
+            return Err(CoreError::Distributed(format!(
+                "rank {rank}: timed out waiting for {waiting_for}"
+            )));
+        }
+        match transport.recv_timeout(rank, WAIT_SLICE.min(deadline - now)) {
+            Ok(msg) => return Ok(msg),
+            Err(CommError::Timeout { .. }) => continue,
+            Err(e) => return Err(CoreError::Comm(e)),
+        }
+    }
+}
+
+/// Free-running send that treats a disconnected peer as gone rather than
+/// fatal (see the `dead_peers` comment in [`async_rank_loop`]); every other
+/// transport error still aborts the run.
+fn send_tolerating_death(
+    transport: &dyn Transport,
+    rank: usize,
+    to: usize,
+    msg: Message,
+    dead_peers: &mut [bool],
+) -> Result<(), CoreError> {
+    if dead_peers[to] {
+        return Ok(());
+    }
+    match transport.send(rank, to, msg) {
+        Ok(()) => Ok(()),
+        Err(CommError::Disconnected { .. }) => {
+            dead_peers[to] = true;
+            Ok(())
+        }
+        Err(e) => Err(CoreError::Comm(e)),
+    }
+}
+
+fn async_rank_loop(
+    partition: &BandPartition,
+    blk: &LocalBlocks,
+    factor: &dyn msplit_direct::api::Factorization,
+    send_targets: &[usize],
+    config: &MultisplittingConfig,
+    transport: &dyn Transport,
+) -> LoopResult {
+    let world = partition.num_parts();
+    let rank = blk.part;
+    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
+    let mut ws = IterationWorkspace::new();
+    ws.prepare_single(blk);
+    let IterationWorkspace {
+        x_global,
+        rhs,
+        x_sub,
+        scratch,
+        ..
+    } = &mut ws;
+    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
+    let mut tracker = ResidualTracker::new(config.tolerance, 2);
+    let mut iterations = 0u64;
+    let mut last_increment = f64::INFINITY;
+    let mut converged = false;
+    let mut interrupt: Option<Interrupt> = None;
+
+    let mut board = (rank == 0).then(|| VoteBoard::new(world, config.async_confirmations));
+    let mut last_vote_sent: Option<bool> = None;
+    // Peers observed dead on a send.  In the free-running mode a peer that
+    // reached global convergence exits while slower ranks are still sending
+    // to it — that race is benign (the `GlobalConverged` it flushed on the
+    // way out is already queued or in flight), so a disconnected peer is
+    // skipped rather than fatal.  A genuinely crashed peer is caught by the
+    // launcher watching worker exit codes.
+    let mut dead_peers = vec![false; world];
+
+    while iterations < config.max_iterations {
+        iterations += 1;
+
+        // Drain whatever has arrived since the last iteration.
+        let mut fresh_data = false;
+        loop {
+            match transport.try_recv(rank) {
+                Ok(Some(Message::Solution {
+                    from,
+                    iteration,
+                    offset,
+                    values,
+                })) => {
+                    fresh_data |= neighbor.update(from, iteration, offset, values);
+                }
+                Ok(Some(Message::ConvergenceVote {
+                    from,
+                    converged: vote,
+                    ..
+                })) => {
+                    if let Some(board) = board.as_mut() {
+                        board.record(from, vote);
+                    }
+                }
+                Ok(Some(Message::GlobalConverged { .. })) => {
+                    interrupt = Some(Interrupt::Converged);
+                    break;
+                }
+                Ok(Some(Message::Halt)) => {
+                    interrupt = Some(Interrupt::Halted);
+                    break;
+                }
+                Ok(Some(_)) => {}
+                Ok(None) => break,
+                Err(e) => return Err(CoreError::Comm(e)),
+            }
+        }
+        match interrupt {
+            Some(Interrupt::Converged) => {
+                converged = true;
+                break;
+            }
+            Some(Interrupt::Halted) => break,
+            None => {}
+        }
+
+        neighbor.fill_dependencies(x_global);
+        // Inputs still moving must veto a "converged" vote even when the
+        // local increment is tiny (same guard as the threaded async driver).
+        let mut dep_change = 0.0f64;
+        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+            dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
+            prev_deps[slot] = x_global[g];
+        }
+        blk.local_rhs_into(&blk.b_sub, x_global, rhs)?;
+        factor.solve_into(rhs, scratch)?;
+        last_increment = increment_norm(rhs, x_sub).max(dep_change);
+        x_sub.copy_from_slice(rhs);
+
+        let slice = Message::Solution {
+            from: rank,
+            iteration: iterations,
+            offset: blk.offset,
+            values: x_sub.clone(),
+        };
+        for &t in send_targets {
+            send_tolerating_death(transport, rank, t, slice.clone(), &mut dead_peers)?;
+        }
+
+        let local = tracker.record(last_increment) == LocalConvergence::Converged;
+        if let Some(board) = board.as_mut() {
+            board.record(0, local);
+            if board.is_global() {
+                let note = Message::GlobalConverged {
+                    iteration: iterations,
+                };
+                for to in 1..world {
+                    send_tolerating_death(transport, rank, to, note.clone(), &mut dead_peers)?;
+                }
+                converged = true;
+                break;
+            }
+        } else if last_vote_sent != Some(local)
+            || iterations.is_multiple_of(VOTE_REFRESH_ITERATIONS)
+        {
+            let vote = Message::ConvergenceVote {
+                from: rank,
+                iteration: iterations,
+                converged: local,
+            };
+            send_tolerating_death(transport, rank, 0, vote, &mut dead_peers)?;
+            last_vote_sent = Some(local);
+        }
+
+        if local && !fresh_data {
+            // Locally stable and nothing new arrived: yield briefly instead
+            // of flooding the network with identical slices.
+            std::thread::sleep(Duration::from_micros(100));
+        }
+    }
+    if !converged && interrupt.is_none() {
+        // Budget exhausted: tell the peers so nobody spins forever.
+        broadcast_halt(transport, rank, world);
+    }
+    Ok((x_sub.clone(), iterations, last_increment, converged))
+}
+
+/// For every rank, the peers whose slices it receives each iteration — the
+/// transpose of [`crate::Decomposition::send_targets`].
+pub fn receive_sources(send_targets: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut sources = vec![Vec::new(); send_targets.len()];
+    for (sender, targets) in send_targets.iter().enumerate() {
+        for &t in targets {
+            sources[t].push(sender);
+        }
+    }
+    for s in &mut sources {
+        s.sort_unstable();
+        s.dedup();
+    }
+    sources
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::Decomposition;
+    use crate::solver::MultisplittingConfig;
+    use crate::weighting::WeightingScheme;
+    use msplit_comm::InProcTransport;
+    use msplit_direct::SolverKind;
+    use msplit_sparse::generators::{self, DiagDominantConfig};
+
+    fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
+        MultisplittingConfig {
+            parts,
+            overlap: 0,
+            weighting: WeightingScheme::OwnerTakes,
+            solver_kind: SolverKind::SparseLu,
+            tolerance: 1e-10,
+            max_iterations: 20_000,
+            mode,
+            async_confirmations: 3,
+            relative_speeds: Vec::new(),
+        }
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    /// Runs every rank of `run_rank` in its own thread over one in-process
+    /// transport and assembles the global solution — the multi-process
+    /// topology without the processes.
+    fn run_all_ranks(
+        a: &msplit_sparse::CsrMatrix,
+        b: &[f64],
+        cfg: &MultisplittingConfig,
+    ) -> (Vec<f64>, Vec<RankOutcome>) {
+        let d = Decomposition::uniform(a, b, cfg.parts, cfg.overlap).unwrap();
+        let targets = d.send_targets();
+        let sources = receive_sources(&targets);
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let transport = InProcTransport::new(cfg.parts);
+        let outcomes: Vec<RankOutcome> = std::thread::scope(|scope| {
+            let handles: Vec<_> = blocks
+                .iter()
+                .map(|blk| {
+                    let transport: Arc<dyn Transport> = transport.clone();
+                    let partition = &partition;
+                    let targets = &targets;
+                    let sources = &sources;
+                    scope.spawn(move || {
+                        run_rank(
+                            partition,
+                            blk,
+                            &targets[blk.part],
+                            &sources[blk.part],
+                            cfg,
+                            transport,
+                            &RankOptions::default(),
+                        )
+                        .unwrap()
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let locals: Vec<Vec<f64>> = outcomes.iter().map(|o| o.x_local.clone()).collect();
+        let x = cfg.weighting.assemble(&partition, &locals);
+        (x, outcomes)
+    }
+
+    #[test]
+    fn vote_board_requires_full_confirmation_waves() {
+        let mut b = VoteBoard::new(2, 2);
+        assert!(!b.record(0, true));
+        assert!(!b.record(1, true)); // all true -> wave 1 starts, rank1 confirmed
+        assert!(!b.record(0, true)); // wave 1 complete
+        assert!(!b.record(1, true));
+        assert!(b.record(0, true)); // wave 2 complete -> global
+        assert!(b.is_global());
+        // Latched: later dissent is ignored.
+        assert!(b.record(1, false));
+    }
+
+    #[test]
+    fn vote_board_resets_on_dissent() {
+        let mut b = VoteBoard::new(2, 1);
+        b.record(0, true);
+        b.record(1, true); // wave started, rank1 confirmed
+        b.record(1, false); // dissent resets everything
+        assert!(!b.is_global());
+        b.record(1, true);
+        assert!(!b.is_global()); // fresh wave: rank1 confirmed, rank0 pending
+        assert!(b.record(0, true));
+    }
+
+    #[test]
+    fn distributed_sync_matches_threaded_sync() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 240,
+            seed: 15,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 9) as f64) - 4.0);
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let (x, outcomes) = run_all_ranks(&a, &b, &cfg);
+        assert!(outcomes.iter().all(|o| o.converged));
+        // Lockstep: every rank performs the same number of iterations.
+        let iters: Vec<u64> = outcomes.iter().map(|o| o.iterations).collect();
+        assert!(iters.iter().all(|&i| i == iters[0]), "iters {iters:?}");
+        assert!(max_err(&x, &x_true) < 1e-7);
+
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let threaded = crate::sync_driver::solve_sync_inproc(d, &cfg).unwrap();
+        assert!(threaded.converged);
+        // Same iteration body, same lockstep semantics: identical iterates.
+        assert_eq!(threaded.iterations, iters[0]);
+        assert!(max_err(&x, &threaded.x) < 1e-12);
+    }
+
+    #[test]
+    fn distributed_async_converges_to_the_solution() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 300,
+            seed: 8,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+        let cfg = config(4, ExecutionMode::Asynchronous);
+        let (x, outcomes) = run_all_ranks(&a, &b, &cfg);
+        assert!(outcomes.iter().all(|o| o.converged));
+        assert!(max_err(&x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn budget_exhaustion_halts_every_rank() {
+        let a = generators::spectral_radius_targeted(120, 0.995);
+        let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
+        let mut cfg = config(3, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 5;
+        let (_, outcomes) = run_all_ranks(&a, &b, &cfg);
+        assert!(outcomes.iter().all(|o| !o.converged));
+        assert!(outcomes.iter().all(|o| o.iterations <= 5));
+    }
+
+    #[test]
+    fn receive_sources_transposes_targets() {
+        let targets = vec![vec![1], vec![0, 2], vec![1]];
+        assert_eq!(
+            receive_sources(&targets),
+            vec![vec![1], vec![0, 2], vec![1]]
+        );
+    }
+
+    #[test]
+    fn rank_mismatch_is_rejected() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let b = vec![1.0; 30];
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let blk = d.blocks(0).clone();
+        let transport: Arc<dyn Transport> = InProcTransport::new(2);
+        assert!(matches!(
+            run_rank(
+                &partition,
+                &blk,
+                &[1],
+                &[1],
+                &cfg,
+                transport,
+                &RankOptions::default()
+            ),
+            Err(CoreError::Decomposition(_))
+        ));
+    }
+}

@@ -60,15 +60,26 @@ impl NeighborData {
     /// Records a received solution slice.  Stale slices (older iteration than
     /// one already stored) are ignored, which matters in asynchronous mode
     /// where messages can be processed out of order.
-    pub(crate) fn update(&mut self, from: usize, iteration: u64, offset: usize, values: Vec<f64>) {
+    ///
+    /// Returns whether the slice was actually applied — a discarded stale
+    /// duplicate must not count as "fresh data" in the drivers' convergence
+    /// guards.
+    pub(crate) fn update(
+        &mut self,
+        from: usize,
+        iteration: u64,
+        offset: usize,
+        values: Vec<f64>,
+    ) -> bool {
         if from >= self.latest.len() {
-            return;
+            return false;
         }
         if iteration < self.stamps[from] {
-            return;
+            return false;
         }
         self.stamps[from] = iteration;
         self.latest[from] = Some((offset, values));
+        true
     }
 
     /// Whether any slice from any peer has been recorded.

@@ -57,8 +57,10 @@
 pub mod async_driver;
 pub mod baseline;
 pub mod decomposition;
+pub mod distributed;
 pub(crate) mod driver_common;
 pub mod experiment;
+pub mod launcher;
 pub mod perf_model;
 pub mod prepared;
 pub mod sequential;
@@ -68,6 +70,8 @@ pub mod theory;
 pub mod weighting;
 
 pub use decomposition::Decomposition;
+pub use distributed::{run_rank, RankOptions, RankOutcome};
+pub use launcher::{DistributedOutcome, Launcher, LauncherConfig};
 pub use prepared::PreparedSystem;
 pub use solver::{
     BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder,
@@ -107,6 +111,9 @@ pub enum CoreError {
     },
     /// A worker thread panicked.
     WorkerPanic(String),
+    /// The distributed runtime failed (worker spawn, job shipping, a peer
+    /// timing out or dying mid-solve).
+    Distributed(String),
 }
 
 impl std::fmt::Display for CoreError {
@@ -125,6 +132,7 @@ impl std::fmt::Display for CoreError {
                 "iteration did not converge after {iterations} iterations (last increment {last_increment:e})"
             ),
             CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+            CoreError::Distributed(msg) => write!(f, "distributed runtime error: {msg}"),
         }
     }
 }

@@ -245,15 +245,31 @@ fn sync_worker(
     let mut last_increment = f64::INFINITY;
     let mut converged = false;
     let mut bytes_sent_per_iteration = 0usize;
+    // Convergence guards for transports whose delivery is not synchronous
+    // with the barrier (TCP): a rank with dependencies may only count a
+    // tiny increment as convergence evidence when (a) fresh slices actually
+    // arrived this sweep — a sweep whose slices are still in flight
+    // recomputes the same iterate, a zero increment that says nothing —
+    // and (b) the arrived data did not move its dependency values, which
+    // catches slices that land in the very drain where everyone votes.
+    // In-process, delivery always precedes the barrier and every peer's
+    // movement is bounded by its own increment (already part of the
+    // allreduce AND), so neither guard changes that path.
+    let needs_fresh_data = !neighbor.dependency_columns().is_empty();
+    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
+
+    // Initial dependency fill (nothing received yet: the initial guess).
+    neighbor.fill_dependencies(x_global);
+    for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+        prev_deps[slot] = x_global[g];
+    }
 
     while iterations < config.max_iterations {
         iterations += 1;
 
-        // (1) dependency values from the latest received slices
-        neighbor.fill_dependencies(x_global);
-
-        // (2) local solve: BLoc assembled into the retained buffer, then
-        // solved in place — zero heap allocations on this path.
+        // (1)+(2) local solve against the current dependency values: BLoc
+        // assembled into the retained buffer, then solved in place — zero
+        // heap allocations on this path.
         blk.local_rhs_into(b_sub, x_global, rhs)?;
         factor.solve_into(rhs, scratch)?;
         last_increment = increment_norm(rhs, x_sub);
@@ -273,9 +289,11 @@ fn sync_worker(
             comm.send(t, msg.clone())?;
         }
 
-        // (4) synchronize, collect the slices of this iteration, agree on
-        // global convergence
+        // (4) synchronize, collect the slices of this iteration, refresh the
+        // dependency values for the next sweep, and agree on global
+        // convergence
         comm.barrier();
+        let mut fresh_data = false;
         for received in comm.drain()? {
             if let Message::Solution {
                 from,
@@ -284,11 +302,19 @@ fn sync_worker(
                 values,
             } = received
             {
-                neighbor.update(from, iteration, offset, values);
+                fresh_data |= neighbor.update(from, iteration, offset, values);
             }
         }
+        neighbor.fill_dependencies(x_global);
+        let mut dep_change = 0.0f64;
+        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+            dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
+            prev_deps[slot] = x_global[g];
+        }
         let local = tracker.record(last_increment);
-        if comm.allreduce_and(local.as_bool()) {
+        let vote =
+            local.as_bool() && dep_change <= config.tolerance && (fresh_data || !needs_fresh_data);
+        if comm.allreduce_and(vote) {
             converged = true;
             break;
         }
@@ -479,18 +505,31 @@ fn sync_batch_worker(
     let mut last_increment = f64::INFINITY;
     let mut converged = false;
     let mut bytes_sent_per_iteration = 0usize;
+    // Same stale-sweep and dependency-stability guards as `sync_worker`
+    // (see the comment there), applied across every column of the batch.
+    let needs_fresh_data = neighbors
+        .first()
+        .is_some_and(|n| !n.dependency_columns().is_empty());
+    let dep_cols_per_neighbor = neighbors
+        .first()
+        .map_or(0, |n| n.dependency_columns().len());
+    let mut prev_deps = vec![0.0f64; ncols * dep_cols_per_neighbor];
+
+    // Initial dependency fill (nothing received yet: the initial guess).
+    for ((c, neighbor), x_global) in neighbors.iter().enumerate().zip(x_globals.iter_mut()) {
+        neighbor.fill_dependencies(x_global);
+        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+            prev_deps[c * dep_cols_per_neighbor + slot] = x_global[g];
+        }
+    }
 
     while iterations < config.max_iterations {
         iterations += 1;
 
-        // (1) dependency values + (2) local right-hand sides, all columns,
-        // assembled into the retained column buffers.
-        for ((neighbor, x_global), (rhs, b_col)) in neighbors
-            .iter()
-            .zip(x_globals.iter_mut())
-            .zip(rhs_cols.iter_mut().zip(b_cols.iter()))
+        // (1)+(2) local right-hand sides against the current dependency
+        // values, all columns, assembled into the retained column buffers.
+        for (x_global, (rhs, b_col)) in x_globals.iter().zip(rhs_cols.iter_mut().zip(b_cols.iter()))
         {
-            neighbor.fill_dependencies(x_global);
             blk.local_rhs_into(b_col, x_global, rhs)?;
         }
         // One batched in-place triangular-solve pass for every column.
@@ -516,8 +555,10 @@ fn sync_batch_worker(
             comm.send(t, msg.clone())?;
         }
 
-        // (4) synchronize and agree on convergence of the whole batch
+        // (4) synchronize, refresh the dependency values for the next sweep,
+        // and agree on convergence of the whole batch
         comm.barrier();
+        let mut fresh_data = false;
         for received in comm.drain()? {
             if let Message::SolutionBatch {
                 from,
@@ -528,13 +569,24 @@ fn sync_batch_worker(
             {
                 for (c, col) in columns.into_iter().enumerate() {
                     if let Some(neighbor) = neighbors.get_mut(c) {
-                        neighbor.update(from, iteration, offset, col);
+                        fresh_data |= neighbor.update(from, iteration, offset, col);
                     }
                 }
             }
         }
+        let mut dep_change = 0.0f64;
+        for ((c, neighbor), x_global) in neighbors.iter().enumerate().zip(x_globals.iter_mut()) {
+            neighbor.fill_dependencies(x_global);
+            for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+                let prev = &mut prev_deps[c * dep_cols_per_neighbor + slot];
+                dep_change = dep_change.max((x_global[g] - *prev).abs());
+                *prev = x_global[g];
+            }
+        }
         let local = tracker.record(last_increment);
-        if comm.allreduce_and(local.as_bool()) {
+        let vote =
+            local.as_bool() && dep_change <= config.tolerance && (fresh_data || !needs_fresh_data);
+        if comm.allreduce_and(vote) {
             converged = true;
             break;
         }

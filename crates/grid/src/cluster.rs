@@ -208,6 +208,27 @@ pub fn cluster3() -> Grid {
     .expect("static configuration is valid")
 }
 
+/// A generic two-site grid of homogeneous machines: `site_a` machines on one
+/// 100 Mb LAN, `site_b` on another, joined by the paper's 20 Mb inter-site
+/// link.  This is the shape the distributed TCP runtime maps onto loopback
+/// worker meshes of arbitrary size: ranks `0..site_a` sit on site A, the
+/// rest on site B, and every A↔B send pays the modelled WAN delay.
+pub fn two_site(site_a: usize, site_b: usize) -> Result<Grid, GridError> {
+    let mk = |prefix: &str, count: usize| -> Vec<Machine> {
+        (0..count)
+            .map(|i| Machine::pentium4(format!("{prefix}-n{i:02}"), 2.6, 512))
+            .collect()
+    };
+    Grid::new(
+        format!("two_site({site_a}+{site_b})"),
+        vec![
+            Site::new("site-a", mk("tsa", site_a)),
+            Site::new("site-b", mk("tsb", site_b)),
+        ],
+        NetworkModel::two_site_wan(),
+    )
+}
+
 /// A single-machine "grid" used to model the sequential baseline runs (the
 /// 1-processor column of Table 1 and the failed sequential cage11 run).
 pub fn single_machine(memory_mb: usize) -> Grid {
@@ -320,5 +341,17 @@ mod tests {
         let g = single_machine(1024);
         assert_eq!(g.num_machines(), 1);
         assert_eq!(g.machine(0).unwrap().memory_mb, 1024);
+    }
+
+    #[test]
+    fn two_site_grid_prices_the_wan_crossing() {
+        let g = two_site(2, 2).unwrap();
+        assert_eq!(g.num_machines(), 4);
+        assert_eq!(g.site_of(1).unwrap(), 0);
+        assert_eq!(g.site_of(2).unwrap(), 1);
+        let intra = g.transfer_seconds(0, 1, 10_000).unwrap();
+        let inter = g.transfer_seconds(1, 2, 10_000).unwrap();
+        assert!(inter > intra);
+        assert!(two_site(0, 3).is_err());
     }
 }

@@ -37,6 +37,12 @@ impl LinkSpec {
         self.latency_s + (bytes as f64 * 8.0) / (self.bandwidth_mbps * 1e6)
     }
 
+    /// [`LinkSpec::transfer_seconds`] as a `Duration`, the form a socket
+    /// transport sleeps before a send to realize the modelled link cost.
+    pub fn transfer_duration(&self, bytes: usize) -> std::time::Duration {
+        std::time::Duration::from_secs_f64(self.transfer_seconds(bytes).max(0.0))
+    }
+
     /// A copy of this link with its bandwidth scaled by `factor` (0 < factor ≤ 1).
     pub fn with_bandwidth_factor(&self, factor: f64) -> LinkSpec {
         LinkSpec {

@@ -1,0 +1,175 @@
+//! `msplit-worker` — one rank of a distributed multisplitting solve.
+//!
+//! Spawned by [`multisplitting::core::Launcher`] (or by hand) with a job
+//! directory and a rank:
+//!
+//! ```text
+//! msplit-worker --job /tmp/msplit-job-1234-0 --rank 2
+//! ```
+//!
+//! The worker loads the shipped system (`system.mtx` + `rhs.vec`), rebuilds
+//! the same deterministic band decomposition every other rank builds,
+//! extracts its own blocks, joins the TCP mesh described by `job.cfg` (the
+//! handshake pins the matrix fingerprint) and runs the per-rank distributed
+//! driver.  Its extended-range solution slice and run metadata land back in
+//! the job directory for the launcher to gather.
+
+use multisplitting::comm::tcp::{BoundTcpTransport, TcpOptions};
+use multisplitting::core::distributed::{receive_sources, run_rank, RankOptions};
+use multisplitting::core::launcher::{self, JobSpec, RankMeta};
+use multisplitting::core::{CoreError, Decomposition, MultisplittingSolver};
+use multisplitting::sparse::io as sparse_io;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+struct Args {
+    job: PathBuf,
+    rank: usize,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut job = None;
+    let mut rank = None;
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--job" => job = Some(PathBuf::from(it.next().ok_or("--job needs a path")?)),
+            "--rank" => {
+                rank = Some(
+                    it.next()
+                        .ok_or("--rank needs a number")?
+                        .parse::<usize>()
+                        .map_err(|e| format!("bad rank: {e}"))?,
+                )
+            }
+            "--help" | "-h" => {
+                println!(
+                    "msplit-worker: one rank of a distributed multisplitting solve\n\
+                     usage: msplit-worker --job <job-dir> --rank <rank>\n\
+                     The job directory must contain job.cfg, system.mtx and rhs.vec\n\
+                     (written by the Launcher; see the `distributed_loopback` example)."
+                );
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(Args {
+        job: job.ok_or("missing --job <dir>")?,
+        rank: rank.ok_or("missing --rank <rank>")?,
+    })
+}
+
+fn run(job_dir: &Path, rank: usize) -> Result<(), CoreError> {
+    let spec = JobSpec::load(job_dir)?;
+    let world = spec.world_size();
+    if rank >= world {
+        return Err(CoreError::Distributed(format!(
+            "rank {rank} out of range for a {world}-rank job"
+        )));
+    }
+    if spec.config.parts != world {
+        return Err(CoreError::Distributed(format!(
+            "job.cfg declares {} parts but {} addresses",
+            spec.config.parts, world
+        )));
+    }
+
+    // Load and verify the shipped system: the fingerprint guards against a
+    // torn or stale matrix file before any socket opens.
+    let a = sparse_io::read_matrix_market(job_dir.join(launcher::job_files::MATRIX))
+        .map_err(CoreError::Sparse)?;
+    let b = sparse_io::read_vector_file(job_dir.join(launcher::job_files::RHS))
+        .map_err(CoreError::Sparse)?;
+    if a.fingerprint() != spec.fingerprint {
+        return Err(CoreError::Distributed(format!(
+            "matrix fingerprint {:#x} does not match job fingerprint {:#x}",
+            a.fingerprint(),
+            spec.fingerprint
+        )));
+    }
+
+    // Rebuild the deterministic decomposition every rank agrees on, keep
+    // only this rank's blocks.
+    let solver = MultisplittingSolver::new(spec.config.clone());
+    let decomposition: Decomposition = solver.decompose(&a, &b)?;
+    let send_targets = decomposition.send_targets();
+    let sources = receive_sources(&send_targets);
+    let partition = decomposition.partition().clone();
+    let (_, mut blocks) = decomposition.into_blocks();
+    let blk = blocks.swap_remove(rank);
+    drop(blocks);
+
+    // Join the mesh: bind this rank's listener, then full-mesh connect with
+    // the fingerprint-pinned handshake.
+    let bound = BoundTcpTransport::bind(rank, &spec.addrs[rank]).map_err(CoreError::Comm)?;
+    let transport = bound
+        .connect(
+            &spec.addrs,
+            TcpOptions {
+                fingerprint: spec.fingerprint,
+                connect_timeout: spec.peer_timeout,
+                delay: spec.link_delay()?,
+                ..Default::default()
+            },
+        )
+        .map_err(CoreError::Comm)?;
+    println!(
+        "worker rank {rank}/{world}: joined mesh, band rows {:?}, {} send targets",
+        partition.extended_range(rank),
+        send_targets[rank].len()
+    );
+
+    let outcome = run_rank(
+        &partition,
+        &blk,
+        &send_targets[rank],
+        &sources[rank],
+        &spec.config,
+        transport,
+        &RankOptions {
+            peer_timeout: spec.peer_timeout,
+        },
+    )?;
+
+    launcher::store_rank_result(
+        job_dir,
+        rank,
+        &RankMeta {
+            iterations: outcome.iterations,
+            converged: outcome.converged,
+            last_increment: outcome.last_increment,
+            wall_seconds: outcome.wall_seconds,
+        },
+        &outcome.x_local,
+    )?;
+    println!(
+        "worker rank {rank}/{world}: {} after {} iterations (last increment {:.3e}, {:.3}s)",
+        if outcome.converged {
+            "converged"
+        } else {
+            "did NOT converge"
+        },
+        outcome.iterations,
+        outcome.last_increment,
+        outcome.wall_seconds
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(msg) => {
+            eprintln!("msplit-worker: {msg} (try --help)");
+            return ExitCode::from(2);
+        }
+    };
+    match run(&args.job, args.rank) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("msplit-worker rank {}: {e}", args.rank);
+            ExitCode::FAILURE
+        }
+    }
+}

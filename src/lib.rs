@@ -10,8 +10,9 @@
 //!   behind the [`direct::DirectSolver`] abstraction,
 //! * [`grid`] — the cluster/network models of the paper's three testbeds and
 //!   the cost model used to replay executions on them,
-//! * [`comm`] — the in-process MPI-like communication layer with synchronous
-//!   and asynchronous convergence detection,
+//! * [`comm`] — the communication layer: in-process channels and a TCP
+//!   full-mesh transport behind one `Transport` trait, the binary wire
+//!   codec, and synchronous/asynchronous convergence detection,
 //! * [`core`] — the multisplitting-direct solver itself (decomposition,
 //!   weighting schemes, synchronous/asynchronous drivers, theory, baselines,
 //!   experiment runners),
@@ -62,6 +63,7 @@ pub use msplit_sparse as sparse;
 pub mod prelude {
     pub use msplit_core::baseline::{DistributedDirectBaseline, SequentialDirectBaseline};
     pub use msplit_core::experiment::{self, ExperimentConfig};
+    pub use msplit_core::launcher::{DistributedOutcome, Launcher, LauncherConfig};
     pub use msplit_core::perf_model::{replay_async, replay_sync, ProblemScaling};
     pub use msplit_core::solver::{
         BatchSolveOutcome, ExecutionMode, MultisplittingConfig, MultisplittingSolver, SolveOutcome,

@@ -1,0 +1,118 @@
+//! End-to-end multi-process tests: the launcher spawns real `msplit-worker`
+//! processes that solve over TCP on 127.0.0.1, and the gathered solution is
+//! compared against the in-process drivers on the identical system.
+
+use multisplitting::core::launcher::{GridSpec, Launcher, LauncherConfig, LinkDelaySpec};
+use multisplitting::prelude::*;
+use multisplitting::sparse::generators::{self, DiagDominantConfig};
+use std::path::PathBuf;
+use std::time::Duration;
+
+/// Cargo builds the worker binary before integration tests run and exports
+/// its path; pinning it here makes the tests independent of PATH and of the
+/// launcher's current-exe heuristics.
+fn worker_bin() -> PathBuf {
+    PathBuf::from(env!("CARGO_BIN_EXE_msplit-worker"))
+}
+
+fn launcher(delay: Option<LinkDelaySpec>) -> Launcher {
+    Launcher::new(LauncherConfig {
+        worker_binary: Some(worker_bin()),
+        timeout: Duration::from_secs(120),
+        peer_timeout: Duration::from_secs(60),
+        delay,
+        ..Default::default()
+    })
+}
+
+fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
+    MultisplittingConfig {
+        parts,
+        overlap: 0,
+        weighting: WeightingScheme::OwnerTakes,
+        solver_kind: SolverKind::SparseLu,
+        tolerance: 1e-10,
+        max_iterations: 30_000,
+        mode,
+        async_confirmations: 3,
+        relative_speeds: Vec::new(),
+    }
+}
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+#[test]
+fn two_process_sync_solve_matches_the_threaded_driver() {
+    let a = generators::diag_dominant(&DiagDominantConfig {
+        n: 160,
+        seed: 11,
+        ..Default::default()
+    });
+    let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 6) as f64) - 2.0);
+    let cfg = config(2, ExecutionMode::Synchronous);
+
+    let outcome = launcher(None).solve(&a, &b, &cfg).unwrap();
+    assert!(outcome.converged, "distributed sync did not converge");
+    assert!(max_err(&outcome.x, &x_true) < 1e-7);
+    // Lockstep across processes: both ranks perform the same iterations.
+    assert_eq!(
+        outcome.iterations_per_rank[0],
+        outcome.iterations_per_rank[1]
+    );
+
+    let threaded = MultisplittingSolver::new(cfg).solve(&a, &b).unwrap();
+    assert!(threaded.converged);
+    assert_eq!(threaded.iterations, outcome.iterations());
+    // The message-based lockstep reproduces the threaded iterates exactly.
+    assert!(max_err(&outcome.x, &threaded.x) < 1e-12);
+}
+
+#[test]
+fn four_process_async_solve_converges_over_delayed_links() {
+    let a = generators::diag_dominant(&DiagDominantConfig {
+        n: 240,
+        seed: 19,
+        ..Default::default()
+    });
+    let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 9) as f64);
+    let cfg = config(4, ExecutionMode::Asynchronous);
+
+    let outcome = launcher(Some(LinkDelaySpec {
+        grid: GridSpec::TwoSite {
+            site_a: 2,
+            site_b: 2,
+        },
+        time_scale: 1e-3,
+    }))
+    .solve(&a, &b, &cfg)
+    .unwrap();
+    assert!(outcome.converged, "distributed async did not converge");
+    assert!(max_err(&outcome.x, &x_true) < 1e-6);
+    assert!(outcome.residual(&a, &b) < 1e-6);
+    assert_eq!(outcome.iterations_per_rank.len(), 4);
+    assert!(outcome.iterations() >= 2);
+}
+
+#[test]
+fn distributed_budget_exhaustion_reports_non_convergence() {
+    let a = generators::spectral_radius_targeted(120, 0.995);
+    let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
+    let mut cfg = config(2, ExecutionMode::Asynchronous);
+    cfg.max_iterations = 5;
+    let outcome = launcher(None).solve(&a, &b, &cfg).unwrap();
+    assert!(!outcome.converged);
+    assert!(outcome.iterations() <= 5);
+}
+
+#[test]
+fn launcher_rejects_an_empty_world() {
+    let a = generators::tridiagonal(20, 4.0, -1.0);
+    let b = vec![1.0; 20];
+    let mut cfg = config(2, ExecutionMode::Synchronous);
+    cfg.parts = 0;
+    assert!(launcher(None).solve(&a, &b, &cfg).is_err());
+}

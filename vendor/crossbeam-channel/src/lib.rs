@@ -1,11 +1,13 @@
 //! Offline stand-in for the `crossbeam-channel` crate.
 //!
-//! Implements the unbounded MPMC channel surface the comm layer uses:
-//! [`unbounded`], cloneable [`Sender`]/[`Receiver`], and the
+//! Implements the MPMC channel surface the comm layer uses: [`unbounded`]
+//! and [`bounded`] constructors, cloneable [`Sender`]/[`Receiver`], and the
 //! `recv`/`try_recv`/`recv_timeout` family with crossbeam's error enums.
 //! Built on `Mutex<VecDeque>` + `Condvar` — both endpoints are `Send + Sync`,
 //! which the in-process transport relies on (it stores receivers in a shared
-//! `Arc`).
+//! `Arc`).  Bounded senders block while the queue is at capacity (the
+//! backpressure the TCP transport's per-peer outboxes rely on) and offer
+//! [`Sender::try_send`] for the non-blocking path.
 
 use std::collections::VecDeque;
 use std::fmt;
@@ -40,15 +42,28 @@ pub enum RecvTimeoutError {
     Disconnected,
 }
 
+/// Error returned by [`Sender::try_send`] on a bounded channel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrySendError<T> {
+    /// The bounded queue is at capacity; carries the unsent message back.
+    Full(T),
+    /// All receivers are gone; carries the unsent message back.
+    Disconnected(T),
+}
+
 struct State<T> {
     queue: VecDeque<T>,
     senders: usize,
     receivers: usize,
+    /// `usize::MAX` means unbounded.
+    capacity: usize,
 }
 
 struct Shared<T> {
     state: Mutex<State<T>>,
     available: Condvar,
+    /// Signalled when a bounded queue frees a slot (or disconnects).
+    space: Condvar,
 }
 
 impl<T> Shared<T> {
@@ -57,15 +72,16 @@ impl<T> Shared<T> {
     }
 }
 
-/// Creates an unbounded channel, returning the sending and receiving halves.
-pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+fn channel<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
     let shared = Arc::new(Shared {
         state: Mutex::new(State {
             queue: VecDeque::new(),
             senders: 1,
             receivers: 1,
+            capacity,
         }),
         available: Condvar::new(),
+        space: Condvar::new(),
     });
     (
         Sender {
@@ -75,17 +91,55 @@ pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
     )
 }
 
-/// The sending half of an unbounded channel.
+/// Creates an unbounded channel, returning the sending and receiving halves.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    channel(usize::MAX)
+}
+
+/// Creates a bounded channel holding at most `capacity` messages; senders
+/// block while the queue is full.  A zero capacity is rounded up to one (the
+/// stub has no rendezvous mode).
+pub fn bounded<T>(capacity: usize) -> (Sender<T>, Receiver<T>) {
+    channel(capacity.max(1))
+}
+
+/// The sending half of a channel.
 pub struct Sender<T> {
     shared: Arc<Shared<T>>,
 }
 
 impl<T> Sender<T> {
-    /// Enqueues `msg`, failing only if every receiver has disconnected.
+    /// Enqueues `msg`, blocking while a bounded queue is at capacity and
+    /// failing only if every receiver has disconnected.
     pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
         let mut state = self.shared.lock();
+        loop {
+            if state.receivers == 0 {
+                return Err(SendError(msg));
+            }
+            if state.queue.len() < state.capacity {
+                state.queue.push_back(msg);
+                drop(state);
+                self.shared.available.notify_one();
+                return Ok(());
+            }
+            state = self
+                .shared
+                .space
+                .wait(state)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Non-blocking send: fails fast when the bounded queue is full or every
+    /// receiver has disconnected.
+    pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+        let mut state = self.shared.lock();
         if state.receivers == 0 {
-            return Err(SendError(msg));
+            return Err(TrySendError::Disconnected(msg));
+        }
+        if state.queue.len() >= state.capacity {
+            return Err(TrySendError::Full(msg));
         }
         state.queue.push_back(msg);
         drop(state);
@@ -133,6 +187,8 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         loop {
             if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(msg);
             }
             if state.senders == 0 {
@@ -150,6 +206,8 @@ impl<T> Receiver<T> {
     pub fn try_recv(&self) -> Result<T, TryRecvError> {
         let mut state = self.shared.lock();
         if let Some(msg) = state.queue.pop_front() {
+            drop(state);
+            self.shared.space.notify_one();
             Ok(msg)
         } else if state.senders == 0 {
             Err(TryRecvError::Disconnected)
@@ -164,6 +222,8 @@ impl<T> Receiver<T> {
         let mut state = self.shared.lock();
         loop {
             if let Some(msg) = state.queue.pop_front() {
+                drop(state);
+                self.shared.space.notify_one();
                 return Ok(msg);
             }
             if state.senders == 0 {
@@ -194,7 +254,15 @@ impl<T> Clone for Receiver<T> {
 
 impl<T> Drop for Receiver<T> {
     fn drop(&mut self) {
-        self.shared.lock().receivers -= 1;
+        let mut state = self.shared.lock();
+        state.receivers -= 1;
+        let disconnected = state.receivers == 0;
+        drop(state);
+        if disconnected {
+            // Wake senders blocked on a full bounded queue so they can
+            // observe the disconnect instead of waiting forever.
+            self.shared.space.notify_all();
+        }
     }
 }
 
@@ -251,5 +319,39 @@ mod tests {
         std::thread::sleep(Duration::from_millis(5));
         s.send(42).unwrap();
         assert_eq!(handle.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn bounded_try_send_reports_full_then_disconnected() {
+        let (s, r) = bounded(2);
+        s.try_send(1).unwrap();
+        s.try_send(2).unwrap();
+        assert_eq!(s.try_send(3), Err(TrySendError::Full(3)));
+        assert_eq!(r.recv(), Ok(1));
+        s.try_send(3).unwrap();
+        drop(r);
+        assert_eq!(s.try_send(4), Err(TrySendError::Disconnected(4)));
+        assert_eq!(s.send(4), Err(SendError(4)));
+    }
+
+    #[test]
+    fn bounded_send_blocks_until_space() {
+        let (s, r) = bounded(1);
+        s.send(1).unwrap();
+        let handle = std::thread::spawn(move || s.send(2));
+        std::thread::sleep(Duration::from_millis(5));
+        assert_eq!(r.recv(), Ok(1));
+        handle.join().unwrap().unwrap();
+        assert_eq!(r.recv(), Ok(2));
+    }
+
+    #[test]
+    fn bounded_sender_blocked_on_full_queue_observes_disconnect() {
+        let (s, r) = bounded(1);
+        s.send(1).unwrap();
+        let handle = std::thread::spawn(move || s.send(2));
+        std::thread::sleep(Duration::from_millis(5));
+        drop(r);
+        assert_eq!(handle.join().unwrap(), Err(SendError(2)));
     }
 }
