@@ -18,13 +18,21 @@
 use msplit_bench::{dense_dd, penta_band};
 use msplit_comm::tcp::{LoopbackMesh, TcpOptions};
 use msplit_comm::{InProcTransport, Message, Transport};
+use msplit_core::runtime::{IterationWorkspace, NeighborData, RankEngine};
 use msplit_core::solver::{ExecutionMode, MultisplittingConfig};
-use msplit_core::{MultisplittingSolver, PreparedSystem};
+use msplit_core::{Decomposition, MultisplittingSolver, PreparedSystem, WeightingScheme};
 use msplit_dense::{BandLu, DenseLu};
+use msplit_direct::{SolveScratch, SolverKind};
 use msplit_sparse::generators;
 use std::fmt::Write as _;
 use std::sync::Arc;
 use std::time::Instant;
+
+/// Allowed per-iteration dispatch overhead of the unified `RankEngine` over
+/// the hand-inlined loop body (the pre-refactor driver kernel sequence):
+/// 2 %, plus a small absolute slack absorbing timer noise on µs-scale steps.
+const MAX_DISPATCH_OVERHEAD_PCT: f64 = 2.0;
+const DISPATCH_SLACK_US: f64 = 0.5;
 
 /// Best-of-`reps` wall-clock milliseconds for `f`.
 fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -57,6 +65,134 @@ struct TransportRecord {
     world: usize,
     value: f64,
     unit: &'static str,
+}
+
+/// One row of the driver-dispatch table: the same per-iteration work through
+/// the old inlined loop body vs the unified `RankEngine` adapter path.
+struct DriverRecord {
+    name: &'static str,
+    n: usize,
+    inlined_us: f64,
+    engine_us: f64,
+}
+
+impl DriverRecord {
+    fn overhead_pct(&self) -> f64 {
+        (self.engine_us - self.inlined_us) / self.inlined_us * 100.0
+    }
+}
+
+/// Measures the per-iteration cost of one rank's Algorithm 1 loop body two
+/// ways on the same decomposed system: hand-inlined (the exact kernel
+/// sequence the pre-refactor drivers ran: dependency refresh → BLoc assembly
+/// → in-place triangular solve → increment norm → iterate copy) and through
+/// [`RankEngine::step`].  The difference is the dispatch cost the runtime
+/// refactor added.
+fn driver_dispatch_overhead(n: usize, steps_per_rep: usize, reps: usize) -> DriverRecord {
+    let a = generators::diag_dominant(&generators::DiagDominantConfig {
+        n,
+        seed: 17,
+        ..Default::default()
+    });
+    let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 7) as f64) - 3.0);
+    let d = Decomposition::uniform(&a, &b, 4, 0).expect("decomposition");
+    let partition = d.partition().clone();
+    let (_, blocks) = d.into_blocks();
+    // Part 1: an interior band with both a left and a right neighbour.
+    let blk = &blocks[1];
+    let solver = SolverKind::SparseLu.build();
+    let factor = solver.factorize(&blk.a_sub).expect("factorize");
+    let src: Vec<f64> = (0..n).map(|i| ((i % 13) as f64) * 0.1 - 0.5).collect();
+    let ingest_sources = |neighbor: &mut NeighborData| {
+        for part in [0usize, 2usize] {
+            let range = partition.extended_range(part);
+            neighbor.update(part, 1, range.start, src[range].to_vec());
+        }
+    };
+
+    // Inlined baseline: the exact kernel sequence the pre-refactor drivers
+    // ran each iteration (halo fill → dependency-movement tracking → BLoc
+    // assembly → in-place solve → increment norm → iterate copy), on
+    // retained buffers with direct calls — no engine, no policy dispatch.
+    let mut neighbor = NeighborData::new(&partition, WeightingScheme::OwnerTakes, blk);
+    ingest_sources(&mut neighbor);
+    let mut x_global = vec![0.0f64; n];
+    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
+    let mut rhs = Vec::new();
+    let mut x_sub = vec![0.0f64; blk.size];
+    let mut scratch = SolveScratch::new();
+    let mut run_inlined = || {
+        for _ in 0..steps_per_rep {
+            neighbor.fill_dependencies(&mut x_global);
+            let mut dep_change = 0.0f64;
+            for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+                dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
+                prev_deps[slot] = x_global[g];
+            }
+            std::hint::black_box(dep_change);
+            blk.local_rhs_into(&blk.b_sub, &x_global, &mut rhs)
+                .expect("local_rhs_into");
+            factor
+                .solve_into(&mut rhs, &mut scratch)
+                .expect("solve_into");
+            let mut inc = 0.0f64;
+            for (a, b) in rhs.iter().zip(x_sub.iter()) {
+                inc = inc.max((a - b).abs());
+            }
+            std::hint::black_box(inc);
+            x_sub.copy_from_slice(&rhs);
+        }
+    };
+
+    // Engine path: same system, same factorization, slices ingested once so
+    // the dependency fill does equivalent work.
+    let mut ws = IterationWorkspace::new();
+    let mut engine = RankEngine::single(
+        &partition,
+        blk,
+        &blk.b_sub,
+        factor.as_ref(),
+        WeightingScheme::OwnerTakes,
+        &mut ws,
+    );
+    for part in [0usize, 2usize] {
+        let range = partition.extended_range(part);
+        engine.ingest(Message::Solution {
+            from: part,
+            iteration: 1,
+            offset: range.start,
+            values: src[range.clone()].to_vec(),
+        });
+    }
+    let mut run_engine = || {
+        for _ in 0..steps_per_rep {
+            std::hint::black_box(engine.step().expect("engine step"));
+        }
+    };
+
+    // Interleave the reps (inlined, engine, inlined, engine, …) so clock
+    // drift, frequency scaling or a background process biases both sides
+    // equally instead of whichever phase ran second; best-of keeps the
+    // cleanest rep of each.
+    let mut inlined_ms = f64::INFINITY;
+    let mut engine_ms = f64::INFINITY;
+    run_inlined();
+    run_engine();
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        run_inlined();
+        inlined_ms = inlined_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+        let t0 = Instant::now();
+        run_engine();
+        engine_ms = engine_ms.min(t0.elapsed().as_secs_f64() * 1e3);
+    }
+
+    DriverRecord {
+        name: "algorithm1_iteration_body",
+        n,
+        inlined_us: inlined_ms * 1e3 / steps_per_rep as f64,
+        engine_us: engine_ms * 1e3 / steps_per_rep as f64,
+    }
 }
 
 /// Mean microseconds per message round trip between ranks 0 and 1 of
@@ -253,6 +389,37 @@ fn main() {
         unit: "bytes",
     });
 
+    // --- Driver dispatch: old inlined loop body vs the RankEngine adapter
+    // path, plus the end-to-end per-iteration cost of the threaded sync
+    // adapter (informational). ---
+    let (disp_n, disp_steps, disp_reps) = if check_mode {
+        (256, 200, 5)
+    } else {
+        (1024, 400, 7)
+    };
+    let dispatch = driver_dispatch_overhead(disp_n, disp_steps, disp_reps);
+    let e2e_n = if check_mode { 240 } else { 960 };
+    let a = generators::cage_like(e2e_n, 9);
+    let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 6) as f64) - 2.0);
+    let sync_solver = MultisplittingSolver::new(MultisplittingConfig {
+        parts: 4,
+        tolerance: 1e-8,
+        mode: ExecutionMode::Synchronous,
+        ..Default::default()
+    });
+    let mut e2e_iters = 1u64;
+    let e2e_ms = time_ms(3, || {
+        let out = sync_solver.solve(&a, &b).expect("sync solve");
+        e2e_iters = out.iterations.max(1);
+        out
+    });
+    let e2e_record = DriverRecord {
+        name: "threaded_sync_adapter_end_to_end",
+        n: e2e_n,
+        inlined_us: f64::NAN,
+        engine_us: e2e_ms * 1e3 / e2e_iters as f64,
+    };
+
     // --- Report. ---
     let mut json = String::new();
     json.push_str("{\n  \"suite\": \"kernel_suite\",\n  \"unit\": \"ms (best of reps)\",\n");
@@ -288,6 +455,21 @@ fn main() {
             t.name, t.world, t.value, t.unit, comma
         );
     }
+    json.push_str("  ],\n  \"driver\": [\n");
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"{}\", \"n\": {}, \"inlined_us_per_iteration\": {:.3}, \"engine_us_per_iteration\": {:.3}, \"overhead_pct\": {:.2}}},",
+        dispatch.name,
+        dispatch.n,
+        dispatch.inlined_us,
+        dispatch.engine_us,
+        dispatch.overhead_pct()
+    );
+    let _ = writeln!(
+        json,
+        "    {{\"name\": \"{}\", \"n\": {}, \"inlined_us_per_iteration\": null, \"engine_us_per_iteration\": {:.3}, \"overhead_pct\": null}}",
+        e2e_record.name, e2e_record.n, e2e_record.engine_us
+    );
     json.push_str("  ]\n}\n");
 
     println!("{json}");
@@ -306,6 +488,36 @@ fn main() {
         "# transport: inproc rtt {inproc_rtt:.1} us vs tcp loopback rtt {tcp_rtt:.1} us; \
          sync solve puts {inproc_bytes:.0} (inproc) vs {tcp_bytes:.0} (tcp) bytes/iteration on the links"
     );
+    println!(
+        "# driver dispatch: inlined {:.3} us/iter vs RankEngine {:.3} us/iter ({:+.2}%); \
+         threaded sync adapter end-to-end {:.1} us/iter over {} iterations",
+        dispatch.inlined_us,
+        dispatch.engine_us,
+        dispatch.overhead_pct(),
+        e2e_record.engine_us,
+        e2e_iters
+    );
+    // The runtime-unification acceptance gate: the adapter path may cost at
+    // most MAX_DISPATCH_OVERHEAD_PCT per iteration over the inlined body
+    // (a small absolute slack absorbs timer noise on µs-scale steps).
+    let budget_us =
+        dispatch.inlined_us * (1.0 + MAX_DISPATCH_OVERHEAD_PCT / 100.0) + DISPATCH_SLACK_US;
+    if dispatch.engine_us > budget_us {
+        eprintln!(
+            "# FAIL: RankEngine dispatch overhead {:.3} us/iter exceeds the {MAX_DISPATCH_OVERHEAD_PCT}% budget ({:.3} us/iter allowed)",
+            dispatch.engine_us, budget_us
+        );
+        // The gate fails --check (CI); a regeneration run still writes the
+        // JSON below so the measurement can be inspected.
+        if check_mode {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "# driver dispatch within budget: {:.3} <= {:.3} us/iter",
+            dispatch.engine_us, budget_us
+        );
+    }
 
     if check_mode {
         println!("# --check: JSON not written");

@@ -56,6 +56,15 @@ pub enum Message {
     },
     /// Ask the receiver to stop (used to shut down asynchronous receivers).
     Halt,
+    /// Liveness probe sent by a rank blocked in a lockstep wait.  Carries no
+    /// payload: the *send itself* is the detector — a probe to a dead peer
+    /// surfaces [`crate::CommError::Disconnected`] at the sender, which is
+    /// how the runtime's heartbeat failure policy notices a rank death
+    /// without waiting out the full peer timeout.  Receivers ignore it.
+    Heartbeat {
+        /// Sender rank.
+        from: usize,
+    },
 }
 
 const TAG_SOLUTION: u8 = 1;
@@ -63,6 +72,7 @@ const TAG_VOTE: u8 = 2;
 const TAG_GLOBAL: u8 = 3;
 const TAG_HALT: u8 = 4;
 const TAG_SOLUTION_BATCH: u8 = 5;
+const TAG_HEARTBEAT: u8 = 6;
 
 impl Message {
     /// The rank that produced the message, when it carries one.
@@ -70,7 +80,8 @@ impl Message {
         match self {
             Message::Solution { from, .. }
             | Message::SolutionBatch { from, .. }
-            | Message::ConvergenceVote { from, .. } => Some(*from),
+            | Message::ConvergenceVote { from, .. }
+            | Message::Heartbeat { from } => Some(*from),
             _ => None,
         }
     }
@@ -87,6 +98,7 @@ impl Message {
             Message::ConvergenceVote { .. } => 1 + 8 + 8 + 1,
             Message::GlobalConverged { .. } => 1 + 8,
             Message::Halt => 1,
+            Message::Heartbeat { .. } => 1 + 8,
         }
     }
 
@@ -143,6 +155,10 @@ impl Message {
             }
             Message::Halt => {
                 buf.put_u8(TAG_HALT);
+            }
+            Message::Heartbeat { from } => {
+                buf.put_u8(TAG_HEARTBEAT);
+                buf.put_u64_le(*from as u64);
             }
         }
         buf.freeze()
@@ -235,6 +251,14 @@ impl Message {
                 })
             }
             TAG_HALT => Ok(Message::Halt),
+            TAG_HEARTBEAT => {
+                if data.remaining() < 8 {
+                    return Err(CommError::Codec("truncated heartbeat".to_string()));
+                }
+                Ok(Message::Heartbeat {
+                    from: data.get_u64_le() as usize,
+                })
+            }
             other => Err(CommError::Codec(format!("unknown message tag {other}"))),
         }
     }
@@ -298,6 +322,7 @@ mod tests {
             },
             Message::GlobalConverged { iteration: 9 },
             Message::Halt,
+            Message::Heartbeat { from: 5 },
         ] {
             let decoded = Message::decode(msg.encode()).unwrap();
             assert_eq!(decoded, msg);

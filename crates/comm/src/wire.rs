@@ -60,7 +60,7 @@ fn message_iteration(msg: &Message) -> u64 {
         | Message::SolutionBatch { iteration, .. }
         | Message::ConvergenceVote { iteration, .. }
         | Message::GlobalConverged { iteration } => *iteration,
-        Message::Halt => 0,
+        Message::Halt | Message::Heartbeat { .. } => 0,
     }
 }
 

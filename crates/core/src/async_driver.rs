@@ -1,258 +1,51 @@
-//! Asynchronous multisplitting driver (Algorithm 1, AIAC / Corba-style).
+//! Asynchronous multisplitting driver (Algorithm 1, AIAC / Corba-style) —
+//! deprecated shims over the unified runtime.
 //!
-//! Unlike the synchronous driver, there is no barrier and no collective:
-//! every processor iterates at its own pace using the most recent dependency
-//! data it happens to have received, exactly the asynchronous iteration model
-//! of Bertsekas–Tsitsiklis cited by the paper.  Consequences reproduced here:
+//! The inlined free-running worker loop that used to live here (and its
+//! shared-memory [`msplit_comm::ConvergenceBoard`]) is gone: the threaded
+//! asynchronous solve is now an adapter that pumps messages between the
+//! transport and the shared [`crate::runtime::RankEngine`], using the
+//! [`crate::runtime::ConfirmationWaves`] convergence policy (message-based
+//! confirmation waves over a coordinator-side
+//! [`crate::runtime::VoteBoard`]) and the [`crate::runtime::FreeRunning`]
+//! progress policy.  The distributed per-rank runtime drives the *same*
+//! engine and policies over TCP.
 //!
-//! * iteration counts differ between processors (and are systematically
-//!   higher than in the synchronous case — stale data slows contraction),
-//! * slow or perturbed links delay *data freshness* instead of blocking the
-//!   computation, which is why the asynchronous variant wins on distant or
-//!   loaded networks (Tables 3 and 4),
-//! * global convergence needs a detection protocol that tolerates processors
-//!   observing inconsistent states; the [`ConvergenceBoard`] requires the
-//!   all-converged condition to persist over a confirmation window, mirroring
-//!   the decentralized algorithm referenced by the paper.
+//! The asynchronous iteration model of Bertsekas–Tsitsiklis cited by the
+//! paper is unchanged: no barrier, no collective — every processor iterates
+//! at its own pace with the most recent dependency data it has received, so
+//! iteration counts differ between processors and slow or perturbed links
+//! delay *data freshness* instead of blocking the computation (Tables 3/4).
+//!
+//! The entry point below is kept as a deprecated shim for one release; new
+//! code should call [`crate::runtime::solve_threaded`] (or go through
+//! [`crate::solver::MultisplittingSolver`], which already does).
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{
-    compute_send_targets, increment_norm, IterationWorkspace, NeighborData,
-};
-use crate::solver::{MultisplittingConfig, PartReport, SolveOutcome};
-use crate::sync_driver::{
-    assemble_outcome, check_transport_ranks, factorize_blocks, fresh_workspaces, panic_message,
-    WorkerOutput,
-};
+use crate::runtime;
+use crate::solver::{ExecutionMode, MultisplittingConfig, SolveOutcome};
 use crate::CoreError;
-use msplit_comm::communicator::{CommGroup, Communicator};
-use msplit_comm::convergence::{ConvergenceBoard, LocalConvergence, ResidualTracker};
-use msplit_comm::message::Message;
 use msplit_comm::transport::Transport;
-use msplit_direct::api::Factorization;
-use msplit_sparse::{BandPartition, LocalBlocks};
 use std::sync::Arc;
-use std::time::{Duration, Instant};
 
 /// Runs the asynchronous multisplitting solve over the given transport.
+#[deprecated(
+    note = "the threaded drivers are adapters over msplit_core::runtime now; \
+            call runtime::solve_threaded (or MultisplittingSolver) instead"
+)]
 pub fn solve_async(
     decomposition: Decomposition,
     config: &MultisplittingConfig,
     transport: Arc<dyn Transport>,
 ) -> Result<SolveOutcome, CoreError> {
-    let start = Instant::now();
-    check_transport_ranks(decomposition.num_parts(), &transport)?;
-    let (partition, blocks) = decomposition.into_blocks();
-    let factors = factorize_blocks(&blocks, config)?;
-    let send_targets = compute_send_targets(&partition, &blocks);
-    let mut workspaces = fresh_workspaces(partition.num_parts());
-    run_async(
-        &partition,
-        &blocks,
-        &factors,
-        &send_targets,
-        None,
-        config,
-        transport,
-        &mut workspaces,
-        start,
-    )
-}
-
-/// Asynchronous solve over borrowed prepared state (see
-/// [`crate::sync_driver::run_sync`] for the borrowing contract and the `rhs`
-/// override semantics).
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_async(
-    partition: &BandPartition,
-    blocks: &[LocalBlocks],
-    factors: &[Arc<dyn Factorization>],
-    send_targets: &[Vec<usize>],
-    rhs: Option<&[f64]>,
-    config: &MultisplittingConfig,
-    transport: Arc<dyn Transport>,
-    workspaces: &mut [IterationWorkspace],
-    start: Instant,
-) -> Result<SolveOutcome, CoreError> {
-    let parts = partition.num_parts();
-    check_transport_ranks(parts, &transport)?;
-    debug_assert_eq!(workspaces.len(), parts);
-    let group = CommGroup::new(transport);
-    let comms = group.communicators();
-    let board = ConvergenceBoard::new(parts, config.async_confirmations);
-
-    let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = blocks
-            .iter()
-            .zip(factors.iter())
-            .zip(comms)
-            .zip(send_targets.iter())
-            .zip(workspaces.iter_mut())
-            .map(|((((blk, factor), comm), targets), ws)| {
-                let board = Arc::clone(&board);
-                scope.spawn(move || {
-                    let b_sub: &[f64] = match rhs {
-                        Some(b) => &b[partition.extended_range(blk.part)],
-                        None => &blk.b_sub,
-                    };
-                    async_worker(
-                        blk,
-                        b_sub,
-                        factor.as_ref(),
-                        comm,
-                        partition,
-                        targets,
-                        board,
-                        config,
-                        ws,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
-            })
-            .collect()
-    });
-
-    assemble_outcome(outputs, partition, config, start)
-}
-
-#[allow(clippy::too_many_arguments)]
-fn async_worker(
-    blk: &LocalBlocks,
-    b_sub: &[f64],
-    factor: &dyn Factorization,
-    comm: Communicator,
-    partition: &BandPartition,
-    targets: &[usize],
-    board: Arc<ConvergenceBoard>,
-    config: &MultisplittingConfig,
-    ws: &mut IterationWorkspace,
-) -> Result<WorkerOutput, CoreError> {
-    let t0 = Instant::now();
-    let part = blk.part;
-    let factor_stats = factor.stats().clone();
-    let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
-    let flops_per_iteration = dep_flops + factor_stats.solve_flops();
-    let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
-
-    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
-    ws.prepare_single(blk);
-    let IterationWorkspace {
-        x_global,
-        rhs,
-        x_sub,
-        scratch,
-        ..
-    } = ws;
-    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
-    // The asynchronous tracker uses a 2-iteration stability window: with free
-    // running iterations a single tiny increment can be an artifact of not
-    // having received fresh data yet.
-    let mut tracker = ResidualTracker::new(config.tolerance, 2);
-    let mut iterations = 0u64;
-    let mut last_increment = f64::INFINITY;
-    let mut converged = false;
-    let mut bytes_sent_per_iteration = 0usize;
-
-    while iterations < config.max_iterations {
-        iterations += 1;
-
-        // Drain whatever has arrived since the last iteration (receptions are
-        // "managed in a separate thread" in the paper's Corba version; the
-        // non-blocking drain plays that role here).
-        let mut fresh_data = false;
-        for received in comm.drain()? {
-            if let Message::Solution {
-                from,
-                iteration,
-                offset,
-                values,
-            } = received
-            {
-                fresh_data |= neighbor.update(from, iteration, offset, values);
-            }
-        }
-        // Fresh dependency data that actually moves the local solution shows
-        // up as a large increment below, which resets the tracker's window on
-        // its own; resetting it unconditionally here would livelock the
-        // detection (peers send every iteration, so data is always "fresh").
-
-        neighbor.fill_dependencies(x_global);
-        // How much the dependency data itself moved since the previous
-        // iteration: a processor whose own increment is tiny but whose inputs
-        // are still changing must not vote "converged" (that is what keeps an
-        // inconsistent asynchronous snapshot from terminating the run early).
-        let mut dep_change = 0.0f64;
-        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-            dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
-            prev_deps[slot] = x_global[g];
-        }
-        // BLoc into the retained buffer, solved in place: the steady-state
-        // iteration allocates nothing on the solve path.
-        blk.local_rhs_into(b_sub, x_global, rhs)?;
-        factor.solve_into(rhs, scratch)?;
-        last_increment = increment_norm(rhs, x_sub).max(dep_change);
-        x_sub.copy_from_slice(rhs);
-
-        let msg = Message::Solution {
-            from: part,
-            iteration: iterations,
-            offset: blk.offset,
-            values: x_sub.clone(),
-        };
-        bytes_sent_per_iteration = msg.encoded_len() * targets.len();
-        for &t in targets {
-            comm.send(t, msg.clone())?;
-        }
-
-        let local = tracker.record(last_increment);
-        if board.report(part, iterations, local) {
-            converged = true;
-            break;
-        }
-        if local == LocalConvergence::Converged && !fresh_data {
-            // Locally stable and nothing new arrived: yield briefly instead of
-            // flooding the network with identical slices.
-            std::thread::sleep(Duration::from_micros(100));
-        }
-    }
-    if !converged && board.is_globally_converged() {
-        converged = true;
-    }
-    if !converged {
-        // Make sure nobody spins forever waiting for this processor once the
-        // iteration budget is exhausted.
-        board.force_terminate();
-    }
-
-    Ok(WorkerOutput {
-        part,
-        x_local: x_sub.clone(),
-        iterations,
-        last_increment,
-        converged,
-        report: PartReport {
-            part,
-            factor_stats,
-            iterations,
-            bytes_sent_per_iteration,
-            messages_per_iteration: targets.len(),
-            flops_per_iteration,
-            memory_bytes,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-        },
-    })
+    let mut config = config.clone();
+    config.mode = ExecutionMode::Asynchronous;
+    runtime::solve_threaded(decomposition, &config, transport)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::solver::ExecutionMode;
     use crate::weighting::WeightingScheme;
     use msplit_direct::SolverKind;
     use msplit_grid::cluster::cluster3;
@@ -284,8 +77,7 @@ mod tests {
         cfg: &MultisplittingConfig,
     ) -> SolveOutcome {
         let d = Decomposition::uniform(a, b, cfg.parts, cfg.overlap).unwrap();
-        let transport = msplit_comm::InProcTransport::new(cfg.parts);
-        solve_async(d, cfg, transport).unwrap()
+        runtime::solve_threaded_inproc(d, cfg).unwrap()
     }
 
     #[test]
@@ -327,7 +119,7 @@ mod tests {
         let mut sync_cfg = config(3, 0);
         sync_cfg.mode = ExecutionMode::Synchronous;
         let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
-        let sync_out = crate::sync_driver::solve_sync_inproc(d, &sync_cfg).unwrap();
+        let sync_out = runtime::solve_threaded_inproc(d, &sync_cfg).unwrap();
         assert!(async_out.converged && sync_out.converged);
         assert!(max_err(&async_out.x, &sync_out.x) < 1e-6);
     }
@@ -346,7 +138,7 @@ mod tests {
         let d = Decomposition::uniform(&a, &b, 10, 0).unwrap();
         let inner = msplit_comm::InProcTransport::new(10);
         let delayed = msplit_comm::DelayedTransport::new(inner, cluster3(), 1e-3);
-        let out = solve_async(d, &cfg, delayed).unwrap();
+        let out = runtime::solve_threaded(d, &cfg, delayed).unwrap();
         assert!(out.converged);
         assert!(max_err(&out.x, &x_true) < 1e-6);
     }
@@ -369,6 +161,23 @@ mod tests {
         let mut cfg = config(3, 10);
         cfg.weighting = WeightingScheme::Average;
         let out = solve_async_inproc(&a, &b, &cfg);
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shim_still_solves() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 150,
+            seed: 2,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 4) as f64);
+        let cfg = config(3, 0);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let transport = msplit_comm::InProcTransport::new(3);
+        let out = solve_async(d, &cfg, transport).unwrap();
         assert!(out.converged);
         assert!(max_err(&out.x, &x_true) < 1e-6);
     }

@@ -1,47 +1,46 @@
-//! Per-rank multisplitting drivers for multi-process execution.
+//! Per-rank multisplitting driver for multi-process execution — an adapter
+//! over the unified [`crate::runtime`].
 //!
-//! The threaded drivers ([`crate::sync_driver`], [`crate::async_driver`])
-//! run every band inside one process and use shared memory for the
-//! collectives (barrier, allreduce) and the asynchronous convergence board.
-//! When every band is a separate OS process joined by sockets, those shared
-//! structures are unavailable, so this module provides [`run_rank`]: the
-//! same Algorithm 1 iteration body, with **message-based** convergence
-//! detection — the centralized scheme the paper cites \[2\], with rank 0
-//! acting as coordinator:
+//! [`run_rank`] drives the same [`crate::runtime::RankEngine`] the threaded
+//! adapters use, over any [`Transport`] (the multi-process runtime passes a
+//! [`msplit_comm::TcpTransport`] endpoint):
 //!
-//! * **synchronous** — each iteration every rank sends its
+//! * **synchronous** — [`crate::runtime::LockstepVotes`] +
+//!   [`crate::runtime::Lockstep`]: each iteration every rank sends its
 //!   [`Message::ConvergenceVote`] to rank 0 and then blocks until it has
 //!   both rank 0's decision for that iteration and the solution slices of
 //!   every peer it depends on; the vote wait *is* the barrier and the
-//!   decision broadcast *is* the allreduce, so the iterates are identical to
-//!   the in-process synchronous driver's,
-//! * **asynchronous** — ranks free-run and send votes to rank 0 on verdict
-//!   changes (refreshed periodically); rank 0 runs a confirmation-wave board
-//!   mirroring [`msplit_comm::ConvergenceBoard`] and broadcasts
+//!   decision broadcast *is* the allreduce, so the iterates are
+//!   bitwise-identical to the threaded driver's (which runs the very same
+//!   code over an in-process transport),
+//! * **asynchronous** — [`crate::runtime::ConfirmationWaves`] +
+//!   [`crate::runtime::FreeRunning`]: ranks free-run and send votes to
+//!   rank 0 on verdict changes; rank 0 runs a confirmation-wave
+//!   [`crate::runtime::VoteBoard`] and broadcasts
 //!   [`Message::GlobalConverged`] once every rank has re-confirmed its
 //!   converged vote for the configured number of waves.
 //!
 //! A rank that exhausts its iteration budget (or hits a transport error)
-//! broadcasts [`Message::Halt`] so no peer spins forever.
+//! broadcasts [`Message::Halt`] so no peer spins forever; a rank observed
+//! dead mid-lockstep (heartbeat probe hitting
+//! [`msplit_comm::CommError::Disconnected`]) downgrades to a halt broadcast
+//! and a prompt error instead of a hang — see
+//! [`crate::runtime::FailurePolicy`].
 
-use crate::driver_common::{increment_norm, IterationWorkspace, NeighborData};
+use crate::runtime::{
+    drive, free_running_policies, lockstep_policies, EventLog, FailurePolicy, IterationWorkspace,
+    RankEngine, RankLink,
+};
 use crate::solver::{ExecutionMode, MultisplittingConfig};
 use crate::CoreError;
-use msplit_comm::convergence::{LocalConvergence, ResidualTracker};
+#[allow(unused_imports)] // doc links
 use msplit_comm::message::Message;
 use msplit_comm::transport::Transport;
-use msplit_comm::CommError;
 use msplit_sparse::{BandPartition, LocalBlocks};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-/// How often (in iterations) an asynchronous rank re-sends an unchanged
-/// convergence vote to the coordinator, so confirmation waves complete even
-/// when every verdict is stable.
-const VOTE_REFRESH_ITERATIONS: u64 = 25;
-
-/// Poll granularity of the blocking waits.
-const WAIT_SLICE: Duration = Duration::from_millis(100);
+pub use crate::runtime::receive_sources;
 
 /// Result of one rank's participation in a distributed solve.
 #[derive(Debug, Clone)]
@@ -59,6 +58,9 @@ pub struct RankOutcome {
     /// Wall-clock seconds spent in the iteration loop (factorization
     /// included).
     pub wall_seconds: f64,
+    /// Recorded engine transitions, when [`RankOptions::record_events`] was
+    /// set — replayable with [`crate::runtime::RankEngine::replay`].
+    pub event_log: Option<EventLog>,
 }
 
 /// Options of a distributed rank run that are not part of the numerical
@@ -68,85 +70,20 @@ pub struct RankOptions {
     /// How long a blocking wait (lockstep votes, peer slices) may stall
     /// before the run is abandoned with an error.
     pub peer_timeout: Duration,
+    /// How a rank death observed mid-solve is handled (lockstep mode).
+    pub failure: FailurePolicy,
+    /// Record every engine transition for deterministic offline replay.
+    pub record_events: bool,
 }
 
 impl Default for RankOptions {
     fn default() -> Self {
         RankOptions {
             peer_timeout: Duration::from_secs(60),
+            failure: FailurePolicy::default(),
+            record_events: false,
         }
     }
-}
-
-/// Coordinator-side vote board for the asynchronous mode: a message-based
-/// port of [`msplit_comm::ConvergenceBoard`]'s confirmation waves.  Global
-/// convergence is declared only after every rank has re-sent a "converged"
-/// vote `required` times *after* the all-converged state was first observed,
-/// and any "not converged" vote resets the pending waves.
-#[derive(Debug)]
-pub(crate) struct VoteBoard {
-    votes: Vec<bool>,
-    confirmed: Vec<bool>,
-    in_wave: bool,
-    waves_done: u64,
-    required: u64,
-    global: bool,
-}
-
-impl VoteBoard {
-    pub(crate) fn new(world: usize, required: u64) -> Self {
-        VoteBoard {
-            votes: vec![false; world],
-            confirmed: vec![false; world],
-            in_wave: false,
-            waves_done: 0,
-            required: required.max(1),
-            global: false,
-        }
-    }
-
-    /// Records a vote; returns `true` once global convergence is latched.
-    pub(crate) fn record(&mut self, from: usize, converged: bool) -> bool {
-        if self.global || from >= self.votes.len() {
-            return self.global;
-        }
-        if !converged {
-            self.votes[from] = false;
-            self.in_wave = false;
-            self.waves_done = 0;
-            return false;
-        }
-        self.votes[from] = true;
-        if !self.votes.iter().all(|&v| v) {
-            return false;
-        }
-        if !self.in_wave {
-            self.in_wave = true;
-            self.confirmed.iter_mut().for_each(|c| *c = false);
-        }
-        self.confirmed[from] = true;
-        if self.confirmed.iter().all(|&c| c) {
-            self.waves_done += 1;
-            if self.waves_done >= self.required {
-                self.global = true;
-            } else {
-                self.confirmed.iter_mut().for_each(|c| *c = false);
-            }
-        }
-        self.global
-    }
-
-    pub(crate) fn is_global(&self) -> bool {
-        self.global
-    }
-}
-
-/// Why the iteration loop ended early.
-enum Interrupt {
-    /// A peer (or the coordinator) declared global convergence.
-    Converged,
-    /// A peer aborted the run.
-    Halted,
 }
 
 /// Runs one rank of the distributed multisplitting solve over `transport`.
@@ -181,480 +118,59 @@ pub fn run_rank(
     let solver = config.solver_kind.build();
     let factor = solver.factorize(&blk.a_sub).map_err(CoreError::Direct)?;
 
-    let result = match config.mode {
-        ExecutionMode::Synchronous => sync_rank_loop(
-            partition,
-            blk,
-            factor.as_ref(),
-            send_targets,
-            senders_to_me,
-            config,
-            transport.as_ref(),
-            options,
-        ),
-        ExecutionMode::Asynchronous => async_rank_loop(
-            partition,
-            blk,
-            factor.as_ref(),
-            send_targets,
-            config,
-            transport.as_ref(),
-        ),
-    };
-    match result {
-        Ok((x_local, iterations, last_increment, converged)) => Ok(RankOutcome {
-            rank,
-            x_local,
-            iterations,
-            last_increment,
-            converged,
-            wall_seconds: start.elapsed().as_secs_f64(),
-        }),
-        Err(e) => {
-            // Do not leave peers spinning on a rank that will never answer.
-            broadcast_halt(transport.as_ref(), rank, world);
-            Err(e)
-        }
-    }
-}
-
-fn broadcast_halt(transport: &dyn Transport, rank: usize, world: usize) {
-    for to in 0..world {
-        if to != rank {
-            let _ = transport.send(rank, to, Message::Halt);
-        }
-    }
-}
-
-fn send_slice(
-    transport: &dyn Transport,
-    rank: usize,
-    targets: &[usize],
-    iteration: u64,
-    offset: usize,
-    x_sub: &[f64],
-) -> Result<(), CoreError> {
-    let msg = Message::Solution {
-        from: rank,
-        iteration,
-        offset,
-        values: x_sub.to_vec(),
-    };
-    for &t in targets {
-        transport
-            .send(rank, t, msg.clone())
-            .map_err(CoreError::Comm)?;
-    }
-    Ok(())
-}
-
-type LoopResult = Result<(Vec<f64>, u64, f64, bool), CoreError>;
-
-#[allow(clippy::too_many_arguments)]
-fn sync_rank_loop(
-    partition: &BandPartition,
-    blk: &LocalBlocks,
-    factor: &dyn msplit_direct::api::Factorization,
-    send_targets: &[usize],
-    senders_to_me: &[usize],
-    config: &MultisplittingConfig,
-    transport: &dyn Transport,
-    options: &RankOptions,
-) -> LoopResult {
-    let world = partition.num_parts();
-    let rank = blk.part;
-    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
     let mut ws = IterationWorkspace::new();
-    ws.prepare_single(blk);
-    let IterationWorkspace {
-        x_global,
-        rhs,
-        x_sub,
-        scratch,
-        ..
-    } = &mut ws;
-    let mut tracker = ResidualTracker::new(config.tolerance, 1);
-    let mut iterations = 0u64;
-    let mut last_increment = f64::INFINITY;
-    let mut converged = false;
-
-    // Coordinator bookkeeping (rank 0 only).
-    let mut votes = vec![false; world];
-    // Slices stamped with a *future* iteration: a fast peer that already
-    // received the continue decision may deliver its next slice while this
-    // rank is still waiting on the current one.  Applying it immediately
-    // would leak (i+1)-data into the (i+1)-th solve, breaking the lockstep
-    // equivalence with the threaded driver, so it is parked until the wait
-    // of the iteration it belongs to.
-    let mut deferred: Vec<(usize, u64, usize, Vec<f64>)> = Vec::new();
-
-    'outer: while iterations < config.max_iterations {
-        iterations += 1;
-
-        neighbor.fill_dependencies(x_global);
-        blk.local_rhs_into(&blk.b_sub, x_global, rhs)?;
-        factor.solve_into(rhs, scratch)?;
-        last_increment = increment_norm(rhs, x_sub);
-        x_sub.copy_from_slice(rhs);
-
-        send_slice(transport, rank, send_targets, iterations, blk.offset, x_sub)?;
-        let local = tracker.record(last_increment).as_bool();
-
-        // Lockstep synchronization: everything below replaces the barrier +
-        // allreduce of the in-process driver with explicit messages.
-        let deadline = Instant::now() + options.peer_timeout;
-        let mut pending_slices: Vec<bool> = senders_to_me.iter().map(|_| true).collect();
-        for (from, iteration, offset, values) in std::mem::take(&mut deferred) {
-            mark_slice(
-                senders_to_me,
-                &mut pending_slices,
-                from,
-                iteration,
-                iterations,
+    let mut engine = RankEngine::single(
+        partition,
+        blk,
+        &blk.b_sub,
+        factor.as_ref(),
+        config.weighting,
+        &mut ws,
+    );
+    if options.record_events {
+        engine.record_events();
+    }
+    let mut link = RankLink::new(transport.as_ref(), rank, send_targets, senders_to_me);
+    let run = match config.mode {
+        ExecutionMode::Synchronous => {
+            let (mut vote, mut conv, mut progress) = lockstep_policies(
+                rank,
+                world,
+                config.tolerance,
+                options.peer_timeout,
+                options.failure,
             );
-            neighbor.update(from, iteration, offset, values);
+            drive(
+                &mut engine,
+                &mut link,
+                &mut vote,
+                &mut conv,
+                &mut progress,
+                config.max_iterations,
+            )?
         }
-        let decision;
-        if rank == 0 {
-            votes.iter_mut().for_each(|v| *v = false);
-            votes[0] = local;
-            let mut vote_seen = vec![false; world];
-            vote_seen[0] = true;
-            loop {
-                if vote_seen.iter().all(|&v| v) && !pending_slices.iter().any(|&p| p) {
-                    break;
-                }
-                match wait_message(transport, rank, deadline, "votes and slices")? {
-                    Message::Solution {
-                        from,
-                        iteration,
-                        offset,
-                        values,
-                    } => accept_lockstep_slice(
-                        &mut deferred,
-                        senders_to_me,
-                        &mut pending_slices,
-                        &mut neighbor,
-                        iterations,
-                        (from, iteration, offset, values),
-                    ),
-                    Message::ConvergenceVote {
-                        from,
-                        iteration,
-                        converged: vote,
-                    } if iteration == iterations && from < world => {
-                        votes[from] = vote;
-                        vote_seen[from] = true;
-                    }
-                    Message::Halt => break 'outer,
-                    _ => {}
-                }
-            }
-            decision = votes.iter().all(|&v| v);
-            let note = Message::ConvergenceVote {
-                from: 0,
-                iteration: iterations,
-                converged: decision,
-            };
-            for to in 1..world {
-                transport
-                    .send(rank, to, note.clone())
-                    .map_err(CoreError::Comm)?;
-            }
-        } else {
-            transport
-                .send(
-                    rank,
-                    0,
-                    Message::ConvergenceVote {
-                        from: rank,
-                        iteration: iterations,
-                        converged: local,
-                    },
-                )
-                .map_err(CoreError::Comm)?;
-            let mut verdict: Option<bool> = None;
-            loop {
-                match verdict {
-                    // Converged: the pending slices of this iteration are
-                    // irrelevant. Continuing: wait for every dependency so
-                    // the next iterate matches the lockstep semantics.
-                    Some(true) => break,
-                    Some(false) if !pending_slices.iter().any(|&p| p) => break,
-                    _ => {}
-                }
-                match wait_message(transport, rank, deadline, "decision and slices")? {
-                    Message::Solution {
-                        from,
-                        iteration,
-                        offset,
-                        values,
-                    } => accept_lockstep_slice(
-                        &mut deferred,
-                        senders_to_me,
-                        &mut pending_slices,
-                        &mut neighbor,
-                        iterations,
-                        (from, iteration, offset, values),
-                    ),
-                    Message::ConvergenceVote {
-                        from: 0,
-                        iteration,
-                        converged: d,
-                    } if iteration == iterations => verdict = Some(d),
-                    Message::GlobalConverged { .. } => {
-                        converged = true;
-                        break 'outer;
-                    }
-                    Message::Halt => break 'outer,
-                    _ => {}
-                }
-            }
-            decision = verdict.unwrap_or(false);
+        ExecutionMode::Asynchronous => {
+            let (mut vote, mut conv, mut progress) =
+                free_running_policies(rank, world, config.tolerance, config.async_confirmations);
+            drive(
+                &mut engine,
+                &mut link,
+                &mut vote,
+                &mut conv,
+                &mut progress,
+                config.max_iterations,
+            )?
         }
-        if decision {
-            converged = true;
-            break;
-        }
-    }
-    Ok((x_sub.clone(), iterations, last_increment, converged))
-}
-
-/// Routes one received solution slice in a lockstep wait (shared by the
-/// coordinator and peer loops): a slice stamped with a *future* iteration is
-/// parked in `deferred` until its iteration's wait, anything else clears its
-/// pending slot and updates the dependency data.
-fn accept_lockstep_slice(
-    deferred: &mut Vec<(usize, u64, usize, Vec<f64>)>,
-    senders: &[usize],
-    pending: &mut [bool],
-    neighbor: &mut NeighborData,
-    current: u64,
-    slice: (usize, u64, usize, Vec<f64>),
-) {
-    let (from, iteration, offset, values) = slice;
-    if iteration > current {
-        deferred.push((from, iteration, offset, values));
-    } else {
-        mark_slice(senders, pending, from, iteration, current);
-        neighbor.update(from, iteration, offset, values);
-    }
-}
-
-/// Marks a pending dependency slice as delivered when its iteration stamp
-/// matches the current lockstep iteration.
-fn mark_slice(senders: &[usize], pending: &mut [bool], from: usize, iteration: u64, current: u64) {
-    if iteration == current {
-        if let Some(slot) = senders.iter().position(|&s| s == from) {
-            pending[slot] = false;
-        }
-    }
-}
-
-/// Blocking receive with an overall deadline, surfacing a descriptive
-/// timeout error (a vanished peer must fail the run, not hang it).
-fn wait_message(
-    transport: &dyn Transport,
-    rank: usize,
-    deadline: Instant,
-    waiting_for: &str,
-) -> Result<Message, CoreError> {
-    loop {
-        let now = Instant::now();
-        if now >= deadline {
-            return Err(CoreError::Distributed(format!(
-                "rank {rank}: timed out waiting for {waiting_for}"
-            )));
-        }
-        match transport.recv_timeout(rank, WAIT_SLICE.min(deadline - now)) {
-            Ok(msg) => return Ok(msg),
-            Err(CommError::Timeout { .. }) => continue,
-            Err(e) => return Err(CoreError::Comm(e)),
-        }
-    }
-}
-
-/// Free-running send that treats a disconnected peer as gone rather than
-/// fatal (see the `dead_peers` comment in [`async_rank_loop`]); every other
-/// transport error still aborts the run.
-fn send_tolerating_death(
-    transport: &dyn Transport,
-    rank: usize,
-    to: usize,
-    msg: Message,
-    dead_peers: &mut [bool],
-) -> Result<(), CoreError> {
-    if dead_peers[to] {
-        return Ok(());
-    }
-    match transport.send(rank, to, msg) {
-        Ok(()) => Ok(()),
-        Err(CommError::Disconnected { .. }) => {
-            dead_peers[to] = true;
-            Ok(())
-        }
-        Err(e) => Err(CoreError::Comm(e)),
-    }
-}
-
-fn async_rank_loop(
-    partition: &BandPartition,
-    blk: &LocalBlocks,
-    factor: &dyn msplit_direct::api::Factorization,
-    send_targets: &[usize],
-    config: &MultisplittingConfig,
-    transport: &dyn Transport,
-) -> LoopResult {
-    let world = partition.num_parts();
-    let rank = blk.part;
-    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
-    let mut ws = IterationWorkspace::new();
-    ws.prepare_single(blk);
-    let IterationWorkspace {
-        x_global,
-        rhs,
-        x_sub,
-        scratch,
-        ..
-    } = &mut ws;
-    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
-    let mut tracker = ResidualTracker::new(config.tolerance, 2);
-    let mut iterations = 0u64;
-    let mut last_increment = f64::INFINITY;
-    let mut converged = false;
-    let mut interrupt: Option<Interrupt> = None;
-
-    let mut board = (rank == 0).then(|| VoteBoard::new(world, config.async_confirmations));
-    let mut last_vote_sent: Option<bool> = None;
-    // Peers observed dead on a send.  In the free-running mode a peer that
-    // reached global convergence exits while slower ranks are still sending
-    // to it — that race is benign (the `GlobalConverged` it flushed on the
-    // way out is already queued or in flight), so a disconnected peer is
-    // skipped rather than fatal.  A genuinely crashed peer is caught by the
-    // launcher watching worker exit codes.
-    let mut dead_peers = vec![false; world];
-
-    while iterations < config.max_iterations {
-        iterations += 1;
-
-        // Drain whatever has arrived since the last iteration.
-        let mut fresh_data = false;
-        loop {
-            match transport.try_recv(rank) {
-                Ok(Some(Message::Solution {
-                    from,
-                    iteration,
-                    offset,
-                    values,
-                })) => {
-                    fresh_data |= neighbor.update(from, iteration, offset, values);
-                }
-                Ok(Some(Message::ConvergenceVote {
-                    from,
-                    converged: vote,
-                    ..
-                })) => {
-                    if let Some(board) = board.as_mut() {
-                        board.record(from, vote);
-                    }
-                }
-                Ok(Some(Message::GlobalConverged { .. })) => {
-                    interrupt = Some(Interrupt::Converged);
-                    break;
-                }
-                Ok(Some(Message::Halt)) => {
-                    interrupt = Some(Interrupt::Halted);
-                    break;
-                }
-                Ok(Some(_)) => {}
-                Ok(None) => break,
-                Err(e) => return Err(CoreError::Comm(e)),
-            }
-        }
-        match interrupt {
-            Some(Interrupt::Converged) => {
-                converged = true;
-                break;
-            }
-            Some(Interrupt::Halted) => break,
-            None => {}
-        }
-
-        neighbor.fill_dependencies(x_global);
-        // Inputs still moving must veto a "converged" vote even when the
-        // local increment is tiny (same guard as the threaded async driver).
-        let mut dep_change = 0.0f64;
-        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-            dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
-            prev_deps[slot] = x_global[g];
-        }
-        blk.local_rhs_into(&blk.b_sub, x_global, rhs)?;
-        factor.solve_into(rhs, scratch)?;
-        last_increment = increment_norm(rhs, x_sub).max(dep_change);
-        x_sub.copy_from_slice(rhs);
-
-        let slice = Message::Solution {
-            from: rank,
-            iteration: iterations,
-            offset: blk.offset,
-            values: x_sub.clone(),
-        };
-        for &t in send_targets {
-            send_tolerating_death(transport, rank, t, slice.clone(), &mut dead_peers)?;
-        }
-
-        let local = tracker.record(last_increment) == LocalConvergence::Converged;
-        if let Some(board) = board.as_mut() {
-            board.record(0, local);
-            if board.is_global() {
-                let note = Message::GlobalConverged {
-                    iteration: iterations,
-                };
-                for to in 1..world {
-                    send_tolerating_death(transport, rank, to, note.clone(), &mut dead_peers)?;
-                }
-                converged = true;
-                break;
-            }
-        } else if last_vote_sent != Some(local)
-            || iterations.is_multiple_of(VOTE_REFRESH_ITERATIONS)
-        {
-            let vote = Message::ConvergenceVote {
-                from: rank,
-                iteration: iterations,
-                converged: local,
-            };
-            send_tolerating_death(transport, rank, 0, vote, &mut dead_peers)?;
-            last_vote_sent = Some(local);
-        }
-
-        if local && !fresh_data {
-            // Locally stable and nothing new arrived: yield briefly instead
-            // of flooding the network with identical slices.
-            std::thread::sleep(Duration::from_micros(100));
-        }
-    }
-    if !converged && interrupt.is_none() {
-        // Budget exhausted: tell the peers so nobody spins forever.
-        broadcast_halt(transport, rank, world);
-    }
-    Ok((x_sub.clone(), iterations, last_increment, converged))
-}
-
-/// For every rank, the peers whose slices it receives each iteration — the
-/// transpose of [`crate::Decomposition::send_targets`].
-pub fn receive_sources(send_targets: &[Vec<usize>]) -> Vec<Vec<usize>> {
-    let mut sources = vec![Vec::new(); send_targets.len()];
-    for (sender, targets) in send_targets.iter().enumerate() {
-        for &t in targets {
-            sources[t].push(sender);
-        }
-    }
-    for s in &mut sources {
-        s.sort_unstable();
-        s.dedup();
-    }
-    sources
+    };
+    Ok(RankOutcome {
+        rank,
+        x_local: engine.x_local().to_vec(),
+        iterations: run.iterations,
+        last_increment: run.last_increment,
+        converged: run.converged,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        event_log: engine.take_event_log(),
+    })
 }
 
 #[cfg(test)]
@@ -694,6 +210,7 @@ mod tests {
         a: &msplit_sparse::CsrMatrix,
         b: &[f64],
         cfg: &MultisplittingConfig,
+        options: &RankOptions,
     ) -> (Vec<f64>, Vec<RankOutcome>) {
         let d = Decomposition::uniform(a, b, cfg.parts, cfg.overlap).unwrap();
         let targets = d.send_targets();
@@ -717,7 +234,7 @@ mod tests {
                             &sources[blk.part],
                             cfg,
                             transport,
-                            &RankOptions::default(),
+                            options,
                         )
                         .unwrap()
                     })
@@ -731,31 +248,6 @@ mod tests {
     }
 
     #[test]
-    fn vote_board_requires_full_confirmation_waves() {
-        let mut b = VoteBoard::new(2, 2);
-        assert!(!b.record(0, true));
-        assert!(!b.record(1, true)); // all true -> wave 1 starts, rank1 confirmed
-        assert!(!b.record(0, true)); // wave 1 complete
-        assert!(!b.record(1, true));
-        assert!(b.record(0, true)); // wave 2 complete -> global
-        assert!(b.is_global());
-        // Latched: later dissent is ignored.
-        assert!(b.record(1, false));
-    }
-
-    #[test]
-    fn vote_board_resets_on_dissent() {
-        let mut b = VoteBoard::new(2, 1);
-        b.record(0, true);
-        b.record(1, true); // wave started, rank1 confirmed
-        b.record(1, false); // dissent resets everything
-        assert!(!b.is_global());
-        b.record(1, true);
-        assert!(!b.is_global()); // fresh wave: rank1 confirmed, rank0 pending
-        assert!(b.record(0, true));
-    }
-
-    #[test]
     fn distributed_sync_matches_threaded_sync() {
         let a = generators::diag_dominant(&DiagDominantConfig {
             n: 240,
@@ -764,7 +256,7 @@ mod tests {
         });
         let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 9) as f64) - 4.0);
         let cfg = config(3, ExecutionMode::Synchronous);
-        let (x, outcomes) = run_all_ranks(&a, &b, &cfg);
+        let (x, outcomes) = run_all_ranks(&a, &b, &cfg, &RankOptions::default());
         assert!(outcomes.iter().all(|o| o.converged));
         // Lockstep: every rank performs the same number of iterations.
         let iters: Vec<u64> = outcomes.iter().map(|o| o.iterations).collect();
@@ -772,11 +264,11 @@ mod tests {
         assert!(max_err(&x, &x_true) < 1e-7);
 
         let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
-        let threaded = crate::sync_driver::solve_sync_inproc(d, &cfg).unwrap();
+        let threaded = crate::runtime::solve_threaded_inproc(d, &cfg).unwrap();
         assert!(threaded.converged);
-        // Same iteration body, same lockstep semantics: identical iterates.
+        // Same engine, same policies: identical iterates and counts.
         assert_eq!(threaded.iterations, iters[0]);
-        assert!(max_err(&x, &threaded.x) < 1e-12);
+        assert_eq!(x, threaded.x);
     }
 
     #[test]
@@ -788,7 +280,7 @@ mod tests {
         });
         let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
         let cfg = config(4, ExecutionMode::Asynchronous);
-        let (x, outcomes) = run_all_ranks(&a, &b, &cfg);
+        let (x, outcomes) = run_all_ranks(&a, &b, &cfg, &RankOptions::default());
         assert!(outcomes.iter().all(|o| o.converged));
         assert!(max_err(&x, &x_true) < 1e-6);
     }
@@ -799,7 +291,7 @@ mod tests {
         let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
         let mut cfg = config(3, ExecutionMode::Asynchronous);
         cfg.max_iterations = 5;
-        let (_, outcomes) = run_all_ranks(&a, &b, &cfg);
+        let (_, outcomes) = run_all_ranks(&a, &b, &cfg, &RankOptions::default());
         assert!(outcomes.iter().all(|o| !o.converged));
         assert!(outcomes.iter().all(|o| o.iterations <= 5));
     }
@@ -834,5 +326,203 @@ mod tests {
             ),
             Err(CoreError::Decomposition(_))
         ));
+    }
+
+    #[test]
+    fn recorded_rank_replays_bitwise() {
+        // The engine is pure: replaying the recorded ingest/step sequence
+        // onto a freshly prepared engine reproduces the live run bitwise.
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 180,
+            seed: 23,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 8) as f64) - 3.0);
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let options = RankOptions {
+            record_events: true,
+            ..Default::default()
+        };
+        let (_, outcomes) = run_all_ranks(&a, &b, &cfg, &options);
+
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let solver = cfg.solver_kind.build();
+        for outcome in &outcomes {
+            let log = outcome.event_log.as_ref().expect("recording was enabled");
+            assert!(!log.events.is_empty());
+            let blk = &blocks[outcome.rank];
+            let factor = solver.factorize(&blk.a_sub).unwrap();
+            let mut ws = IterationWorkspace::new();
+            let mut twin = RankEngine::single(
+                &partition,
+                blk,
+                &blk.b_sub,
+                factor.as_ref(),
+                cfg.weighting,
+                &mut ws,
+            );
+            twin.replay(log).unwrap();
+            assert_eq!(twin.iterations(), outcome.iterations);
+            assert_eq!(twin.x_local(), outcome.x_local.as_slice());
+        }
+    }
+
+    #[test]
+    fn lockstep_rank_death_downgrades_to_halt_not_hang() {
+        // Three ranks; rank 1 is dead from the start (closed).  Rank 0 only
+        // *receives* from rank 1, so no data send surfaces the death — the
+        // heartbeat probe must.  Rank 2 neither sends to nor receives from
+        // rank 1; it must be stopped by rank 0's Halt broadcast instead of
+        // timing out.
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let b = vec![1.0; 30];
+        let mut cfg = config(3, ExecutionMode::Synchronous);
+        cfg.max_iterations = 100_000;
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let transport = InProcTransport::new(3);
+        transport.close_rank(1).unwrap();
+        let options = RankOptions {
+            peer_timeout: Duration::from_secs(30),
+            failure: FailurePolicy::HaltOnDeath {
+                heartbeat: Duration::from_millis(150),
+            },
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let (r0, r2) = std::thread::scope(|scope| {
+            let t0: Arc<dyn Transport> = transport.clone();
+            let t2: Arc<dyn Transport> = transport.clone();
+            let partition = &partition;
+            let blocks = &blocks;
+            let options = &options;
+            let cfg = &cfg;
+            let h0 = scope.spawn(move || {
+                // Rank 0 waits on slices from rank 1 (and rank 2's vote).
+                run_rank(partition, &blocks[0], &[2], &[1], cfg, t0, options)
+            });
+            let h2 =
+                scope.spawn(move || run_rank(partition, &blocks[2], &[0], &[0], cfg, t2, options));
+            (h0.join().unwrap(), h2.join().unwrap())
+        });
+        // The death was detected through a heartbeat probe well inside the
+        // 30 s peer timeout.  Both survivors probe, so either may be the one
+        // that observes the disconnect and errors; the other is stopped by
+        // the resulting Halt broadcast (cleanly, without error).
+        assert!(started.elapsed() < Duration::from_secs(10), "hung too long");
+        let mut death_errors = 0;
+        for result in [r0, r2] {
+            match result {
+                Err(CoreError::Distributed(msg)) => {
+                    assert!(msg.contains("rank 1"), "unexpected message: {msg}");
+                    death_errors += 1;
+                }
+                Ok(outcome) => assert!(!outcome.converged),
+                Err(other) => panic!("unexpected error kind: {other:?}"),
+            }
+        }
+        assert!(death_errors >= 1, "no rank reported the death");
+    }
+
+    #[test]
+    fn halt_racing_global_converged_still_reports_convergence() {
+        // Regression for the converged-peer-exit race: a rank whose inbox
+        // holds Halt *before* GlobalConverged (any interleaving is possible
+        // across senders) must still report convergence — Halt handling is
+        // idempotent and the grace drain lets the convergence notice win.
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let mut cfg = config(2, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 100_000;
+        let d = Decomposition::uniform(&a, &b, 2, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let transport = InProcTransport::new(2);
+        // Rank 1's inbox: Halt first, then the convergence broadcast.
+        transport.send(0, 1, Message::Halt).unwrap();
+        transport
+            .send(0, 1, Message::GlobalConverged { iteration: 7 })
+            .unwrap();
+        let outcome = run_rank(
+            &partition,
+            &blocks[1],
+            &[0],
+            &[0],
+            &cfg,
+            transport,
+            &RankOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.converged, "GlobalConverged must win over Halt");
+
+        // And a lone Halt (no convergence notice racing it) still halts.
+        let transport2 = InProcTransport::new(2);
+        transport2.send(0, 1, Message::Halt).unwrap();
+        let halted = run_rank(
+            &partition,
+            &blocks[1],
+            &[0],
+            &[0],
+            &cfg,
+            transport2,
+            &RankOptions::default(),
+        )
+        .unwrap();
+        assert!(!halted.converged);
+    }
+
+    #[test]
+    fn free_running_tolerates_converged_peer_exit() {
+        // Satellite regression: the converged-peer-exit rule lives in the
+        // ConfirmationWaves policy (DeathRule::Tolerate) — a slice sent to a
+        // rank that already exited must be skipped, not fatal, because its
+        // GlobalConverged is already queued.
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let mut cfg = config(2, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 25;
+        let d = Decomposition::uniform(&a, &b, 2, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+
+        // Rank 0 already exited with its convergence notice queued: the
+        // notice wins before any send can observe the death.
+        let transport = InProcTransport::new(2);
+        transport
+            .send(0, 1, Message::GlobalConverged { iteration: 3 })
+            .unwrap();
+        transport.close_rank(0).unwrap();
+        let outcome = run_rank(
+            &partition,
+            &blocks[1],
+            &[0],
+            &[0],
+            &cfg,
+            transport,
+            &RankOptions::default(),
+        )
+        .unwrap();
+        assert!(outcome.converged);
+
+        // Rank 0 exited with nothing queued: every slice/vote rank 1 sends
+        // hits Disconnected and must be skipped (not fatal) until the budget
+        // runs out — the run ends cleanly, without error.
+        let transport2 = InProcTransport::new(2);
+        transport2.close_rank(0).unwrap();
+        let outcome2 = run_rank(
+            &partition,
+            &blocks[1],
+            &[0],
+            &[0],
+            &cfg,
+            transport2,
+            &RankOptions::default(),
+        )
+        .unwrap();
+        assert!(!outcome2.converged);
+        assert_eq!(outcome2.iterations, 25);
     }
 }

@@ -18,7 +18,7 @@ use msplit_sparse::{BandPartition, LocalBlocks};
 /// construction, so [`NeighborData::fill_dependencies`] — which runs once per
 /// outer iteration — performs no heap allocation.
 #[derive(Debug, Clone)]
-pub(crate) struct NeighborData {
+pub struct NeighborData {
     /// `latest[k]` = (offset, values) of the most recent slice from part `k`.
     latest: Vec<Option<(usize, Vec<f64>)>>,
     /// Iteration stamp of the most recent slice from each part.
@@ -33,11 +33,8 @@ pub(crate) struct NeighborData {
 }
 
 impl NeighborData {
-    pub(crate) fn new(
-        partition: &BandPartition,
-        scheme: WeightingScheme,
-        blk: &LocalBlocks,
-    ) -> Self {
+    /// Builds the halo tracker for `blk` under the given weighting scheme.
+    pub fn new(partition: &BandPartition, scheme: WeightingScheme, blk: &LocalBlocks) -> Self {
         let parts = partition.num_parts();
         let my_range = partition.extended_range(blk.part);
         let dep_cols: Vec<usize> = blk
@@ -64,13 +61,7 @@ impl NeighborData {
     /// Returns whether the slice was actually applied — a discarded stale
     /// duplicate must not count as "fresh data" in the drivers' convergence
     /// guards.
-    pub(crate) fn update(
-        &mut self,
-        from: usize,
-        iteration: u64,
-        offset: usize,
-        values: Vec<f64>,
-    ) -> bool {
+    pub fn update(&mut self, from: usize, iteration: u64, offset: usize, values: Vec<f64>) -> bool {
         if from >= self.latest.len() {
             return false;
         }
@@ -89,7 +80,7 @@ impl NeighborData {
     }
 
     /// The precomputed dependency columns outside the band's extended range.
-    pub(crate) fn dependency_columns(&self) -> &[usize] {
+    pub fn dependency_columns(&self) -> &[usize] {
         &self.dep_cols
     }
 
@@ -111,7 +102,7 @@ impl NeighborData {
     ///
     /// Allocation-free: the column list and weights were precomputed at
     /// construction.
-    pub(crate) fn fill_dependencies(&self, x_global: &mut [f64]) {
+    pub fn fill_dependencies(&self, x_global: &mut [f64]) {
         for (&g, weights) in self.dep_cols.iter().zip(self.dep_weights.iter()) {
             let mut acc = 0.0;
             let mut total_w = 0.0;
@@ -138,7 +129,7 @@ impl NeighborData {
 /// warm engine cache hits reuse fully grown buffers from the first request
 /// onwards.
 #[derive(Debug, Default)]
-pub(crate) struct IterationWorkspace {
+pub struct IterationWorkspace {
     /// Current estimate of the full solution vector (dependency columns are
     /// refreshed in place each iteration).
     pub(crate) x_global: Vec<f64>,
@@ -155,7 +146,9 @@ pub(crate) struct IterationWorkspace {
 }
 
 impl IterationWorkspace {
-    pub(crate) fn new() -> Self {
+    /// Creates an empty workspace; buffers grow on first use and are then
+    /// retained for the lifetime of the value.
+    pub fn new() -> Self {
         Self::default()
     }
 

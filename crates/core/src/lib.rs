@@ -43,8 +43,13 @@
 //!   (block Jacobi, O'Leary–White, Schwarz variants),
 //! * [`sequential`] — single-threaded reference iterations (practical form
 //!   and the extended fixed-point mapping of Section 3),
-//! * [`sync_driver`] / [`async_driver`] — the threaded synchronous and
-//!   asynchronous solvers of Algorithm 1,
+//! * [`runtime`] — the unified per-rank runtime: the [`runtime::RankEngine`]
+//!   state machine of Algorithm 1 plus pluggable convergence
+//!   ([`runtime::ConvergencePolicy`]), progress
+//!   ([`runtime::ProgressPolicy`]) and failure ([`runtime::FailurePolicy`])
+//!   policies; every driver below is an adapter over it,
+//! * [`sync_driver`] / [`async_driver`] — deprecated shims of the threaded
+//!   synchronous and asynchronous entry points (kept for one release),
 //! * [`solver`] — the user-facing builder tying everything together,
 //! * [`theory`] — iteration matrices, spectral radii and the convergence
 //!   predicates of Theorem 1 and Propositions 1–3,
@@ -63,6 +68,7 @@ pub mod experiment;
 pub mod launcher;
 pub mod perf_model;
 pub mod prepared;
+pub mod runtime;
 pub mod sequential;
 pub mod solver;
 pub mod sync_driver;
@@ -73,6 +79,7 @@ pub use decomposition::Decomposition;
 pub use distributed::{run_rank, RankOptions, RankOutcome};
 pub use launcher::{DistributedOutcome, Launcher, LauncherConfig};
 pub use prepared::PreparedSystem;
+pub use runtime::{EngineEvent, EventLog, FailurePolicy, IterationWorkspace, RankEngine};
 pub use solver::{
     BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder,
 };

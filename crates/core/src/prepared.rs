@@ -16,7 +16,7 @@
 use crate::decomposition::Decomposition;
 use crate::driver_common::{compute_send_targets, IterationWorkspace};
 use crate::solver::{BatchSolveOutcome, ExecutionMode, MultisplittingConfig, SolveOutcome};
-use crate::{async_driver, sync_driver, CoreError};
+use crate::{runtime, CoreError};
 use msplit_comm::transport::Transport;
 use msplit_direct::api::Factorization;
 use msplit_sparse::{BandPartition, CsrMatrix, LocalBlocks};
@@ -74,7 +74,7 @@ impl PreparedSystem {
             Decomposition::balanced_for_speeds(a, &zero_b, &config.relative_speeds, config.overlap)?
         };
         let (partition, blocks) = decomposition.into_blocks();
-        let factors = sync_driver::factorize_blocks(&blocks, &config)?;
+        let factors = runtime::factorize_blocks(&blocks, &config)?;
         let send_targets = compute_send_targets(&partition, &blocks);
         Ok(PreparedSystem {
             config,
@@ -96,7 +96,7 @@ impl PreparedSystem {
             .lock()
             .unwrap_or_else(|poisoned| poisoned.into_inner());
         pool.pop()
-            .unwrap_or_else(|| sync_driver::fresh_workspaces(self.num_parts()))
+            .unwrap_or_else(|| runtime::fresh_workspaces(self.num_parts()))
     }
 
     /// Returns a workspace set to the pool (bounded, so peak concurrency does
@@ -182,7 +182,7 @@ impl PreparedSystem {
         let start = Instant::now();
         let mut workspaces = self.acquire_workspaces();
         let result = match self.config.mode {
-            ExecutionMode::Synchronous => sync_driver::run_sync(
+            ExecutionMode::Synchronous => runtime::run_sync(
                 &self.partition,
                 &self.blocks,
                 &self.factors,
@@ -193,7 +193,7 @@ impl PreparedSystem {
                 &mut workspaces,
                 start,
             ),
-            ExecutionMode::Asynchronous => async_driver::run_async(
+            ExecutionMode::Asynchronous => runtime::run_async(
                 &self.partition,
                 &self.blocks,
                 &self.factors,
@@ -232,7 +232,7 @@ impl PreparedSystem {
             self.check_rhs(b)?;
         }
         let mut workspaces = self.acquire_workspaces();
-        let result = sync_driver::run_sync_batch(
+        let result = runtime::run_sync_batch(
             &self.partition,
             &self.blocks,
             &self.factors,

@@ -1,0 +1,2279 @@
+//! The unified per-rank runtime: one Algorithm 1 state machine behind every
+//! driver.
+//!
+//! Before this module existed the paper's Algorithm 1 lived in five
+//! near-copies (sequential reference, threaded sync, threaded batch, threaded
+//! async, and the distributed sync/async rank loops).  They are now all
+//! adapters over three orthogonal pieces:
+//!
+//! * [`RankEngine`] — the *pure* numeric state machine of one rank.  Its only
+//!   transitions are `ingest(Message)` (update the halo data) and `step()`
+//!   (fill dependencies → assemble `BLoc` → in-place triangular solve →
+//!   observe the increment).  It never touches a transport, clock or thread,
+//!   which is what makes deterministic record/replay ([`EventLog`]) possible
+//!   and keeps the zero-allocation steady state of the kernels intact (all
+//!   buffers live in a caller-retained [`IterationWorkspace`]).
+//! * [`ConvergencePolicy`] — how local votes become a global decision:
+//!   [`LockstepVotes`] (per-iteration centralized vote collection — the
+//!   message-based equivalent of barrier + allreduce) or
+//!   [`ConfirmationWaves`] (free-running confirmation-wave protocol over a
+//!   [`VoteBoard`]).  The local voting rule itself is a composable
+//!   [`LocalVote`] chain ([`IncrementVote`], [`StaleSweepGuard`]).
+//! * [`ProgressPolicy`] — when messages move: [`Lockstep`] (the
+//!   barrier-equivalent wait for every dependency slice of the current
+//!   iteration plus the convergence decision) or [`FreeRunning`]
+//!   (drain-what-arrived, AIAC style).
+//!
+//! The threaded drivers pump the engine over an in-process transport (one
+//! thread per rank), the distributed runtime pumps the *same* engine over
+//! TCP; both therefore compute bitwise-identical lockstep iterates, which
+//! `tests/driver_equivalence.rs` asserts against the retained sequential
+//! reference.
+//!
+//! Failure handling is a policy too: [`FailurePolicy::HaltOnDeath`] probes
+//! silent peers with [`Message::Heartbeat`] during lockstep waits, so a dead
+//! rank (surfaced as [`msplit_comm::CommError::Disconnected`]) downgrades to
+//! a [`Message::Halt`] broadcast and a prompt error instead of a hang.
+
+use crate::driver_common::increment_norm;
+use crate::solver::{
+    BatchSolveOutcome, ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome,
+};
+use crate::weighting::WeightingScheme;
+use crate::CoreError;
+use msplit_comm::convergence::{LocalConvergence, ResidualTracker};
+use msplit_comm::message::Message;
+use msplit_comm::transport::Transport;
+use msplit_comm::CommError;
+use msplit_direct::api::Factorization;
+use msplit_sparse::{BandPartition, LocalBlocks};
+use rayon::prelude::*;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+pub use crate::driver_common::{IterationWorkspace, NeighborData};
+
+/// Poll granularity of blocking lockstep waits.
+const WAIT_SLICE: Duration = Duration::from_millis(100);
+
+/// How often (in iterations) a free-running rank re-sends an unchanged
+/// *not-converged* vote to the coordinator (liveness only; converged votes
+/// re-send every iteration because confirmation waves advance on them).
+const VOTE_REFRESH_ITERATIONS: u64 = 25;
+
+/// How long a rank that received [`Message::Halt`] keeps draining its inbox
+/// for a [`Message::GlobalConverged`] racing the halt (a budget-exhausted
+/// peer halting at the same instant the coordinator declares convergence
+/// must not turn a converged run into a failed one).
+const HALT_GRACE: Duration = Duration::from_millis(20);
+
+/// Lockstep peer timeout of the threaded adapters.  The pre-runtime barrier
+/// waited indefinitely for slow (but live) peers, so this is deliberately
+/// generous — genuinely *dead* peers are caught within ~1 s by the
+/// [`FailurePolicy::HaltOnDeath`] heartbeat probes, which is the real guard;
+/// the timeout only backstops a livelock nothing else can detect.
+const THREADED_PEER_TIMEOUT: Duration = Duration::from_secs(3600);
+
+/// Idle backoff of a free-running rank that is locally stable and received
+/// no fresh data (avoids flooding the network with identical slices).
+const IDLE_BACKOFF: Duration = Duration::from_micros(100);
+
+// ---------------------------------------------------------------------------
+// Engine
+// ---------------------------------------------------------------------------
+
+/// What one [`RankEngine::step`] observed — the inputs of the local vote.
+#[derive(Debug, Clone, Copy)]
+pub struct StepObservation {
+    /// Outer-iteration counter after this step (1-based).
+    pub iteration: u64,
+    /// Infinity norm of the local iterate increment.
+    pub increment: f64,
+    /// Maximum movement of any dependency value since the previous step.
+    pub dep_change: f64,
+    /// Whether any new halo slice was ingested since the previous step.
+    pub fresh_data: bool,
+    /// Whether this rank has dependencies at all (a single-band system has
+    /// none and must be allowed to converge without ever receiving data).
+    pub needs_fresh_data: bool,
+}
+
+/// One recorded engine transition (see [`EventLog`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineEvent {
+    /// A message was ingested into the halo state.
+    Ingest(Message),
+    /// One local solve step was performed.
+    Step,
+}
+
+/// A recorded sequence of engine transitions.
+///
+/// Because [`RankEngine`] is pure and single-threaded per rank, replaying the
+/// ingested message sequence (with the step boundaries interleaved) onto a
+/// freshly prepared engine reproduces the live run **bitwise** — the
+/// deterministic replay harness used to debug distributed executions offline.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventLog {
+    /// The transitions, in execution order.
+    pub events: Vec<EngineEvent>,
+}
+
+/// Data layout of the engine: one right-hand side or a lockstep batch.
+enum EngineShape {
+    Single,
+    Batch(usize),
+}
+
+/// The pure per-rank state machine of Algorithm 1.
+///
+/// All mutable numeric state lives in the caller-retained
+/// [`IterationWorkspace`] (pooled by [`crate::prepared::PreparedSystem`]), so
+/// a warm engine performs **zero heap allocations** per [`RankEngine::step`]
+/// — asserted by `tests/zero_alloc.rs`.
+pub struct RankEngine<'a> {
+    rank: usize,
+    blk: &'a LocalBlocks,
+    factor: &'a dyn Factorization,
+    ws: &'a mut IterationWorkspace,
+    shape: EngineShape,
+    b_single: &'a [f64],
+    b_cols: Vec<&'a [f64]>,
+    /// One halo tracker per solution column.
+    neighbors: Vec<NeighborData>,
+    /// Previous dependency values, `ncols × dep_cols` in column-major blocks.
+    prev_deps: Vec<f64>,
+    dep_cols_per_neighbor: usize,
+    needs_fresh_data: bool,
+    fresh_since_step: bool,
+    iterations: u64,
+    last_increment: f64,
+    recorder: Option<EventLog>,
+}
+
+impl<'a> RankEngine<'a> {
+    /// Engine for a single right-hand side (`b_sub` is the band-local slice).
+    pub fn single(
+        partition: &BandPartition,
+        blk: &'a LocalBlocks,
+        b_sub: &'a [f64],
+        factor: &'a dyn Factorization,
+        scheme: WeightingScheme,
+        ws: &'a mut IterationWorkspace,
+    ) -> Self {
+        ws.prepare_single(blk);
+        let neighbor = NeighborData::new(partition, scheme, blk);
+        let dep_cols = neighbor.dependency_columns().len();
+        RankEngine {
+            rank: blk.part,
+            blk,
+            factor,
+            ws,
+            shape: EngineShape::Single,
+            b_single: b_sub,
+            b_cols: Vec::new(),
+            needs_fresh_data: dep_cols > 0,
+            prev_deps: vec![0.0; dep_cols],
+            dep_cols_per_neighbor: dep_cols,
+            neighbors: vec![neighbor],
+            fresh_since_step: false,
+            iterations: 0,
+            last_increment: f64::INFINITY,
+            recorder: None,
+        }
+    }
+
+    /// Engine for a batch of right-hand sides marching in lockstep (one
+    /// band-local slice per column).
+    pub fn batch(
+        partition: &BandPartition,
+        blk: &'a LocalBlocks,
+        b_cols: Vec<&'a [f64]>,
+        factor: &'a dyn Factorization,
+        scheme: WeightingScheme,
+        ws: &'a mut IterationWorkspace,
+    ) -> Self {
+        let ncols = b_cols.len();
+        ws.prepare_batch(blk, ncols);
+        let neighbors: Vec<NeighborData> = (0..ncols)
+            .map(|_| NeighborData::new(partition, scheme, blk))
+            .collect();
+        let dep_cols = neighbors
+            .first()
+            .map_or(0, |n| n.dependency_columns().len());
+        RankEngine {
+            rank: blk.part,
+            blk,
+            factor,
+            ws,
+            shape: EngineShape::Batch(ncols),
+            b_single: &[],
+            b_cols,
+            needs_fresh_data: dep_cols > 0,
+            prev_deps: vec![0.0; ncols * dep_cols],
+            dep_cols_per_neighbor: dep_cols,
+            neighbors,
+            fresh_since_step: false,
+            iterations: 0,
+            last_increment: f64::INFINITY,
+            recorder: None,
+        }
+    }
+
+    /// This engine's rank (= band index).
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// Outer iterations performed so far.
+    pub fn iterations(&self) -> u64 {
+        self.iterations
+    }
+
+    /// Infinity norm of the most recent iterate increment.
+    pub fn last_increment(&self) -> f64 {
+        self.last_increment
+    }
+
+    /// Starts recording every `ingest`/`step` transition for later
+    /// [`RankEngine::replay`].
+    pub fn record_events(&mut self) {
+        self.recorder = Some(EventLog::default());
+    }
+
+    /// Takes the recorded transition log, if recording was enabled.
+    pub fn take_event_log(&mut self) -> Option<EventLog> {
+        self.recorder.take()
+    }
+
+    /// Ingests one message into the halo state.  Returns whether it carried
+    /// *fresh* data (a stale or non-data message returns `false`).  Control
+    /// messages are not engine business — route them to the policies.
+    pub fn ingest(&mut self, msg: Message) -> bool {
+        if let Some(log) = &mut self.recorder {
+            log.events.push(EngineEvent::Ingest(msg.clone()));
+        }
+        let fresh = match msg {
+            Message::Solution {
+                from,
+                iteration,
+                offset,
+                values,
+            } => self.neighbors[0].update(from, iteration, offset, values),
+            Message::SolutionBatch {
+                from,
+                iteration,
+                offset,
+                columns,
+            } => {
+                let mut fresh = false;
+                for (c, col) in columns.into_iter().enumerate() {
+                    if let Some(neighbor) = self.neighbors.get_mut(c) {
+                        fresh |= neighbor.update(from, iteration, offset, col);
+                    }
+                }
+                fresh
+            }
+            _ => false,
+        };
+        self.fresh_since_step |= fresh;
+        fresh
+    }
+
+    /// Performs one Algorithm 1 sweep: refresh the dependency values from the
+    /// halo state, assemble `BLoc` into the retained buffer, solve it in
+    /// place, and observe the increment.  Allocation-free once the workspace
+    /// is warm.
+    pub fn step(&mut self) -> Result<StepObservation, CoreError> {
+        if let Some(log) = &mut self.recorder {
+            log.events.push(EngineEvent::Step);
+        }
+        self.iterations += 1;
+        let fresh_data = std::mem::take(&mut self.fresh_since_step);
+        let mut dep_change = 0.0f64;
+        match self.shape {
+            EngineShape::Single => {
+                let IterationWorkspace {
+                    x_global,
+                    rhs,
+                    x_sub,
+                    scratch,
+                    ..
+                } = &mut *self.ws;
+                let neighbor = &self.neighbors[0];
+                neighbor.fill_dependencies(x_global);
+                for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+                    dep_change = dep_change.max((x_global[g] - self.prev_deps[slot]).abs());
+                    self.prev_deps[slot] = x_global[g];
+                }
+                self.blk.local_rhs_into(self.b_single, x_global, rhs)?;
+                self.factor.solve_into(rhs, scratch)?;
+                self.last_increment = increment_norm(rhs, x_sub);
+                x_sub.copy_from_slice(rhs);
+            }
+            EngineShape::Batch(ncols) => {
+                let IterationWorkspace {
+                    x_globals,
+                    rhs_cols,
+                    x_cols,
+                    scratch,
+                    ..
+                } = &mut *self.ws;
+                for ((c, neighbor), x_global) in
+                    self.neighbors.iter().enumerate().zip(x_globals.iter_mut())
+                {
+                    neighbor.fill_dependencies(x_global);
+                    for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
+                        let prev = &mut self.prev_deps[c * self.dep_cols_per_neighbor + slot];
+                        dep_change = dep_change.max((x_global[g] - *prev).abs());
+                        *prev = x_global[g];
+                    }
+                }
+                for (x_global, (rhs, b_col)) in x_globals
+                    .iter()
+                    .zip(rhs_cols.iter_mut().zip(self.b_cols.iter()))
+                {
+                    self.blk.local_rhs_into(b_col, x_global, rhs)?;
+                }
+                self.factor.solve_many_into(rhs_cols, scratch)?;
+                self.last_increment = rhs_cols
+                    .iter()
+                    .zip(x_cols.iter())
+                    .map(|(n, o)| increment_norm(n, o))
+                    .fold(0.0f64, f64::max);
+                for (xc, rc) in x_cols.iter_mut().zip(rhs_cols.iter()) {
+                    xc.copy_from_slice(rc);
+                }
+                debug_assert_eq!(ncols, x_cols.len());
+            }
+        }
+        Ok(StepObservation {
+            iteration: self.iterations,
+            increment: self.last_increment,
+            dep_change,
+            fresh_data,
+            needs_fresh_data: self.needs_fresh_data,
+        })
+    }
+
+    /// Builds the outbound solution message of the current iterate (the
+    /// payload clone is the communication cost, not part of the solve path).
+    pub fn outgoing(&self) -> Message {
+        match self.shape {
+            EngineShape::Single => Message::Solution {
+                from: self.rank,
+                iteration: self.iterations,
+                offset: self.blk.offset,
+                values: self.ws.x_sub.clone(),
+            },
+            EngineShape::Batch(_) => Message::SolutionBatch {
+                from: self.rank,
+                iteration: self.iterations,
+                offset: self.blk.offset,
+                columns: self.ws.x_cols.clone(),
+            },
+        }
+    }
+
+    /// Encoded size of [`RankEngine::outgoing`] in bytes, without building
+    /// the message (mirrors [`Message::encoded_len`]; the unit tests pin the
+    /// two against each other).
+    pub fn outgoing_encoded_len(&self) -> usize {
+        match self.shape {
+            EngineShape::Single => 1 + 8 + 8 + 8 + 8 + 8 * self.ws.x_sub.len(),
+            EngineShape::Batch(_) => {
+                let payload: usize = self.ws.x_cols.iter().map(|c| 8 + 8 * c.len()).sum();
+                1 + 8 + 8 + 8 + 8 + payload
+            }
+        }
+    }
+
+    /// The current local iterate (single-RHS shape).
+    pub fn x_local(&self) -> &[f64] {
+        &self.ws.x_sub
+    }
+
+    /// The current local iterate columns (batch shape).
+    pub fn x_columns(&self) -> &[Vec<f64>] {
+        &self.ws.x_cols
+    }
+
+    /// Replays a recorded transition sequence onto this (freshly prepared)
+    /// engine.  Applying the same log to an engine prepared from the same
+    /// blocks and factorization reproduces the live run bitwise.
+    pub fn replay(&mut self, log: &EventLog) -> Result<(), CoreError> {
+        for event in &log.events {
+            match event {
+                EngineEvent::Ingest(msg) => {
+                    self.ingest(msg.clone());
+                }
+                EngineEvent::Step => {
+                    self.step()?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Local votes
+// ---------------------------------------------------------------------------
+
+/// The local convergence verdict of one rank, derived from a
+/// [`StepObservation`].  Implementations are composable — see
+/// [`StaleSweepGuard`].
+pub trait LocalVote: Send {
+    /// Records the observation and returns this rank's vote.
+    fn vote(&mut self, obs: &StepObservation) -> bool;
+
+    /// The increment this vote judges — what the run should *report* as its
+    /// last increment.  The free-running vote folds dependency movement in
+    /// (a rank whose own iterate is stable while its inputs still move has
+    /// not converged by that much), so the reported metric stays consistent
+    /// with the decision logic.
+    fn effective_increment(&self, obs: &StepObservation) -> f64 {
+        obs.increment
+    }
+}
+
+/// Base vote: the iterate increment has stayed below tolerance for a
+/// configured window ([`ResidualTracker`]).
+pub struct IncrementVote {
+    tracker: ResidualTracker,
+    include_dep_change: bool,
+}
+
+impl IncrementVote {
+    /// Lockstep variant: a single below-tolerance increment suffices (the
+    /// lockstep wait guarantees the iterate was computed from fresh data).
+    pub fn lockstep(tolerance: f64) -> Self {
+        IncrementVote {
+            tracker: ResidualTracker::new(tolerance, 1),
+            include_dep_change: false,
+        }
+    }
+
+    /// Free-running variant: a 2-iteration stability window over
+    /// `max(increment, dep_change)` — with free-running iterations a single
+    /// tiny increment can be an artifact of not having received fresh data
+    /// yet, and inputs still moving must veto the verdict.
+    pub fn free_running(tolerance: f64) -> Self {
+        IncrementVote {
+            tracker: ResidualTracker::new(tolerance, 2),
+            include_dep_change: true,
+        }
+    }
+}
+
+impl LocalVote for IncrementVote {
+    fn vote(&mut self, obs: &StepObservation) -> bool {
+        let increment = self.effective_increment(obs);
+        self.tracker.record(increment) == LocalConvergence::Converged
+    }
+
+    fn effective_increment(&self, obs: &StepObservation) -> f64 {
+        if self.include_dep_change {
+            obs.increment.max(obs.dep_change)
+        } else {
+            obs.increment
+        }
+    }
+}
+
+/// Composable stale-sweep guard: a rank with dependencies may only count a
+/// tiny increment as convergence evidence when fresh halo data actually
+/// arrived since the previous sweep *and* that data did not move its
+/// dependency values — a sweep over in-flight slices recomputes the same
+/// iterate, a zero increment that says nothing.  A no-op for ranks without
+/// dependencies.
+pub struct StaleSweepGuard<V> {
+    inner: V,
+    tolerance: f64,
+}
+
+impl<V: LocalVote> StaleSweepGuard<V> {
+    /// Wraps `inner` with the guard at the given dependency-movement
+    /// tolerance.
+    pub fn new(inner: V, tolerance: f64) -> Self {
+        StaleSweepGuard { inner, tolerance }
+    }
+}
+
+impl<V: LocalVote> LocalVote for StaleSweepGuard<V> {
+    fn vote(&mut self, obs: &StepObservation) -> bool {
+        // Always advance the inner tracker, even when the guard vetoes.
+        let inner = self.inner.vote(obs);
+        inner && obs.dep_change <= self.tolerance && (obs.fresh_data || !obs.needs_fresh_data)
+    }
+
+    fn effective_increment(&self, obs: &StepObservation) -> f64 {
+        self.inner.effective_increment(obs)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Link
+// ---------------------------------------------------------------------------
+
+/// Control-flow outcome of a policy interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Flow {
+    /// Keep iterating.
+    Continue,
+    /// Global convergence was decided.
+    Converged,
+    /// A peer halted the run (budget exhaustion or failure elsewhere).
+    Halted,
+}
+
+/// What a send to a disconnected peer means.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeathRule {
+    /// Propagate the transport error (strict).
+    Fatal,
+    /// Broadcast [`Message::Halt`] to the surviving peers and abort the run
+    /// with a descriptive error — the lockstep failure response.
+    Halt,
+    /// Mark the peer dead and skip it — the free-running rule: a peer that
+    /// reached global convergence exits while slower ranks still send to it,
+    /// and the `GlobalConverged` it flushed on the way out is already queued
+    /// or in flight (see [`ConfirmationWaves`]).
+    Tolerate,
+}
+
+/// How the runtime reacts to a rank death observed mid-solve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// Surface the raw transport error to the caller.
+    FailFast,
+    /// Probe silent peers with [`Message::Heartbeat`] every `heartbeat`
+    /// during blocking waits; on [`CommError::Disconnected`] broadcast
+    /// [`Message::Halt`] and fail fast instead of hanging until the peer
+    /// timeout.
+    HaltOnDeath {
+        /// Probe interval.
+        heartbeat: Duration,
+    },
+}
+
+impl Default for FailurePolicy {
+    fn default() -> Self {
+        FailurePolicy::HaltOnDeath {
+            heartbeat: Duration::from_secs(1),
+        }
+    }
+}
+
+impl FailurePolicy {
+    fn death_rule(self) -> DeathRule {
+        match self {
+            FailurePolicy::FailFast => DeathRule::Fatal,
+            FailurePolicy::HaltOnDeath { .. } => DeathRule::Halt,
+        }
+    }
+}
+
+/// The per-rank communication surface the policies act through: transport
+/// endpoint, fan-out targets, expected senders and the dead-peer set.
+pub struct RankLink<'a> {
+    transport: &'a dyn Transport,
+    rank: usize,
+    world: usize,
+    send_targets: &'a [usize],
+    senders_to_me: &'a [usize],
+    dead: Vec<bool>,
+}
+
+impl<'a> RankLink<'a> {
+    /// Builds the link for `rank` over `transport`.
+    pub fn new(
+        transport: &'a dyn Transport,
+        rank: usize,
+        send_targets: &'a [usize],
+        senders_to_me: &'a [usize],
+    ) -> Self {
+        let world = transport.num_ranks();
+        RankLink {
+            transport,
+            rank,
+            world,
+            send_targets,
+            senders_to_me,
+            dead: vec![false; world],
+        }
+    }
+
+    /// This rank.
+    pub fn rank(&self) -> usize {
+        self.rank
+    }
+
+    /// World size.
+    pub fn world(&self) -> usize {
+        self.world
+    }
+
+    /// The peers whose slices this rank waits for in lockstep mode.
+    pub fn senders_to_me(&self) -> &[usize] {
+        self.senders_to_me
+    }
+
+    /// Sends `msg` to `to` under the given death rule.
+    pub fn send_ruled(
+        &mut self,
+        to: usize,
+        msg: Message,
+        rule: DeathRule,
+    ) -> Result<(), CoreError> {
+        if self.dead[to] {
+            return Ok(());
+        }
+        match self.transport.send(self.rank, to, msg) {
+            Ok(()) => Ok(()),
+            Err(CommError::Disconnected { .. }) => {
+                self.dead[to] = true;
+                match rule {
+                    DeathRule::Fatal => Err(CoreError::Comm(CommError::Disconnected { rank: to })),
+                    DeathRule::Tolerate => Ok(()),
+                    DeathRule::Halt => {
+                        self.broadcast_halt();
+                        Err(CoreError::Distributed(format!(
+                            "rank {}: peer rank {to} disconnected mid-solve; halted the run",
+                            self.rank
+                        )))
+                    }
+                }
+            }
+            Err(e) => Err(CoreError::Comm(e)),
+        }
+    }
+
+    /// Fans `msg` out to every send target.
+    pub fn fan_out(&mut self, msg: Message, rule: DeathRule) -> Result<(), CoreError> {
+        // Iterate over a copied target list so `send_ruled` can borrow self.
+        for i in 0..self.send_targets.len() {
+            let to = self.send_targets[i];
+            self.send_ruled(to, msg.clone(), rule)?;
+        }
+        Ok(())
+    }
+
+    /// Best-effort [`Message::Halt`] to every live peer.  Idempotent and
+    /// death-tolerant by construction: errors are swallowed and disconnected
+    /// peers (e.g. a converged rank that already exited) are skipped.
+    pub fn broadcast_halt(&mut self) {
+        for to in 0..self.world {
+            if to != self.rank && !self.dead[to] {
+                if let Err(CommError::Disconnected { .. }) =
+                    self.transport.send(self.rank, to, Message::Halt)
+                {
+                    self.dead[to] = true;
+                }
+            }
+        }
+    }
+
+    /// Probes every live peer with a heartbeat; a disconnected peer triggers
+    /// the halt-and-abort failure response.
+    fn probe_liveness(&mut self) -> Result<(), CoreError> {
+        for to in 0..self.world {
+            if to != self.rank && !self.dead[to] {
+                let probe = Message::Heartbeat { from: self.rank };
+                self.send_ruled(to, probe, DeathRule::Halt)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Non-blocking receive on this rank's inbox.
+    pub fn try_recv(&self) -> Result<Option<Message>, CommError> {
+        self.transport.try_recv(self.rank)
+    }
+
+    /// Blocking receive with a timeout on this rank's inbox.
+    pub fn recv_timeout(&self, timeout: Duration) -> Result<Message, CommError> {
+        self.transport.recv_timeout(self.rank, timeout)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Convergence policies
+// ---------------------------------------------------------------------------
+
+/// How local votes become a global convergence decision.
+///
+/// A policy is a message-level protocol state machine: it may emit protocol
+/// traffic through the [`RankLink`] and observes inbound control messages.
+pub trait ConvergencePolicy: Send {
+    /// Submits this rank's local vote for `iteration`.
+    fn submit(
+        &mut self,
+        iteration: u64,
+        vote: bool,
+        link: &mut RankLink,
+    ) -> Result<Flow, CoreError>;
+
+    /// Observes an inbound control message.
+    fn observe(&mut self, msg: &Message, link: &mut RankLink) -> Result<Flow, CoreError>;
+
+    /// Whether the policy still awaits protocol traffic for `iteration`
+    /// (lockstep: until the decision is known; free-running: never).
+    fn waiting(&self, iteration: u64) -> bool;
+
+    /// Whether a known decision makes the remaining dependency slices of the
+    /// current iteration irrelevant (a converged lockstep decision does).
+    fn skip_pending_data(&self) -> bool;
+
+    /// Resolves `iteration` once [`ConvergencePolicy::waiting`] is false;
+    /// the lockstep coordinator broadcasts its decision here.
+    fn resolve(&mut self, iteration: u64, link: &mut RankLink) -> Result<Flow, CoreError>;
+
+    /// Budget exhausted: notify peers so nobody spins forever.
+    fn abandon(&mut self, link: &mut RankLink);
+
+    /// The dead-peer rule of this protocol (see [`DeathRule`]).
+    fn death_rule(&self) -> DeathRule;
+}
+
+/// Centralized per-iteration vote collection — the message-based equivalent
+/// of the barrier + allreduce the paper's MPI implementation used.  Rank 0
+/// collects every rank's [`Message::ConvergenceVote`] for the iteration and
+/// broadcasts the AND decision; the vote wait *is* the barrier and the
+/// decision broadcast *is* the allreduce, so the iterates are identical over
+/// any transport.
+pub struct LockstepVotes {
+    rank: usize,
+    world: usize,
+    failure: FailurePolicy,
+    /// Coordinator: votes and receipt flags of the current iteration.
+    votes: Vec<bool>,
+    vote_seen: Vec<bool>,
+    /// Peer: the coordinator's decision for the current iteration.
+    decision: Option<bool>,
+    current: u64,
+}
+
+impl LockstepVotes {
+    /// Builds the policy for `rank` in a `world`-rank run.
+    pub fn new(rank: usize, world: usize, failure: FailurePolicy) -> Self {
+        LockstepVotes {
+            rank,
+            world,
+            failure,
+            votes: vec![false; world],
+            vote_seen: vec![false; world],
+            decision: None,
+            current: 0,
+        }
+    }
+
+    fn is_coordinator(&self) -> bool {
+        self.rank == 0
+    }
+}
+
+impl ConvergencePolicy for LockstepVotes {
+    fn submit(
+        &mut self,
+        iteration: u64,
+        vote: bool,
+        link: &mut RankLink,
+    ) -> Result<Flow, CoreError> {
+        self.current = iteration;
+        if self.is_coordinator() {
+            self.votes.iter_mut().for_each(|v| *v = false);
+            self.vote_seen.iter_mut().for_each(|v| *v = false);
+            self.votes[0] = vote;
+            self.vote_seen[0] = true;
+        } else {
+            self.decision = None;
+            link.send_ruled(
+                0,
+                Message::ConvergenceVote {
+                    from: self.rank,
+                    iteration,
+                    converged: vote,
+                },
+                self.death_rule(),
+            )?;
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn observe(&mut self, msg: &Message, _link: &mut RankLink) -> Result<Flow, CoreError> {
+        match msg {
+            Message::ConvergenceVote {
+                from,
+                iteration,
+                converged,
+            } if *iteration == self.current => {
+                if self.is_coordinator() {
+                    if *from < self.world {
+                        self.votes[*from] = *converged;
+                        self.vote_seen[*from] = true;
+                    }
+                } else if *from == 0 {
+                    self.decision = Some(*converged);
+                }
+                Ok(Flow::Continue)
+            }
+            Message::GlobalConverged { .. } => Ok(Flow::Converged),
+            Message::Halt => Ok(Flow::Halted),
+            _ => Ok(Flow::Continue),
+        }
+    }
+
+    fn waiting(&self, iteration: u64) -> bool {
+        debug_assert_eq!(iteration, self.current);
+        if self.is_coordinator() {
+            !self.vote_seen.iter().all(|&v| v)
+        } else {
+            self.decision.is_none()
+        }
+    }
+
+    fn skip_pending_data(&self) -> bool {
+        // A converged decision makes the pending slices of this iteration
+        // irrelevant; the coordinator only knows its decision in `resolve`.
+        !self.is_coordinator() && self.decision == Some(true)
+    }
+
+    fn resolve(&mut self, iteration: u64, link: &mut RankLink) -> Result<Flow, CoreError> {
+        if self.is_coordinator() {
+            let decision = self.votes.iter().all(|&v| v);
+            let note = Message::ConvergenceVote {
+                from: 0,
+                iteration,
+                converged: decision,
+            };
+            let rule = self.death_rule();
+            for to in 1..self.world {
+                link.send_ruled(to, note.clone(), rule)?;
+            }
+            Ok(if decision {
+                Flow::Converged
+            } else {
+                Flow::Continue
+            })
+        } else {
+            Ok(match self.decision {
+                Some(true) => Flow::Converged,
+                _ => Flow::Continue,
+            })
+        }
+    }
+
+    fn abandon(&mut self, _link: &mut RankLink) {
+        // Lockstep budget exhaustion is synchronized: every rank runs out at
+        // the same iteration, so no halt broadcast is needed.
+    }
+
+    fn death_rule(&self) -> DeathRule {
+        self.failure.death_rule()
+    }
+}
+
+/// Coordinator-side vote board of the confirmation-wave protocol: global
+/// convergence is declared only after every rank has re-sent a "converged"
+/// vote `required` times *after* the all-converged state was first observed,
+/// and any "not converged" vote resets the pending waves (the decentralized
+/// detection scheme the paper cites, with rank 0 as coordinator).
+#[derive(Debug)]
+pub struct VoteBoard {
+    votes: Vec<bool>,
+    confirmed: Vec<bool>,
+    in_wave: bool,
+    waves_done: u64,
+    required: u64,
+    global: bool,
+}
+
+impl VoteBoard {
+    /// Board for `world` ranks requiring `required` confirmation waves.
+    pub fn new(world: usize, required: u64) -> Self {
+        VoteBoard {
+            votes: vec![false; world],
+            confirmed: vec![false; world],
+            in_wave: false,
+            waves_done: 0,
+            required: required.max(1),
+            global: false,
+        }
+    }
+
+    /// Records a vote; returns `true` once global convergence is latched.
+    pub fn record(&mut self, from: usize, converged: bool) -> bool {
+        if self.global || from >= self.votes.len() {
+            return self.global;
+        }
+        if !converged {
+            self.votes[from] = false;
+            self.in_wave = false;
+            self.waves_done = 0;
+            return false;
+        }
+        self.votes[from] = true;
+        if !self.votes.iter().all(|&v| v) {
+            return false;
+        }
+        if !self.in_wave {
+            self.in_wave = true;
+            self.confirmed.iter_mut().for_each(|c| *c = false);
+        }
+        self.confirmed[from] = true;
+        if self.confirmed.iter().all(|&c| c) {
+            self.waves_done += 1;
+            if self.waves_done >= self.required {
+                self.global = true;
+            } else {
+                self.confirmed.iter_mut().for_each(|c| *c = false);
+            }
+        }
+        self.global
+    }
+
+    /// Whether global convergence has been latched.
+    pub fn is_global(&self) -> bool {
+        self.global
+    }
+}
+
+/// Free-running confirmation-wave convergence: peers send votes to rank 0 on
+/// verdict changes (refreshed periodically), rank 0 runs a [`VoteBoard`] and
+/// broadcasts [`Message::GlobalConverged`] once the configured number of
+/// waves completes.
+///
+/// This policy owns the converged-peer-exit rule ([`DeathRule::Tolerate`]):
+/// a rank that reached global convergence exits while slower ranks are still
+/// sending to it.  That race is benign — the `GlobalConverged` it flushed on
+/// the way out is already queued or in flight — so a disconnected peer is
+/// skipped rather than fatal, and [`Message::Halt`] handling is idempotent: a
+/// halt racing a convergence broadcast never turns a converged run into a
+/// failed one (see [`FreeRunning`]'s grace drain).
+pub struct ConfirmationWaves {
+    rank: usize,
+    world: usize,
+    /// Coordinator state (rank 0 only).
+    board: Option<VoteBoard>,
+    last_vote_sent: Option<bool>,
+}
+
+impl ConfirmationWaves {
+    /// Builds the policy for `rank`; `confirmations` is the number of
+    /// complete waves required before global convergence is declared.
+    pub fn new(rank: usize, world: usize, confirmations: u64) -> Self {
+        ConfirmationWaves {
+            rank,
+            world,
+            board: (rank == 0).then(|| VoteBoard::new(world, confirmations)),
+            last_vote_sent: None,
+        }
+    }
+
+    fn broadcast_converged(
+        &mut self,
+        iteration: u64,
+        link: &mut RankLink,
+    ) -> Result<Flow, CoreError> {
+        let note = Message::GlobalConverged { iteration };
+        for to in 1..self.world {
+            link.send_ruled(to, note.clone(), DeathRule::Tolerate)?;
+        }
+        Ok(Flow::Converged)
+    }
+}
+
+impl ConvergencePolicy for ConfirmationWaves {
+    fn submit(
+        &mut self,
+        iteration: u64,
+        vote: bool,
+        link: &mut RankLink,
+    ) -> Result<Flow, CoreError> {
+        if let Some(board) = &mut self.board {
+            if board.record(0, vote) {
+                return self.broadcast_converged(iteration, link);
+            }
+        } else if self.last_vote_sent != Some(vote)
+            // A stable *converged* verdict re-sends every iteration: the
+            // confirmation waves advance only on converged votes, and a
+            // ~26-byte vote is negligible next to the solution slice this
+            // rank already sends each iteration (the shared in-process board
+            // this protocol replaced saw every verdict every iteration, so
+            // anything rarer would inflate async iteration counts).  An
+            // unchanged *not-converged* verdict only refreshes periodically
+            // — it carries no wave progress, just coordinator liveness.
+            || vote
+            || iteration.is_multiple_of(VOTE_REFRESH_ITERATIONS)
+        {
+            link.send_ruled(
+                0,
+                Message::ConvergenceVote {
+                    from: self.rank,
+                    iteration,
+                    converged: vote,
+                },
+                DeathRule::Tolerate,
+            )?;
+            self.last_vote_sent = Some(vote);
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn observe(&mut self, msg: &Message, link: &mut RankLink) -> Result<Flow, CoreError> {
+        match msg {
+            Message::ConvergenceVote {
+                from,
+                iteration,
+                converged,
+            } => {
+                if let Some(board) = &mut self.board {
+                    if board.record(*from, *converged) {
+                        return self.broadcast_converged(*iteration, link);
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Message::GlobalConverged { .. } => Ok(Flow::Converged),
+            Message::Halt => Ok(Flow::Halted),
+            _ => Ok(Flow::Continue),
+        }
+    }
+
+    fn waiting(&self, _iteration: u64) -> bool {
+        false
+    }
+
+    fn skip_pending_data(&self) -> bool {
+        false
+    }
+
+    fn resolve(&mut self, _iteration: u64, _link: &mut RankLink) -> Result<Flow, CoreError> {
+        Ok(Flow::Continue)
+    }
+
+    fn abandon(&mut self, link: &mut RankLink) {
+        // Budget exhausted: tell the peers so nobody spins forever.
+        link.broadcast_halt();
+    }
+
+    fn death_rule(&self) -> DeathRule {
+        DeathRule::Tolerate
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Progress policies
+// ---------------------------------------------------------------------------
+
+/// When messages move between the transport and the engine.
+pub trait ProgressPolicy: Send {
+    /// Pre-step intake: deliver whatever inbound data the policy allows.
+    fn collect(
+        &mut self,
+        engine: &mut RankEngine,
+        link: &mut RankLink,
+        conv: &mut dyn ConvergencePolicy,
+    ) -> Result<Flow, CoreError>;
+
+    /// Post-step exchange: for lockstep, the barrier-equivalent wait for this
+    /// iteration's dependency slices and the convergence decision; for
+    /// free-running, the idle backoff.
+    fn exchange(
+        &mut self,
+        engine: &mut RankEngine,
+        link: &mut RankLink,
+        conv: &mut dyn ConvergencePolicy,
+        obs: &StepObservation,
+        vote: bool,
+    ) -> Result<Flow, CoreError>;
+}
+
+fn data_meta(msg: &Message) -> Option<(usize, u64)> {
+    match msg {
+        Message::Solution {
+            from, iteration, ..
+        }
+        | Message::SolutionBatch {
+            from, iteration, ..
+        } => Some((*from, *iteration)),
+        _ => None,
+    }
+}
+
+/// Marks a pending dependency slice as delivered when its iteration stamp
+/// matches the current lockstep iteration.
+fn mark_slice(senders: &[usize], pending: &mut [bool], from: usize, iteration: u64, current: u64) {
+    if iteration == current {
+        if let Some(slot) = senders.iter().position(|&s| s == from) {
+            pending[slot] = false;
+        }
+    }
+}
+
+/// Barrier-equivalent progress: after each step, wait until every dependency
+/// slice stamped with the current iteration has arrived and the convergence
+/// decision is known.  Slices stamped with a *future* iteration — a fast peer
+/// that already received the continue decision may deliver its next slice
+/// early — are parked until the wait of the iteration they belong to, which
+/// is what keeps the lockstep iterates identical over asynchronous-delivery
+/// transports (TCP).
+pub struct Lockstep {
+    peer_timeout: Duration,
+    failure: FailurePolicy,
+    deferred: Vec<Message>,
+}
+
+impl Lockstep {
+    /// Builds the policy with the given overall wait deadline per iteration
+    /// and failure response.
+    pub fn new(peer_timeout: Duration, failure: FailurePolicy) -> Self {
+        Lockstep {
+            peer_timeout,
+            failure,
+            deferred: Vec::new(),
+        }
+    }
+}
+
+impl ProgressPolicy for Lockstep {
+    fn collect(
+        &mut self,
+        _engine: &mut RankEngine,
+        _link: &mut RankLink,
+        _conv: &mut dyn ConvergencePolicy,
+    ) -> Result<Flow, CoreError> {
+        // All intake happens in the post-step wait.
+        Ok(Flow::Continue)
+    }
+
+    fn exchange(
+        &mut self,
+        engine: &mut RankEngine,
+        link: &mut RankLink,
+        conv: &mut dyn ConvergencePolicy,
+        obs: &StepObservation,
+        _vote: bool,
+    ) -> Result<Flow, CoreError> {
+        let iteration = obs.iteration;
+        let deadline = Instant::now() + self.peer_timeout;
+        let mut pending: Vec<bool> = vec![true; link.senders_to_me().len()];
+        for msg in std::mem::take(&mut self.deferred) {
+            if let Some((from, iter)) = data_meta(&msg) {
+                if iter > iteration {
+                    self.deferred.push(msg);
+                    continue;
+                }
+                mark_slice(link.senders_to_me(), &mut pending, from, iter, iteration);
+                engine.ingest(msg);
+            }
+        }
+        let mut last_probe = Instant::now();
+        loop {
+            let waiting_conv = conv.waiting(iteration);
+            let waiting_slices = pending.iter().any(|&p| p) && !conv.skip_pending_data();
+            if !waiting_conv && !waiting_slices {
+                break;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(CoreError::Distributed(format!(
+                    "rank {}: timed out waiting for lockstep traffic of iteration {iteration}",
+                    link.rank()
+                )));
+            }
+            match link.recv_timeout(WAIT_SLICE.min(deadline - now)) {
+                Ok(msg) => match data_meta(&msg) {
+                    Some((from, iter)) => {
+                        if iter > iteration {
+                            self.deferred.push(msg);
+                        } else {
+                            mark_slice(link.senders_to_me(), &mut pending, from, iter, iteration);
+                            engine.ingest(msg);
+                        }
+                    }
+                    None => {
+                        if matches!(msg, Message::Heartbeat { .. }) {
+                            continue;
+                        }
+                        match conv.observe(&msg, link)? {
+                            Flow::Continue => {}
+                            flow => return Ok(flow),
+                        }
+                    }
+                },
+                Err(CommError::Timeout { .. }) => {
+                    if let FailurePolicy::HaltOnDeath { heartbeat } = self.failure {
+                        if last_probe.elapsed() >= heartbeat {
+                            last_probe = Instant::now();
+                            link.probe_liveness()?;
+                        }
+                    }
+                }
+                Err(e) => return Err(CoreError::Comm(e)),
+            }
+        }
+        conv.resolve(iteration, link)
+    }
+}
+
+/// Free-running progress: drain whatever has arrived before each step, and
+/// back off briefly when locally stable with nothing new (AIAC style — slow
+/// links delay *data freshness* instead of blocking the computation).
+pub struct FreeRunning {
+    idle_backoff: Duration,
+}
+
+impl FreeRunning {
+    /// Builds the policy with the default idle backoff.
+    pub fn new() -> Self {
+        FreeRunning {
+            idle_backoff: IDLE_BACKOFF,
+        }
+    }
+}
+
+impl Default for FreeRunning {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl FreeRunning {
+    /// A halt racing a convergence broadcast: keep draining briefly so a
+    /// queued or in-flight [`Message::GlobalConverged`] wins over the halt —
+    /// this is what makes halt handling race-free when a converged peer has
+    /// already exited.
+    fn drain_for_converged(link: &mut RankLink) -> Flow {
+        let deadline = Instant::now() + HALT_GRACE;
+        loop {
+            let now = Instant::now();
+            if now >= deadline {
+                return Flow::Halted;
+            }
+            match link.recv_timeout(deadline - now) {
+                Ok(Message::GlobalConverged { .. }) => return Flow::Converged,
+                Ok(_) => continue,
+                Err(_) => return Flow::Halted,
+            }
+        }
+    }
+}
+
+impl ProgressPolicy for FreeRunning {
+    fn collect(
+        &mut self,
+        engine: &mut RankEngine,
+        link: &mut RankLink,
+        conv: &mut dyn ConvergencePolicy,
+    ) -> Result<Flow, CoreError> {
+        loop {
+            match link.try_recv() {
+                Ok(Some(msg)) => {
+                    if data_meta(&msg).is_some() {
+                        engine.ingest(msg);
+                    } else if !matches!(msg, Message::Heartbeat { .. }) {
+                        match conv.observe(&msg, link)? {
+                            Flow::Continue => {}
+                            Flow::Halted => return Ok(Self::drain_for_converged(link)),
+                            flow => return Ok(flow),
+                        }
+                    }
+                }
+                Ok(None) => return Ok(Flow::Continue),
+                Err(e) => return Err(CoreError::Comm(e)),
+            }
+        }
+    }
+
+    fn exchange(
+        &mut self,
+        _engine: &mut RankEngine,
+        _link: &mut RankLink,
+        _conv: &mut dyn ConvergencePolicy,
+        obs: &StepObservation,
+        vote: bool,
+    ) -> Result<Flow, CoreError> {
+        if vote && !obs.fresh_data && !self.idle_backoff.is_zero() {
+            // Locally stable and nothing new arrived: yield briefly instead
+            // of flooding the network with identical slices.
+            std::thread::sleep(self.idle_backoff);
+        }
+        Ok(Flow::Continue)
+    }
+}
+
+/// The lockstep policy stack of the synchronous adapters: guarded increment
+/// vote + centralized per-iteration votes + barrier-equivalent wait.  One
+/// constructor, so the threaded, batched and distributed sync paths cannot
+/// drift apart — their bitwise transport-independence depends on running the
+/// exact same policies.
+pub fn lockstep_policies(
+    rank: usize,
+    world: usize,
+    tolerance: f64,
+    peer_timeout: Duration,
+    failure: FailurePolicy,
+) -> (StaleSweepGuard<IncrementVote>, LockstepVotes, Lockstep) {
+    (
+        StaleSweepGuard::new(IncrementVote::lockstep(tolerance), tolerance),
+        LockstepVotes::new(rank, world, failure),
+        Lockstep::new(peer_timeout, failure),
+    )
+}
+
+/// The free-running policy stack of the asynchronous adapters (threaded and
+/// distributed).
+pub fn free_running_policies(
+    rank: usize,
+    world: usize,
+    tolerance: f64,
+    confirmations: u64,
+) -> (IncrementVote, ConfirmationWaves, FreeRunning) {
+    (
+        IncrementVote::free_running(tolerance),
+        ConfirmationWaves::new(rank, world, confirmations),
+        FreeRunning::new(),
+    )
+}
+
+// ---------------------------------------------------------------------------
+// The unified drive loop
+// ---------------------------------------------------------------------------
+
+/// Result of driving one rank to completion.
+#[derive(Debug, Clone, Copy)]
+pub struct RankRun {
+    /// Outer iterations performed.
+    pub iterations: u64,
+    /// Last observed increment norm.
+    pub last_increment: f64,
+    /// Whether global convergence was reached.
+    pub converged: bool,
+}
+
+/// Pumps messages between the transport and the engine until convergence,
+/// halt, budget exhaustion or error — the **single** Algorithm 1 outer loop
+/// behind every driver.  On error, [`Message::Halt`] is broadcast so no peer
+/// spins forever on a rank that will never answer.
+pub fn drive(
+    engine: &mut RankEngine,
+    link: &mut RankLink,
+    vote: &mut dyn LocalVote,
+    conv: &mut dyn ConvergencePolicy,
+    progress: &mut dyn ProgressPolicy,
+    max_iterations: u64,
+) -> Result<RankRun, CoreError> {
+    let result = drive_inner(engine, link, vote, conv, progress, max_iterations);
+    if result.is_err() {
+        link.broadcast_halt();
+    }
+    result
+}
+
+fn drive_inner(
+    engine: &mut RankEngine,
+    link: &mut RankLink,
+    vote: &mut dyn LocalVote,
+    conv: &mut dyn ConvergencePolicy,
+    progress: &mut dyn ProgressPolicy,
+    max_iterations: u64,
+) -> Result<RankRun, CoreError> {
+    let mut converged = false;
+    let mut last_increment = f64::INFINITY;
+    'outer: while engine.iterations() < max_iterations {
+        // (0) intake (free-running drains here; lockstep ingested everything
+        // during the previous iteration's wait)
+        match progress.collect(engine, link, conv)? {
+            Flow::Continue => {}
+            Flow::Converged => {
+                converged = true;
+                break 'outer;
+            }
+            Flow::Halted => break 'outer,
+        }
+        // (1)+(2) dependency fill and local solve
+        let obs = engine.step()?;
+        last_increment = vote.effective_increment(&obs);
+        // (3) send the slice to every dependent processor
+        link.fan_out(engine.outgoing(), conv.death_rule())?;
+        // (4) vote and agree on global convergence
+        let local = vote.vote(&obs);
+        match conv.submit(obs.iteration, local, link)? {
+            Flow::Continue => {}
+            Flow::Converged => {
+                converged = true;
+                break 'outer;
+            }
+            Flow::Halted => break 'outer,
+        }
+        match progress.exchange(engine, link, conv, &obs, local)? {
+            Flow::Continue => {}
+            Flow::Converged => {
+                converged = true;
+                break 'outer;
+            }
+            Flow::Halted => break 'outer,
+        }
+    }
+    if !converged && engine.iterations() >= max_iterations {
+        // A convergence notice may already be queued: the coordinator can
+        // declare global convergence while this rank finishes its last
+        // budgeted iteration.  Drain once more before telling everyone to
+        // halt, so a converged run is never reported as failed.
+        match progress.collect(engine, link, conv)? {
+            Flow::Converged => converged = true,
+            Flow::Halted => {}
+            Flow::Continue => conv.abandon(link),
+        }
+    }
+    Ok(RankRun {
+        iterations: engine.iterations(),
+        last_increment,
+        converged,
+    })
+}
+
+/// For every rank, the peers whose slices it receives each iteration — the
+/// transpose of the send-target map.
+pub fn receive_sources(send_targets: &[Vec<usize>]) -> Vec<Vec<usize>> {
+    let mut sources = vec![Vec::new(); send_targets.len()];
+    for (sender, targets) in send_targets.iter().enumerate() {
+        for &t in targets {
+            sources[t].push(sender);
+        }
+    }
+    for s in &mut sources {
+        s.sort_unstable();
+        s.dedup();
+    }
+    sources
+}
+
+// ---------------------------------------------------------------------------
+// Threaded adapters (one thread per rank over a shared transport)
+// ---------------------------------------------------------------------------
+
+/// Output of one worker thread (shared by the threaded adapters).
+pub(crate) struct WorkerOutput {
+    pub(crate) part: usize,
+    pub(crate) x_local: Vec<f64>,
+    pub(crate) iterations: u64,
+    pub(crate) last_increment: f64,
+    pub(crate) converged: bool,
+    pub(crate) report: PartReport,
+}
+
+/// Output of one batched worker thread.
+struct BatchWorkerOutput {
+    part: usize,
+    x_columns: Vec<Vec<f64>>,
+    iterations: u64,
+    last_increment: f64,
+    converged: bool,
+    report: PartReport,
+}
+
+/// Factorizes every diagonal block of `blocks` in parallel (shared by the
+/// adapters and by [`crate::prepared::PreparedSystem`]).  Failures surface
+/// before any worker thread starts exchanging messages.
+pub(crate) fn factorize_blocks(
+    blocks: &[LocalBlocks],
+    config: &MultisplittingConfig,
+) -> Result<Vec<Arc<dyn Factorization>>, CoreError> {
+    let solver = config.solver_kind.build();
+    blocks
+        .par_iter()
+        .map(|blk| {
+            solver
+                .factorize(&blk.a_sub)
+                .map(Arc::<dyn Factorization>::from)
+                .map_err(CoreError::Direct)
+        })
+        .collect()
+}
+
+/// Validates that the transport's rank count matches the decomposition —
+/// checked before the expensive factorizations so misconfiguration fails
+/// fast.
+pub(crate) fn check_transport_ranks(
+    parts: usize,
+    transport: &Arc<dyn Transport>,
+) -> Result<(), CoreError> {
+    if transport.num_ranks() != parts {
+        return Err(CoreError::Decomposition(format!(
+            "transport has {} ranks but the decomposition has {} parts",
+            transport.num_ranks(),
+            parts
+        )));
+    }
+    Ok(())
+}
+
+/// Allocates one fresh [`IterationWorkspace`] per part (the cold-solve path;
+/// prepared systems pool and reuse these instead).
+pub(crate) fn fresh_workspaces(parts: usize) -> Vec<IterationWorkspace> {
+    (0..parts).map(|_| IterationWorkspace::new()).collect()
+}
+
+pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "unknown panic".to_string()
+    }
+}
+
+/// Turns the per-worker outputs into the global [`SolveOutcome`].
+pub(crate) fn assemble_outcome(
+    outputs: Vec<Result<WorkerOutput, CoreError>>,
+    partition: &BandPartition,
+    config: &MultisplittingConfig,
+    start: Instant,
+) -> Result<SolveOutcome, CoreError> {
+    let mut locals: Vec<Vec<f64>> = vec![Vec::new(); partition.num_parts()];
+    let mut reports = Vec::with_capacity(partition.num_parts());
+    let mut iterations_per_part = vec![0u64; partition.num_parts()];
+    let mut converged = true;
+    let mut last_increment = 0.0f64;
+    for out in outputs {
+        let out = out?;
+        locals[out.part] = out.x_local;
+        iterations_per_part[out.part] = out.iterations;
+        converged &= out.converged;
+        last_increment = last_increment.max(out.last_increment);
+        reports.push(out.report);
+    }
+    reports.sort_by_key(|r| r.part);
+    let x = config.weighting.assemble(partition, &locals);
+    let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
+    Ok(SolveOutcome {
+        x,
+        converged,
+        iterations,
+        iterations_per_part,
+        last_increment,
+        part_reports: reports,
+        wall_seconds: start.elapsed().as_secs_f64(),
+        mode: config.mode,
+    })
+}
+
+/// Per-part static work profile of one rank (flops, memory, message sizes).
+fn part_report(
+    blk: &LocalBlocks,
+    factor: &dyn Factorization,
+    engine: &RankEngine,
+    run: &RankRun,
+    targets: &[usize],
+    ncols: usize,
+    wall_seconds: f64,
+) -> PartReport {
+    let factor_stats = factor.stats().clone();
+    let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
+    let flops_per_iteration = (dep_flops + factor_stats.solve_flops()) * ncols as u64;
+    let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
+    let bytes_sent_per_iteration = if run.iterations > 0 && !targets.is_empty() {
+        engine.outgoing_encoded_len() * targets.len()
+    } else {
+        0
+    };
+    PartReport {
+        part: blk.part,
+        factor_stats,
+        iterations: run.iterations,
+        bytes_sent_per_iteration,
+        messages_per_iteration: targets.len(),
+        flops_per_iteration,
+        memory_bytes,
+        wall_seconds,
+    }
+}
+
+/// One worker of the threaded lockstep (synchronous) adapter.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_worker(
+    partition: &BandPartition,
+    blk: &LocalBlocks,
+    b_sub: &[f64],
+    factor: &dyn Factorization,
+    targets: &[usize],
+    senders_to_me: &[usize],
+    config: &MultisplittingConfig,
+    transport: &dyn Transport,
+    ws: &mut IterationWorkspace,
+) -> Result<WorkerOutput, CoreError> {
+    let t0 = Instant::now();
+    let failure = FailurePolicy::default();
+    let mut engine = RankEngine::single(partition, blk, b_sub, factor, config.weighting, ws);
+    let mut link = RankLink::new(transport, blk.part, targets, senders_to_me);
+    let (mut vote, mut conv, mut progress) = lockstep_policies(
+        blk.part,
+        link.world(),
+        config.tolerance,
+        THREADED_PEER_TIMEOUT,
+        failure,
+    );
+    let run = drive(
+        &mut engine,
+        &mut link,
+        &mut vote,
+        &mut conv,
+        &mut progress,
+        config.max_iterations,
+    )?;
+    let report = part_report(
+        blk,
+        factor,
+        &engine,
+        &run,
+        targets,
+        1,
+        t0.elapsed().as_secs_f64(),
+    );
+    Ok(WorkerOutput {
+        part: blk.part,
+        x_local: engine.x_local().to_vec(),
+        iterations: run.iterations,
+        last_increment: run.last_increment,
+        converged: run.converged,
+        report,
+    })
+}
+
+/// One worker of the threaded free-running (asynchronous) adapter.
+#[allow(clippy::too_many_arguments)]
+fn free_running_worker(
+    partition: &BandPartition,
+    blk: &LocalBlocks,
+    b_sub: &[f64],
+    factor: &dyn Factorization,
+    targets: &[usize],
+    config: &MultisplittingConfig,
+    transport: &dyn Transport,
+    ws: &mut IterationWorkspace,
+) -> Result<WorkerOutput, CoreError> {
+    let t0 = Instant::now();
+    let mut engine = RankEngine::single(partition, blk, b_sub, factor, config.weighting, ws);
+    let mut link = RankLink::new(transport, blk.part, targets, &[]);
+    let (mut vote, mut conv, mut progress) = free_running_policies(
+        blk.part,
+        link.world(),
+        config.tolerance,
+        config.async_confirmations,
+    );
+    let run = drive(
+        &mut engine,
+        &mut link,
+        &mut vote,
+        &mut conv,
+        &mut progress,
+        config.max_iterations,
+    )?;
+    let report = part_report(
+        blk,
+        factor,
+        &engine,
+        &run,
+        targets,
+        1,
+        t0.elapsed().as_secs_f64(),
+    );
+    Ok(WorkerOutput {
+        part: blk.part,
+        x_local: engine.x_local().to_vec(),
+        iterations: run.iterations,
+        last_increment: run.last_increment,
+        converged: run.converged,
+        report,
+    })
+}
+
+/// Synchronous threaded solve over borrowed prepared state: blocks and
+/// factorizations are only *read*, so the same prepared system can serve any
+/// number of solves.  `rhs` optionally overrides the right-hand side captured
+/// in the blocks at extraction time; `workspaces` supplies one per-worker
+/// [`IterationWorkspace`] per part (a prepared system passes pooled, already
+/// grown buffers so warm solves allocate nothing in the iteration loop).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sync(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+    factors: &[Arc<dyn Factorization>],
+    send_targets: &[Vec<usize>],
+    rhs: Option<&[f64]>,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    workspaces: &mut [IterationWorkspace],
+    start: Instant,
+) -> Result<SolveOutcome, CoreError> {
+    check_transport_ranks(partition.num_parts(), &transport)?;
+    debug_assert_eq!(workspaces.len(), partition.num_parts());
+    let senders = receive_sources(send_targets);
+
+    let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .zip(factors.iter())
+            .zip(send_targets.iter())
+            .zip(senders.iter())
+            .zip(workspaces.iter_mut())
+            .map(|((((blk, factor), targets), senders_to_me), ws)| {
+                let transport = &transport;
+                scope.spawn(move || {
+                    let b_sub: &[f64] = match rhs {
+                        Some(b) => &b[partition.extended_range(blk.part)],
+                        None => &blk.b_sub,
+                    };
+                    lockstep_worker(
+                        partition,
+                        blk,
+                        b_sub,
+                        factor.as_ref(),
+                        targets,
+                        senders_to_me,
+                        config,
+                        transport.as_ref(),
+                        ws,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
+            })
+            .collect()
+    });
+
+    assemble_outcome(outputs, partition, config, start)
+}
+
+/// Asynchronous threaded solve over borrowed prepared state (see
+/// [`run_sync`] for the borrowing contract and the `rhs` override semantics).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_async(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+    factors: &[Arc<dyn Factorization>],
+    send_targets: &[Vec<usize>],
+    rhs: Option<&[f64]>,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    workspaces: &mut [IterationWorkspace],
+    start: Instant,
+) -> Result<SolveOutcome, CoreError> {
+    check_transport_ranks(partition.num_parts(), &transport)?;
+    debug_assert_eq!(workspaces.len(), partition.num_parts());
+
+    let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .zip(factors.iter())
+            .zip(send_targets.iter())
+            .zip(workspaces.iter_mut())
+            .map(|(((blk, factor), targets), ws)| {
+                let transport = &transport;
+                scope.spawn(move || {
+                    let b_sub: &[f64] = match rhs {
+                        Some(b) => &b[partition.extended_range(blk.part)],
+                        None => &blk.b_sub,
+                    };
+                    free_running_worker(
+                        partition,
+                        blk,
+                        b_sub,
+                        factor.as_ref(),
+                        targets,
+                        config,
+                        transport.as_ref(),
+                        ws,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
+            })
+            .collect()
+    });
+
+    assemble_outcome(outputs, partition, config, start)
+}
+
+/// One worker of the batched lockstep adapter: identical to
+/// [`lockstep_worker`] but with `ncols` solution columns marching in
+/// lockstep — one [`msplit_direct::api::Factorization::solve_many_into`]
+/// pass and one [`Message::SolutionBatch`] per outer iteration.
+#[allow(clippy::too_many_arguments)]
+fn lockstep_batch_worker(
+    partition: &BandPartition,
+    blk: &LocalBlocks,
+    b_cols: Vec<&[f64]>,
+    factor: &dyn Factorization,
+    targets: &[usize],
+    senders_to_me: &[usize],
+    config: &MultisplittingConfig,
+    transport: &dyn Transport,
+    ws: &mut IterationWorkspace,
+) -> Result<BatchWorkerOutput, CoreError> {
+    let t0 = Instant::now();
+    let ncols = b_cols.len();
+    let failure = FailurePolicy::default();
+    let mut engine = RankEngine::batch(partition, blk, b_cols, factor, config.weighting, ws);
+    let mut link = RankLink::new(transport, blk.part, targets, senders_to_me);
+    let (mut vote, mut conv, mut progress) = lockstep_policies(
+        blk.part,
+        link.world(),
+        config.tolerance,
+        THREADED_PEER_TIMEOUT,
+        failure,
+    );
+    let run = drive(
+        &mut engine,
+        &mut link,
+        &mut vote,
+        &mut conv,
+        &mut progress,
+        config.max_iterations,
+    )?;
+    let report = part_report(
+        blk,
+        factor,
+        &engine,
+        &run,
+        targets,
+        ncols,
+        t0.elapsed().as_secs_f64(),
+    );
+    Ok(BatchWorkerOutput {
+        part: blk.part,
+        x_columns: engine.x_columns().to_vec(),
+        iterations: run.iterations,
+        last_increment: run.last_increment,
+        converged: run.converged,
+        report,
+    })
+}
+
+/// Synchronous multi-RHS solve over borrowed prepared state: every outer
+/// iteration performs ONE batched triangular-solve pass and ONE message
+/// exchange for all columns, so a prepared system answers the whole batch in
+/// a single pass of Algorithm 1 instead of once per right-hand side.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn run_sync_batch(
+    partition: &BandPartition,
+    blocks: &[LocalBlocks],
+    factors: &[Arc<dyn Factorization>],
+    send_targets: &[Vec<usize>],
+    rhs_columns: &[Vec<f64>],
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+    workspaces: &mut [IterationWorkspace],
+    start: Instant,
+) -> Result<BatchSolveOutcome, CoreError> {
+    let parts = partition.num_parts();
+    check_transport_ranks(parts, &transport)?;
+    debug_assert_eq!(workspaces.len(), parts);
+    let ncols = rhs_columns.len();
+    if ncols == 0 {
+        return Ok(BatchSolveOutcome {
+            columns: Vec::new(),
+            converged: true,
+            iterations: 0,
+            iterations_per_part: vec![0; parts],
+            last_increment: 0.0,
+            part_reports: Vec::new(),
+            wall_seconds: start.elapsed().as_secs_f64(),
+        });
+    }
+    for col in rhs_columns {
+        if col.len() != partition.order() {
+            return Err(CoreError::Decomposition(format!(
+                "right-hand side length {} does not match system order {}",
+                col.len(),
+                partition.order()
+            )));
+        }
+    }
+    let senders = receive_sources(send_targets);
+
+    let outputs: Vec<Result<BatchWorkerOutput, CoreError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = blocks
+            .iter()
+            .zip(factors.iter())
+            .zip(send_targets.iter())
+            .zip(senders.iter())
+            .zip(workspaces.iter_mut())
+            .map(|((((blk, factor), targets), senders_to_me), ws)| {
+                let transport = &transport;
+                scope.spawn(move || {
+                    let range = partition.extended_range(blk.part);
+                    let b_cols: Vec<&[f64]> =
+                        rhs_columns.iter().map(|b| &b[range.clone()]).collect();
+                    lockstep_batch_worker(
+                        partition,
+                        blk,
+                        b_cols,
+                        factor.as_ref(),
+                        targets,
+                        senders_to_me,
+                        config,
+                        transport.as_ref(),
+                        ws,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join()
+                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
+            })
+            .collect()
+    });
+
+    // Assemble one global solution per column using the weighting scheme.
+    let mut per_part_columns: Vec<Vec<Vec<f64>>> = vec![Vec::new(); parts];
+    let mut reports = Vec::with_capacity(parts);
+    let mut iterations_per_part = vec![0u64; parts];
+    let mut converged = true;
+    let mut last_increment = 0.0f64;
+    for out in outputs {
+        let out = out?;
+        iterations_per_part[out.part] = out.iterations;
+        converged &= out.converged;
+        last_increment = last_increment.max(out.last_increment);
+        per_part_columns[out.part] = out.x_columns;
+        reports.push(out.report);
+    }
+    reports.sort_by_key(|r| r.part);
+    let columns = (0..ncols)
+        .map(|c| {
+            let locals: Vec<Vec<f64>> = per_part_columns
+                .iter()
+                .map(|cols| cols[c].clone())
+                .collect();
+            config.weighting.assemble(partition, &locals)
+        })
+        .collect();
+    let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
+    Ok(BatchSolveOutcome {
+        columns,
+        converged,
+        iterations,
+        iterations_per_part,
+        last_increment,
+        part_reports: reports,
+        wall_seconds: start.elapsed().as_secs_f64(),
+    })
+}
+
+/// Runs the threaded multisplitting solve over the given transport,
+/// dispatching on `config.mode` — the unified entry point behind
+/// [`crate::solver::MultisplittingSolver::solve_with_transport`] and the
+/// deprecated `solve_sync` / `solve_async` shims.
+pub fn solve_threaded(
+    decomposition: crate::decomposition::Decomposition,
+    config: &MultisplittingConfig,
+    transport: Arc<dyn Transport>,
+) -> Result<SolveOutcome, CoreError> {
+    let start = Instant::now();
+    check_transport_ranks(decomposition.num_parts(), &transport)?;
+    let (partition, blocks) = decomposition.into_blocks();
+    let factors = factorize_blocks(&blocks, config)?;
+    let send_targets = crate::driver_common::compute_send_targets(&partition, &blocks);
+    let mut workspaces = fresh_workspaces(partition.num_parts());
+    match config.mode {
+        ExecutionMode::Synchronous => run_sync(
+            &partition,
+            &blocks,
+            &factors,
+            &send_targets,
+            None,
+            config,
+            transport,
+            &mut workspaces,
+            start,
+        ),
+        ExecutionMode::Asynchronous => run_async(
+            &partition,
+            &blocks,
+            &factors,
+            &send_targets,
+            None,
+            config,
+            transport,
+            &mut workspaces,
+            start,
+        ),
+    }
+}
+
+/// Convenience wrapper: threaded solve with a fresh in-process transport.
+pub fn solve_threaded_inproc(
+    decomposition: crate::decomposition::Decomposition,
+    config: &MultisplittingConfig,
+) -> Result<SolveOutcome, CoreError> {
+    let parts = decomposition.num_parts();
+    let transport = msplit_comm::InProcTransport::new(parts);
+    solve_threaded(decomposition, config, transport)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomposition::Decomposition;
+    use msplit_comm::InProcTransport;
+    use msplit_direct::SolverKind;
+    use msplit_sparse::generators;
+
+    #[test]
+    fn vote_board_requires_full_confirmation_waves() {
+        let mut b = VoteBoard::new(2, 2);
+        assert!(!b.record(0, true));
+        assert!(!b.record(1, true)); // all true -> wave 1 starts, rank1 confirmed
+        assert!(!b.record(0, true)); // wave 1 complete
+        assert!(!b.record(1, true));
+        assert!(b.record(0, true)); // wave 2 complete -> global
+        assert!(b.is_global());
+        // Latched: later dissent is ignored.
+        assert!(b.record(1, false));
+    }
+
+    #[test]
+    fn vote_board_resets_on_dissent() {
+        let mut b = VoteBoard::new(2, 1);
+        b.record(0, true);
+        b.record(1, true); // wave started, rank1 confirmed
+        b.record(1, false); // dissent resets everything
+        assert!(!b.is_global());
+        b.record(1, true);
+        assert!(!b.is_global()); // fresh wave: rank1 confirmed, rank0 pending
+        assert!(b.record(0, true));
+    }
+
+    #[test]
+    fn increment_vote_windows() {
+        let obs = |increment: f64, dep_change: f64| StepObservation {
+            iteration: 1,
+            increment,
+            dep_change,
+            fresh_data: true,
+            needs_fresh_data: true,
+        };
+        // Lockstep: one below-tolerance increment suffices; dep_change is
+        // not folded in.
+        let mut lock = IncrementVote::lockstep(1e-8);
+        assert!(!lock.vote(&obs(1.0, 0.0)));
+        assert!(lock.vote(&obs(1e-9, 5.0)));
+        // Free-running: 2-iteration window over max(increment, dep_change).
+        let mut free = IncrementVote::free_running(1e-8);
+        assert!(!free.vote(&obs(1e-9, 0.0)));
+        assert!(free.vote(&obs(1e-9, 0.0)));
+        assert!(!free.vote(&obs(1e-9, 1.0))); // moving inputs reset the window
+        assert!(!free.vote(&obs(1e-9, 0.0)));
+        assert!(free.vote(&obs(1e-9, 0.0)));
+    }
+
+    #[test]
+    fn stale_sweep_guard_vetoes_without_fresh_data() {
+        let mut guarded = StaleSweepGuard::new(IncrementVote::lockstep(1e-8), 1e-8);
+        let mut obs = StepObservation {
+            iteration: 1,
+            increment: 1e-9,
+            dep_change: 0.0,
+            fresh_data: false,
+            needs_fresh_data: true,
+        };
+        // Tiny increment but no fresh data: a sweep over in-flight slices.
+        assert!(!guarded.vote(&obs));
+        obs.fresh_data = true;
+        assert!(guarded.vote(&obs));
+        // Moving dependency values veto too.
+        obs.dep_change = 1.0;
+        assert!(!guarded.vote(&obs));
+        // A rank without dependencies converges without ever receiving data.
+        obs.dep_change = 0.0;
+        obs.fresh_data = false;
+        obs.needs_fresh_data = false;
+        assert!(guarded.vote(&obs));
+    }
+
+    #[test]
+    fn broadcast_halt_is_idempotent_and_death_tolerant() {
+        let transport = InProcTransport::new(3);
+        transport.close_rank(1).unwrap();
+        let targets = [1usize, 2usize];
+        let mut link = RankLink::new(transport.as_ref(), 0, &targets, &[]);
+        // Two broadcasts with one peer dead: no error, no panic, and the
+        // live peer sees at most the two halts.
+        link.broadcast_halt();
+        link.broadcast_halt();
+        assert_eq!(transport.try_recv(2).unwrap(), Some(Message::Halt));
+        assert_eq!(transport.try_recv(2).unwrap(), Some(Message::Halt));
+        assert_eq!(transport.try_recv(2).unwrap(), None);
+        // Tolerate: a data send to the dead rank is skipped silently.
+        link.send_ruled(1, Message::Halt, DeathRule::Tolerate)
+            .unwrap();
+        // Fatal: surfaced as a comm error (dead set short-circuits to Ok, so
+        // use a fresh link).
+        let mut fresh = RankLink::new(transport.as_ref(), 0, &targets, &[]);
+        assert!(matches!(
+            fresh.send_ruled(1, Message::Halt, DeathRule::Fatal),
+            Err(CoreError::Comm(CommError::Disconnected { rank: 1 }))
+        ));
+    }
+
+    #[test]
+    fn single_part_engine_matches_direct_solve() {
+        // One band, no dependencies: the engine's first step is the direct
+        // solve, bitwise.
+        let a = generators::tridiagonal(40, 4.0, -1.0);
+        let (_, b) = generators::rhs_for_solution(&a, |i| (i % 5) as f64);
+        let d = Decomposition::uniform(&a, &b, 1, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let solver = SolverKind::SparseLu.build();
+        let factor = solver.factorize(&blocks[0].a_sub).unwrap();
+        let mut ws = IterationWorkspace::new();
+        let mut engine = RankEngine::single(
+            &partition,
+            &blocks[0],
+            &blocks[0].b_sub,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws,
+        );
+        let obs = engine.step().unwrap();
+        assert_eq!(obs.iteration, 1);
+        assert!(!obs.needs_fresh_data);
+        let direct = factor.solve(&blocks[0].b_sub).unwrap();
+        assert_eq!(engine.x_local(), direct.as_slice());
+    }
+
+    #[test]
+    fn engine_replay_reproduces_ingest_and_steps() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let solver = SolverKind::SparseLu.build();
+        let blk = &blocks[1];
+        let factor = solver.factorize(&blk.a_sub).unwrap();
+        let slice = Message::Solution {
+            from: 0,
+            iteration: 1,
+            offset: 0,
+            values: vec![0.25; blocks[0].size],
+        };
+
+        let mut ws = IterationWorkspace::new();
+        let mut live = RankEngine::single(
+            &partition,
+            blk,
+            &blk.b_sub,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws,
+        );
+        live.record_events();
+        live.step().unwrap();
+        assert!(live.ingest(slice.clone()));
+        live.step().unwrap();
+        let log = live.take_event_log().unwrap();
+        assert_eq!(log.events.len(), 3);
+        let live_x = live.x_local().to_vec();
+
+        let mut ws2 = IterationWorkspace::new();
+        let mut twin = RankEngine::single(
+            &partition,
+            blk,
+            &blk.b_sub,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws2,
+        );
+        twin.replay(&log).unwrap();
+        assert_eq!(twin.iterations(), 2);
+        assert_eq!(twin.x_local(), live_x.as_slice());
+    }
+
+    #[test]
+    fn outgoing_encoded_len_matches_the_codec() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let b = vec![1.0; 30];
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let solver = SolverKind::SparseLu.build();
+        let blk = &blocks[1];
+        let factor = solver.factorize(&blk.a_sub).unwrap();
+        let mut ws = IterationWorkspace::new();
+        let engine = RankEngine::single(
+            &partition,
+            blk,
+            &blk.b_sub,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws,
+        );
+        assert_eq!(
+            engine.outgoing_encoded_len(),
+            engine.outgoing().encoded_len()
+        );
+        let mut ws2 = IterationWorkspace::new();
+        let cols: Vec<&[f64]> = vec![&blk.b_sub, &blk.b_sub];
+        let batch = RankEngine::batch(
+            &partition,
+            blk,
+            cols,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws2,
+        );
+        assert_eq!(batch.outgoing_encoded_len(), batch.outgoing().encoded_len());
+    }
+
+    #[test]
+    fn stale_slices_are_not_fresh_data() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let b = vec![1.0; 30];
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let solver = SolverKind::SparseLu.build();
+        let blk = &blocks[1];
+        let factor = solver.factorize(&blk.a_sub).unwrap();
+        let mut ws = IterationWorkspace::new();
+        let mut engine = RankEngine::single(
+            &partition,
+            blk,
+            &blk.b_sub,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws,
+        );
+        let slice = |iter: u64| Message::Solution {
+            from: 0,
+            iteration: iter,
+            offset: 0,
+            values: vec![1.0; blocks[0].size],
+        };
+        assert!(engine.ingest(slice(5)));
+        // Older than what is already stored: discarded, not fresh.
+        assert!(!engine.ingest(slice(3)));
+        // Control messages are never fresh data.
+        assert!(!engine.ingest(Message::Halt));
+    }
+}

@@ -6,9 +6,8 @@
 //! containing the solution, the convergence history and the per-processor
 //! work profiles consumed by the grid performance model.
 
-use crate::async_driver;
 use crate::decomposition::Decomposition;
-use crate::sync_driver;
+use crate::runtime;
 use crate::weighting::WeightingScheme;
 use crate::CoreError;
 use msplit_comm::transport::Transport;
@@ -328,14 +327,7 @@ impl MultisplittingSolver {
         transport: Arc<dyn Transport>,
     ) -> Result<SolveOutcome, CoreError> {
         let decomposition = self.decompose(a, b)?;
-        match self.config.mode {
-            ExecutionMode::Synchronous => {
-                sync_driver::solve_sync(decomposition, &self.config, transport)
-            }
-            ExecutionMode::Asynchronous => {
-                async_driver::solve_async(decomposition, &self.config, transport)
-            }
-        }
+        runtime::solve_threaded(decomposition, &self.config, transport)
     }
 }
 

@@ -1,626 +1,54 @@
-//! Synchronous multisplitting driver (Algorithm 1, MPI-style).
+//! Synchronous multisplitting driver (Algorithm 1, MPI-style) — deprecated
+//! shims over the unified runtime.
 //!
-//! One thread per band.  Each outer iteration:
+//! The inlined synchronous worker loop that used to live here (and its
+//! shared-memory barrier + allreduce convergence) is gone: the threaded
+//! synchronous solve is now an adapter that pumps messages between the
+//! transport and the shared [`crate::runtime::RankEngine`], using the
+//! [`crate::runtime::LockstepVotes`] convergence policy (per-iteration
+//! centralized vote collection — the message-based equivalent of barrier +
+//! allreduce) and the [`crate::runtime::Lockstep`] progress policy.  The
+//! distributed per-rank runtime drives the *same* engine and policies over
+//! TCP, so the two execution modes compute bitwise-identical iterates.
 //!
-//! 1. rebuild the dependency values from the latest received slices,
-//! 2. form `BLoc = BSub − DepLeft·XLeft − DepRight·XRight` and solve
-//!    `ASub·XSub = BLoc` with the pre-computed factorization,
-//! 3. send `XSub` to every processor that depends on it,
-//! 4. barrier, drain the inbox, and agree on global convergence with an
-//!    all-reduce of the local convergence flags.
-//!
-//! The factorizations are performed up front (in parallel with rayon) so that
-//! any singularity is reported before the threads start exchanging messages.
+//! The entry points below are kept as deprecated shims for one release; new
+//! code should call [`crate::runtime::solve_threaded`] (or go through
+//! [`crate::solver::MultisplittingSolver`], which already does).
 
 use crate::decomposition::Decomposition;
-use crate::driver_common::{
-    compute_send_targets, increment_norm, IterationWorkspace, NeighborData,
-};
-use crate::solver::{
-    BatchSolveOutcome, ExecutionMode, MultisplittingConfig, PartReport, SolveOutcome,
-};
+use crate::runtime;
+use crate::solver::{ExecutionMode, MultisplittingConfig, SolveOutcome};
 use crate::CoreError;
-use msplit_comm::communicator::{CommGroup, Communicator};
-use msplit_comm::convergence::ResidualTracker;
-use msplit_comm::message::Message;
 use msplit_comm::transport::Transport;
-use msplit_direct::api::Factorization;
-use msplit_sparse::{BandPartition, LocalBlocks};
-use rayon::prelude::*;
 use std::sync::Arc;
-use std::time::Instant;
-
-/// Output of one worker thread (shared with the asynchronous driver).
-pub(crate) struct WorkerOutput {
-    pub(crate) part: usize,
-    pub(crate) x_local: Vec<f64>,
-    pub(crate) iterations: u64,
-    pub(crate) last_increment: f64,
-    pub(crate) converged: bool,
-    pub(crate) report: PartReport,
-}
-
-/// Factorizes every diagonal block of `blocks` in parallel (shared by the
-/// drivers and by [`crate::prepared::PreparedSystem`]).  Failures surface
-/// before any worker thread reaches a barrier.
-pub(crate) fn factorize_blocks(
-    blocks: &[LocalBlocks],
-    config: &MultisplittingConfig,
-) -> Result<Vec<Arc<dyn Factorization>>, CoreError> {
-    let solver = config.solver_kind.build();
-    blocks
-        .par_iter()
-        .map(|blk| {
-            solver
-                .factorize(&blk.a_sub)
-                .map(Arc::<dyn Factorization>::from)
-                .map_err(CoreError::Direct)
-        })
-        .collect()
-}
-
-/// Validates that the transport's rank count matches the decomposition —
-/// checked before the expensive factorizations so misconfiguration fails
-/// fast.
-pub(crate) fn check_transport_ranks(
-    parts: usize,
-    transport: &Arc<dyn Transport>,
-) -> Result<(), CoreError> {
-    if transport.num_ranks() != parts {
-        return Err(CoreError::Decomposition(format!(
-            "transport has {} ranks but the decomposition has {} parts",
-            transport.num_ranks(),
-            parts
-        )));
-    }
-    Ok(())
-}
-
-/// Allocates one fresh [`IterationWorkspace`] per part (the cold-solve path;
-/// prepared systems pool and reuse these instead).
-pub(crate) fn fresh_workspaces(parts: usize) -> Vec<IterationWorkspace> {
-    (0..parts).map(|_| IterationWorkspace::new()).collect()
-}
 
 /// Runs the synchronous multisplitting solve over the given transport.
+#[deprecated(
+    note = "the threaded drivers are adapters over msplit_core::runtime now; \
+            call runtime::solve_threaded (or MultisplittingSolver) instead"
+)]
 pub fn solve_sync(
     decomposition: Decomposition,
     config: &MultisplittingConfig,
     transport: Arc<dyn Transport>,
 ) -> Result<SolveOutcome, CoreError> {
-    let start = Instant::now();
-    check_transport_ranks(decomposition.num_parts(), &transport)?;
-    let (partition, blocks) = decomposition.into_blocks();
-    let factors = factorize_blocks(&blocks, config)?;
-    let send_targets = compute_send_targets(&partition, &blocks);
-    let mut workspaces = fresh_workspaces(partition.num_parts());
-    run_sync(
-        &partition,
-        &blocks,
-        &factors,
-        &send_targets,
-        None,
-        config,
-        transport,
-        &mut workspaces,
-        start,
-    )
-}
-
-/// Synchronous solve over borrowed prepared state: blocks and factorizations
-/// are only *read*, so the same prepared system can serve any number of
-/// solves.  `rhs` optionally overrides the right-hand side captured in the
-/// blocks at extraction time.  `workspaces` supplies one per-worker
-/// [`IterationWorkspace`] per part; a prepared system passes pooled (already
-/// grown) buffers so warm solves allocate nothing in the iteration loop.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_sync(
-    partition: &BandPartition,
-    blocks: &[LocalBlocks],
-    factors: &[Arc<dyn Factorization>],
-    send_targets: &[Vec<usize>],
-    rhs: Option<&[f64]>,
-    config: &MultisplittingConfig,
-    transport: Arc<dyn Transport>,
-    workspaces: &mut [IterationWorkspace],
-    start: Instant,
-) -> Result<SolveOutcome, CoreError> {
-    check_transport_ranks(partition.num_parts(), &transport)?;
-    debug_assert_eq!(workspaces.len(), partition.num_parts());
-    let group = CommGroup::new(transport);
-    let comms = group.communicators();
-
-    let outputs: Vec<Result<WorkerOutput, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = blocks
-            .iter()
-            .zip(factors.iter())
-            .zip(comms)
-            .zip(send_targets.iter())
-            .zip(workspaces.iter_mut())
-            .map(|((((blk, factor), comm), targets), ws)| {
-                scope.spawn(move || {
-                    let b_sub: &[f64] = match rhs {
-                        Some(b) => &b[partition.extended_range(blk.part)],
-                        None => &blk.b_sub,
-                    };
-                    sync_worker(
-                        blk,
-                        b_sub,
-                        factor.as_ref(),
-                        comm,
-                        partition,
-                        targets,
-                        config,
-                        ws,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
-            })
-            .collect()
-    });
-
-    assemble_outcome(outputs, partition, config, start)
-}
-
-/// Turns the per-worker outputs into the global [`SolveOutcome`].
-pub(crate) fn assemble_outcome(
-    outputs: Vec<Result<WorkerOutput, CoreError>>,
-    partition: &BandPartition,
-    config: &MultisplittingConfig,
-    start: Instant,
-) -> Result<SolveOutcome, CoreError> {
-    let mut locals: Vec<Vec<f64>> = vec![Vec::new(); partition.num_parts()];
-    let mut reports = Vec::with_capacity(partition.num_parts());
-    let mut iterations_per_part = vec![0u64; partition.num_parts()];
-    let mut converged = true;
-    let mut last_increment = 0.0f64;
-    for out in outputs {
-        let out = out?;
-        locals[out.part] = out.x_local;
-        iterations_per_part[out.part] = out.iterations;
-        converged &= out.converged;
-        last_increment = last_increment.max(out.last_increment);
-        reports.push(out.report);
-    }
-    reports.sort_by_key(|r| r.part);
-    let x = config.weighting.assemble(partition, &locals);
-    let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
-    Ok(SolveOutcome {
-        x,
-        converged,
-        iterations,
-        iterations_per_part,
-        last_increment,
-        part_reports: reports,
-        wall_seconds: start.elapsed().as_secs_f64(),
-        mode: config.mode,
-    })
-}
-
-pub(crate) fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "unknown panic".to_string()
-    }
-}
-
-#[allow(clippy::too_many_arguments)]
-fn sync_worker(
-    blk: &LocalBlocks,
-    b_sub: &[f64],
-    factor: &dyn Factorization,
-    comm: Communicator,
-    partition: &BandPartition,
-    targets: &[usize],
-    config: &MultisplittingConfig,
-    ws: &mut IterationWorkspace,
-) -> Result<WorkerOutput, CoreError> {
-    let t0 = Instant::now();
-    let part = blk.part;
-    let factor_stats = factor.stats().clone();
-    let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
-    let flops_per_iteration = dep_flops + factor_stats.solve_flops();
-    let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
-
-    let mut neighbor = NeighborData::new(partition, config.weighting, blk);
-    ws.prepare_single(blk);
-    let IterationWorkspace {
-        x_global,
-        rhs,
-        x_sub,
-        scratch,
-        ..
-    } = ws;
-    let mut tracker = ResidualTracker::new(config.tolerance, 1);
-    let mut iterations = 0u64;
-    let mut last_increment = f64::INFINITY;
-    let mut converged = false;
-    let mut bytes_sent_per_iteration = 0usize;
-    // Convergence guards for transports whose delivery is not synchronous
-    // with the barrier (TCP): a rank with dependencies may only count a
-    // tiny increment as convergence evidence when (a) fresh slices actually
-    // arrived this sweep — a sweep whose slices are still in flight
-    // recomputes the same iterate, a zero increment that says nothing —
-    // and (b) the arrived data did not move its dependency values, which
-    // catches slices that land in the very drain where everyone votes.
-    // In-process, delivery always precedes the barrier and every peer's
-    // movement is bounded by its own increment (already part of the
-    // allreduce AND), so neither guard changes that path.
-    let needs_fresh_data = !neighbor.dependency_columns().is_empty();
-    let mut prev_deps = vec![0.0f64; neighbor.dependency_columns().len()];
-
-    // Initial dependency fill (nothing received yet: the initial guess).
-    neighbor.fill_dependencies(x_global);
-    for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-        prev_deps[slot] = x_global[g];
-    }
-
-    while iterations < config.max_iterations {
-        iterations += 1;
-
-        // (1)+(2) local solve against the current dependency values: BLoc
-        // assembled into the retained buffer, then solved in place — zero
-        // heap allocations on this path.
-        blk.local_rhs_into(b_sub, x_global, rhs)?;
-        factor.solve_into(rhs, scratch)?;
-        last_increment = increment_norm(rhs, x_sub);
-        x_sub.copy_from_slice(rhs);
-
-        // (3) send XSub to every dependent processor (the message payload is
-        // owned by the transport, so the clone below is the communication
-        // cost, not part of the solve path)
-        let msg = Message::Solution {
-            from: part,
-            iteration: iterations,
-            offset: blk.offset,
-            values: x_sub.clone(),
-        };
-        bytes_sent_per_iteration = msg.encoded_len() * targets.len();
-        for &t in targets {
-            comm.send(t, msg.clone())?;
-        }
-
-        // (4) synchronize, collect the slices of this iteration, refresh the
-        // dependency values for the next sweep, and agree on global
-        // convergence
-        comm.barrier();
-        let mut fresh_data = false;
-        for received in comm.drain()? {
-            if let Message::Solution {
-                from,
-                iteration,
-                offset,
-                values,
-            } = received
-            {
-                fresh_data |= neighbor.update(from, iteration, offset, values);
-            }
-        }
-        neighbor.fill_dependencies(x_global);
-        let mut dep_change = 0.0f64;
-        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-            dep_change = dep_change.max((x_global[g] - prev_deps[slot]).abs());
-            prev_deps[slot] = x_global[g];
-        }
-        let local = tracker.record(last_increment);
-        let vote =
-            local.as_bool() && dep_change <= config.tolerance && (fresh_data || !needs_fresh_data);
-        if comm.allreduce_and(vote) {
-            converged = true;
-            break;
-        }
-    }
-
-    Ok(WorkerOutput {
-        part,
-        x_local: x_sub.clone(),
-        iterations,
-        last_increment,
-        converged,
-        report: PartReport {
-            part,
-            factor_stats,
-            iterations,
-            bytes_sent_per_iteration,
-            messages_per_iteration: targets.len(),
-            flops_per_iteration,
-            memory_bytes,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-        },
-    })
-}
-
-/// Output of one batched worker thread.
-struct BatchWorkerOutput {
-    part: usize,
-    /// One local solution slice per right-hand side of the batch.
-    x_columns: Vec<Vec<f64>>,
-    iterations: u64,
-    last_increment: f64,
-    converged: bool,
-    report: PartReport,
-}
-
-/// Synchronous multi-RHS solve over borrowed prepared state: every outer
-/// iteration performs ONE batched triangular-solve pass
-/// ([`Factorization::solve_many`]) and ONE message exchange for all columns,
-/// so a prepared system answers the whole batch in a single pass of
-/// Algorithm 1 instead of once per right-hand side.
-#[allow(clippy::too_many_arguments)]
-pub(crate) fn run_sync_batch(
-    partition: &BandPartition,
-    blocks: &[LocalBlocks],
-    factors: &[Arc<dyn Factorization>],
-    send_targets: &[Vec<usize>],
-    rhs_columns: &[Vec<f64>],
-    config: &MultisplittingConfig,
-    transport: Arc<dyn Transport>,
-    workspaces: &mut [IterationWorkspace],
-    start: Instant,
-) -> Result<BatchSolveOutcome, CoreError> {
-    let parts = partition.num_parts();
-    check_transport_ranks(parts, &transport)?;
-    debug_assert_eq!(workspaces.len(), parts);
-    let ncols = rhs_columns.len();
-    if ncols == 0 {
-        return Ok(BatchSolveOutcome {
-            columns: Vec::new(),
-            converged: true,
-            iterations: 0,
-            iterations_per_part: vec![0; parts],
-            last_increment: 0.0,
-            part_reports: Vec::new(),
-            wall_seconds: start.elapsed().as_secs_f64(),
-        });
-    }
-    for col in rhs_columns {
-        if col.len() != partition.order() {
-            return Err(CoreError::Decomposition(format!(
-                "right-hand side length {} does not match system order {}",
-                col.len(),
-                partition.order()
-            )));
-        }
-    }
-    let group = CommGroup::new(transport);
-    let comms = group.communicators();
-
-    let outputs: Vec<Result<BatchWorkerOutput, CoreError>> = std::thread::scope(|scope| {
-        let handles: Vec<_> = blocks
-            .iter()
-            .zip(factors.iter())
-            .zip(comms)
-            .zip(send_targets.iter())
-            .zip(workspaces.iter_mut())
-            .map(|((((blk, factor), comm), targets), ws)| {
-                scope.spawn(move || {
-                    let range = partition.extended_range(blk.part);
-                    let b_cols: Vec<&[f64]> =
-                        rhs_columns.iter().map(|b| &b[range.clone()]).collect();
-                    sync_batch_worker(
-                        blk,
-                        &b_cols,
-                        factor.as_ref(),
-                        comm,
-                        partition,
-                        targets,
-                        config,
-                        ws,
-                    )
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| {
-                h.join()
-                    .unwrap_or_else(|p| Err(CoreError::WorkerPanic(panic_message(&p))))
-            })
-            .collect()
-    });
-
-    // Assemble one global solution per column using the weighting scheme.
-    let mut per_part_columns: Vec<Vec<Vec<f64>>> = vec![Vec::new(); parts];
-    let mut reports = Vec::with_capacity(parts);
-    let mut iterations_per_part = vec![0u64; parts];
-    let mut converged = true;
-    let mut last_increment = 0.0f64;
-    for out in outputs {
-        let out = out?;
-        iterations_per_part[out.part] = out.iterations;
-        converged &= out.converged;
-        last_increment = last_increment.max(out.last_increment);
-        per_part_columns[out.part] = out.x_columns;
-        reports.push(out.report);
-    }
-    reports.sort_by_key(|r| r.part);
-    let columns = (0..ncols)
-        .map(|c| {
-            let locals: Vec<Vec<f64>> = per_part_columns
-                .iter()
-                .map(|cols| cols[c].clone())
-                .collect();
-            config.weighting.assemble(partition, &locals)
-        })
-        .collect();
-    let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
-    Ok(BatchSolveOutcome {
-        columns,
-        converged,
-        iterations,
-        iterations_per_part,
-        last_increment,
-        part_reports: reports,
-        wall_seconds: start.elapsed().as_secs_f64(),
-    })
-}
-
-/// One worker of the batched synchronous driver: identical to [`sync_worker`]
-/// but with `ncols` solution columns marching in lockstep, one
-/// [`Factorization::solve_many_into`] call and one [`Message::SolutionBatch`]
-/// per outer iteration, all operating on the retained workspace buffers.
-#[allow(clippy::too_many_arguments)]
-fn sync_batch_worker(
-    blk: &LocalBlocks,
-    b_cols: &[&[f64]],
-    factor: &dyn Factorization,
-    comm: Communicator,
-    partition: &BandPartition,
-    targets: &[usize],
-    config: &MultisplittingConfig,
-    ws: &mut IterationWorkspace,
-) -> Result<BatchWorkerOutput, CoreError> {
-    let t0 = Instant::now();
-    let part = blk.part;
-    let ncols = b_cols.len();
-    let factor_stats = factor.stats().clone();
-    let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
-    let flops_per_iteration = (dep_flops + factor_stats.solve_flops()) * ncols as u64;
-    let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
-
-    // One dependency tracker and one global-vector estimate per column: the
-    // columns iterate in lockstep but have independent values.
-    let mut neighbors: Vec<NeighborData> = (0..ncols)
-        .map(|_| NeighborData::new(partition, config.weighting, blk))
-        .collect();
-    ws.prepare_batch(blk, ncols);
-    let IterationWorkspace {
-        x_globals,
-        rhs_cols,
-        x_cols,
-        scratch,
-        ..
-    } = ws;
-    let mut tracker = ResidualTracker::new(config.tolerance, 1);
-    let mut iterations = 0u64;
-    let mut last_increment = f64::INFINITY;
-    let mut converged = false;
-    let mut bytes_sent_per_iteration = 0usize;
-    // Same stale-sweep and dependency-stability guards as `sync_worker`
-    // (see the comment there), applied across every column of the batch.
-    let needs_fresh_data = neighbors
-        .first()
-        .is_some_and(|n| !n.dependency_columns().is_empty());
-    let dep_cols_per_neighbor = neighbors
-        .first()
-        .map_or(0, |n| n.dependency_columns().len());
-    let mut prev_deps = vec![0.0f64; ncols * dep_cols_per_neighbor];
-
-    // Initial dependency fill (nothing received yet: the initial guess).
-    for ((c, neighbor), x_global) in neighbors.iter().enumerate().zip(x_globals.iter_mut()) {
-        neighbor.fill_dependencies(x_global);
-        for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-            prev_deps[c * dep_cols_per_neighbor + slot] = x_global[g];
-        }
-    }
-
-    while iterations < config.max_iterations {
-        iterations += 1;
-
-        // (1)+(2) local right-hand sides against the current dependency
-        // values, all columns, assembled into the retained column buffers.
-        for (x_global, (rhs, b_col)) in x_globals.iter().zip(rhs_cols.iter_mut().zip(b_cols.iter()))
-        {
-            blk.local_rhs_into(b_col, x_global, rhs)?;
-        }
-        // One batched in-place triangular-solve pass for every column.
-        factor.solve_many_into(rhs_cols, scratch)?;
-        last_increment = rhs_cols
-            .iter()
-            .zip(x_cols.iter())
-            .map(|(n, o)| increment_norm(n, o))
-            .fold(0.0f64, f64::max);
-        for (xc, rc) in x_cols.iter_mut().zip(rhs_cols.iter()) {
-            xc.copy_from_slice(rc);
-        }
-
-        // (3) one batched message per dependent processor
-        let msg = Message::SolutionBatch {
-            from: part,
-            iteration: iterations,
-            offset: blk.offset,
-            columns: x_cols.clone(),
-        };
-        bytes_sent_per_iteration = msg.encoded_len() * targets.len();
-        for &t in targets {
-            comm.send(t, msg.clone())?;
-        }
-
-        // (4) synchronize, refresh the dependency values for the next sweep,
-        // and agree on convergence of the whole batch
-        comm.barrier();
-        let mut fresh_data = false;
-        for received in comm.drain()? {
-            if let Message::SolutionBatch {
-                from,
-                iteration,
-                offset,
-                columns,
-            } = received
-            {
-                for (c, col) in columns.into_iter().enumerate() {
-                    if let Some(neighbor) = neighbors.get_mut(c) {
-                        fresh_data |= neighbor.update(from, iteration, offset, col);
-                    }
-                }
-            }
-        }
-        let mut dep_change = 0.0f64;
-        for ((c, neighbor), x_global) in neighbors.iter().enumerate().zip(x_globals.iter_mut()) {
-            neighbor.fill_dependencies(x_global);
-            for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-                let prev = &mut prev_deps[c * dep_cols_per_neighbor + slot];
-                dep_change = dep_change.max((x_global[g] - *prev).abs());
-                *prev = x_global[g];
-            }
-        }
-        let local = tracker.record(last_increment);
-        let vote =
-            local.as_bool() && dep_change <= config.tolerance && (fresh_data || !needs_fresh_data);
-        if comm.allreduce_and(vote) {
-            converged = true;
-            break;
-        }
-    }
-
-    Ok(BatchWorkerOutput {
-        part,
-        x_columns: x_cols.clone(),
-        iterations,
-        last_increment,
-        converged,
-        report: PartReport {
-            part,
-            factor_stats,
-            iterations,
-            bytes_sent_per_iteration,
-            messages_per_iteration: targets.len(),
-            flops_per_iteration,
-            memory_bytes,
-            wall_seconds: t0.elapsed().as_secs_f64(),
-        },
-    })
+    let mut config = config.clone();
+    config.mode = ExecutionMode::Synchronous;
+    runtime::solve_threaded(decomposition, &config, transport)
 }
 
 /// Convenience wrapper: synchronous solve with a fresh in-process transport.
+#[deprecated(
+    note = "the threaded drivers are adapters over msplit_core::runtime now; \
+            call runtime::solve_threaded_inproc (or MultisplittingSolver) instead"
+)]
 pub fn solve_sync_inproc(
     decomposition: Decomposition,
     config: &MultisplittingConfig,
 ) -> Result<SolveOutcome, CoreError> {
-    let parts = decomposition.num_parts();
-    let transport = msplit_comm::InProcTransport::new(parts);
     let mut config = config.clone();
     config.mode = ExecutionMode::Synchronous;
-    solve_sync(decomposition, &config, transport)
+    runtime::solve_threaded_inproc(decomposition, &config)
 }
 
 #[cfg(test)]
@@ -650,6 +78,10 @@ mod tests {
             .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
     }
 
+    fn solve(d: Decomposition, cfg: &MultisplittingConfig) -> Result<SolveOutcome, CoreError> {
+        runtime::solve_threaded_inproc(d, cfg)
+    }
+
     #[test]
     fn sync_solve_matches_true_solution() {
         let a = generators::diag_dominant(&DiagDominantConfig {
@@ -660,7 +92,7 @@ mod tests {
         let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 13) as f64) - 6.0);
         let cfg = config(4, 0);
         let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
-        let out = solve_sync_inproc(d, &cfg).unwrap();
+        let out = solve(d, &cfg).unwrap();
         assert!(out.converged);
         assert!(max_err(&out.x, &x_true) < 1e-7, "error too large");
         assert!(out.residual(&a, &b) < 1e-6);
@@ -676,7 +108,7 @@ mod tests {
         let (_, b) = generators::rhs_for_solution(&a, |i| (i as f64 * 0.3).sin());
         let cfg = config(3, 0);
         let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
-        let threaded = solve_sync_inproc(d, &cfg).unwrap();
+        let threaded = solve(d, &cfg).unwrap();
         let sequential = crate::sequential::solve_sequential(
             &a,
             &b,
@@ -708,7 +140,7 @@ mod tests {
             let mut cfg = config(3, 8);
             cfg.weighting = scheme;
             let d = Decomposition::uniform(&a, &b, 3, 8).unwrap();
-            let out = solve_sync_inproc(d, &cfg).unwrap();
+            let out = solve(d, &cfg).unwrap();
             assert!(out.converged, "{scheme:?}");
             assert!(max_err(&out.x, &x_true) < 1e-6, "{scheme:?}");
         }
@@ -721,7 +153,7 @@ mod tests {
         let mut cfg = config(4, 0);
         cfg.max_iterations = 3;
         let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
-        let out = solve_sync_inproc(d, &cfg).unwrap();
+        let out = solve(d, &cfg).unwrap();
         assert!(!out.converged);
         assert_eq!(out.iterations, 3);
     }
@@ -734,7 +166,7 @@ mod tests {
         let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
         let transport = msplit_comm::InProcTransport::new(3);
         assert!(matches!(
-            solve_sync(d, &cfg, transport),
+            runtime::solve_threaded(d, &cfg, transport),
             Err(CoreError::Decomposition(_))
         ));
     }
@@ -755,10 +187,7 @@ mod tests {
         let b = vec![1.0; 12];
         let cfg = config(3, 0);
         let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
-        assert!(matches!(
-            solve_sync_inproc(d, &cfg),
-            Err(CoreError::Direct(_))
-        ));
+        assert!(matches!(solve(d, &cfg), Err(CoreError::Direct(_))));
     }
 
     #[test]
@@ -771,8 +200,30 @@ mod tests {
         let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 6) as f64);
         let cfg = config(4, 0);
         let d = Decomposition::balanced_for_speeds(&a, &b, &[1.0, 1.5, 1.2, 1.0], 0).unwrap();
+        let out = solve(d, &cfg).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-7);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_still_solve() {
+        // Migration note coverage: the pre-runtime entry points stay callable
+        // for one release and route through the unified adapters.
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 120,
+            seed: 3,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 5) as f64);
+        let cfg = config(3, 0);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
         let out = solve_sync_inproc(d, &cfg).unwrap();
         assert!(out.converged);
         assert!(max_err(&out.x, &x_true) < 1e-7);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let transport = msplit_comm::InProcTransport::new(3);
+        let out2 = solve_sync(d, &cfg, transport).unwrap();
+        assert_eq!(out.x, out2.x);
     }
 }

@@ -129,6 +129,7 @@ fn run(job_dir: &Path, rank: usize) -> Result<(), CoreError> {
         transport,
         &RankOptions {
             peer_timeout: spec.peer_timeout,
+            ..Default::default()
         },
     )?;
 

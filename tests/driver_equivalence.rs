@@ -1,0 +1,216 @@
+//! Driver-equivalence matrix: the unified `RankEngine` behind every adapter
+//! is the retained sequential reference, bitwise.
+//!
+//! Two layers of evidence:
+//!
+//! 1. **Engine-level** — stepping the per-rank engines by hand in a lockstep
+//!    schedule (step all, exchange all slices, repeat) reproduces the
+//!    sequential Jacobi sweep of `solve_sequential` **bitwise**, iterate by
+//!    iterate.  No policies involved: this pins the numeric state machine
+//!    itself.
+//! 2. **Adapter-level** — the threaded {sync, batch} adapters produce
+//!    bitwise-identical solutions over an in-process transport and over real
+//!    TCP loopback sockets (the lockstep protocol makes the iterates
+//!    transport-independent), agree with the sequential reference to solver
+//!    tolerance, and the free-running async adapter lands on the same
+//!    solution over both transports.
+
+use multisplitting::comm::tcp::{LoopbackMesh, TcpOptions};
+use multisplitting::core::runtime::{IterationWorkspace, RankEngine};
+use multisplitting::core::sequential::solve_sequential_decomposed;
+use multisplitting::prelude::*;
+use multisplitting::sparse::generators::{self, DiagDominantConfig};
+use proptest::prelude::*;
+
+fn max_err(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b.iter())
+        .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+}
+
+fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
+    MultisplittingConfig {
+        parts,
+        overlap: 0,
+        weighting: WeightingScheme::OwnerTakes,
+        solver_kind: SolverKind::SparseLu,
+        tolerance: 1e-10,
+        max_iterations: 5000,
+        mode,
+        async_confirmations: 3,
+        relative_speeds: Vec::new(),
+    }
+}
+
+/// Steps every rank's engine `k` times in a lockstep schedule, exchanging
+/// the produced slices between steps, and returns the assembled solution.
+fn simulate_engines(
+    a: &multisplitting::sparse::CsrMatrix,
+    b: &[f64],
+    parts: usize,
+    k: u64,
+) -> Vec<f64> {
+    let d = Decomposition::uniform(a, b, parts, 0).unwrap();
+    let send_targets = d.send_targets();
+    let partition = d.partition().clone();
+    let (_, blocks) = d.into_blocks();
+    let solver = SolverKind::SparseLu.build();
+    let factors: Vec<_> = blocks
+        .iter()
+        .map(|blk| solver.factorize(&blk.a_sub).unwrap())
+        .collect();
+    let mut workspaces: Vec<IterationWorkspace> =
+        (0..parts).map(|_| IterationWorkspace::new()).collect();
+    let mut engines: Vec<RankEngine> = blocks
+        .iter()
+        .zip(factors.iter())
+        .zip(workspaces.iter_mut())
+        .map(|((blk, factor), ws)| {
+            RankEngine::single(
+                &partition,
+                blk,
+                &blk.b_sub,
+                factor.as_ref(),
+                WeightingScheme::OwnerTakes,
+                ws,
+            )
+        })
+        .collect();
+
+    for _ in 0..k {
+        for engine in engines.iter_mut() {
+            engine.step().unwrap();
+        }
+        let outgoing: Vec<_> = engines.iter().map(|e| e.outgoing()).collect();
+        for (sender, msg) in outgoing.into_iter().enumerate() {
+            for &to in &send_targets[sender] {
+                engines[to].ingest(msg.clone());
+            }
+        }
+    }
+    let locals: Vec<Vec<f64>> = engines.iter().map(|e| e.x_local().to_vec()).collect();
+    WeightingScheme::OwnerTakes.assemble(&partition, &locals)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Layer 1: the engine *is* the sequential sweep, bitwise, at every
+    // iterate depth.
+    #[test]
+    fn rank_engine_lockstep_is_bitwise_the_sequential_sweep(
+        n in 60usize..140,
+        parts in 2usize..5,
+        seed in 0u64..1000,
+        k in 1u64..8,
+    ) {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n,
+            seed,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 7) as f64) - 3.0);
+        let engine_x = simulate_engines(&a, &b, parts, k);
+        // tolerance < 0 forces the reference to run exactly k sweeps.
+        let d = Decomposition::uniform(&a, &b, parts, 0).unwrap();
+        let seq = solve_sequential_decomposed(
+            &d,
+            WeightingScheme::OwnerTakes,
+            SolverKind::SparseLu,
+            -1.0,
+            k,
+        )
+        .unwrap();
+        prop_assert_eq!(seq.iterations, k);
+        prop_assert_eq!(&engine_x, &seq.x);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    // Layer 2: the adapter matrix {sync, async, batch} x {InProc, TCP}.
+    #[test]
+    fn adapter_matrix_agrees_across_modes_and_transports(
+        n in 60usize..120,
+        parts in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n,
+            seed,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 9) as f64) - 4.0);
+        let d = Decomposition::uniform(&a, &b, parts, 0).unwrap();
+        let seq = solve_sequential_decomposed(
+            &d,
+            WeightingScheme::OwnerTakes,
+            SolverKind::SparseLu,
+            1e-10,
+            5000,
+        )
+        .unwrap();
+        prop_assert!(seq.converged);
+
+        // Threaded sync: InProc and TCP-loopback are bitwise identical (the
+        // lockstep protocol makes the iterates transport-independent) and
+        // within tolerance of the sequential reference.
+        let sync_cfg = config(parts, ExecutionMode::Synchronous);
+        let solver = MultisplittingSolver::new(sync_cfg.clone());
+        let sync_inproc = solver.solve(&a, &b).unwrap();
+        let mesh = LoopbackMesh::new(parts, TcpOptions::default()).unwrap();
+        let sync_tcp = solver.solve_with_transport(&a, &b, mesh).unwrap();
+        prop_assert!(sync_inproc.converged && sync_tcp.converged);
+        prop_assert_eq!(&sync_inproc.x, &sync_tcp.x);
+        prop_assert_eq!(sync_inproc.iterations, sync_tcp.iterations);
+        prop_assert!(max_err(&sync_inproc.x, &seq.x) < 1e-8);
+
+        // Batched sync through a prepared system: same bitwise
+        // transport-independence, column by column.
+        let prepared = PreparedSystem::prepare(sync_cfg, &a).unwrap();
+        let (_, b2) = generators::rhs_for_solution(&a, |i| (i % 4) as f64);
+        let batch = vec![b.clone(), b2];
+        let batch_inproc = prepared.solve_many(&batch).unwrap();
+        let mesh = LoopbackMesh::new(parts, TcpOptions::default()).unwrap();
+        let batch_tcp = prepared.solve_many_with_transport(&batch, mesh).unwrap();
+        prop_assert!(batch_inproc.converged && batch_tcp.converged);
+        prop_assert_eq!(&batch_inproc.columns, &batch_tcp.columns);
+        prop_assert!(max_err(&batch_inproc.columns[0], &seq.x) < 1e-8);
+
+        // Free-running async over both transports: timing-dependent iterate
+        // mixing, so equivalence is to solver tolerance.
+        let mut async_cfg = config(parts, ExecutionMode::Asynchronous);
+        async_cfg.max_iterations = 100_000;
+        let asolver = MultisplittingSolver::new(async_cfg);
+        let async_inproc = asolver.solve(&a, &b).unwrap();
+        let mesh = LoopbackMesh::new(parts, TcpOptions::default()).unwrap();
+        let async_tcp = asolver.solve_with_transport(&a, &b, mesh).unwrap();
+        prop_assert!(async_inproc.converged && async_tcp.converged);
+        prop_assert!(max_err(&async_inproc.x, &seq.x) < 1e-6);
+        prop_assert!(max_err(&async_tcp.x, &seq.x) < 1e-6);
+    }
+}
+
+/// The guard of the whole refactor in one deterministic assertion: threaded
+/// sync, distributed-style per-rank execution and the sequential reference
+/// agree on a fixed system (bitwise for the two lockstep forms).
+#[test]
+fn unified_runtime_smoke_fixed_system() {
+    let a = generators::diag_dominant(&DiagDominantConfig {
+        n: 180,
+        seed: 99,
+        ..Default::default()
+    });
+    let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 11) as f64) - 5.0);
+    let cfg = config(3, ExecutionMode::Synchronous);
+    let threaded = MultisplittingSolver::new(cfg.clone())
+        .solve(&a, &b)
+        .unwrap();
+    assert!(threaded.converged);
+    assert!(max_err(&threaded.x, &x_true) < 1e-7);
+    // Engine simulation at the converged depth reproduces the threaded
+    // iterate bitwise.
+    let engine_x = simulate_engines(&a, &b, 3, threaded.iterations);
+    assert_eq!(engine_x, threaded.x);
+}

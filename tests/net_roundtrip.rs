@@ -200,13 +200,13 @@ fn threaded_sync_driver_runs_unchanged_over_tcp_sockets() {
     // Every exchanged byte crossed a real socket.
     assert!(mesh.stats().total_bytes() > 0);
 
-    // Socket delivery is not synchronous with the barrier, so an iteration
-    // may see a late slice one sweep later than the in-process transport
-    // would — the iterates stay correct (the drivers tolerate stale data by
-    // construction) and land on the same solution; strict cross-process
-    // lockstep is what `run_rank`'s message-based protocol provides.
+    // The unified runtime's lockstep protocol (per-iteration vote collection
+    // plus the barrier-equivalent slice wait) makes the synchronous iterates
+    // transport-independent: over real sockets the driver computes the very
+    // same iterates as over in-process channels, bitwise.
     let inproc = solver.solve(&a, &b).unwrap();
-    assert!(max_err(&inproc.x, &over_tcp.x) < 1e-8);
+    assert_eq!(inproc.x, over_tcp.x);
+    assert_eq!(inproc.iterations, over_tcp.iterations);
 }
 
 #[test]

@@ -13,6 +13,8 @@
 //! would otherwise allocate from its own bookkeeping threads concurrently
 //! with the measured sections and trip the process-global counter.
 
+use multisplitting::core::runtime::{IterationWorkspace, RankEngine};
+use multisplitting::core::{Decomposition, WeightingScheme};
 use multisplitting::dense::{BandLu, BandMatrix, DenseLu};
 use multisplitting::direct::{SolveScratch, SolverKind};
 use multisplitting::sparse::generators::{self, DiagDominantConfig};
@@ -168,6 +170,32 @@ fn main() {
         xb.copy_from_slice(&b);
         blu.solve_into(&mut xb).expect("band solve_into");
     });
+
+    // --- The unified RankEngine step (the adapters' per-iteration body). ---
+    // A warm engine step is dependency fill → BLoc assembly → in-place
+    // triangular solve → increment norm, all on workspace-retained buffers:
+    // zero allocations.  (Outbound message payloads are the communication
+    // cost and are out of scope, as above; a single-band system sends
+    // nothing.)
+    {
+        let d = Decomposition::uniform(&a, &b, 1, 0).expect("decomposition");
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let solver = SolverKind::SparseLu.build();
+        let factor = solver.factorize(&blocks[0].a_sub).expect("factorize");
+        let mut ws = IterationWorkspace::new();
+        let mut engine = RankEngine::single(
+            &partition,
+            &blocks[0],
+            &blocks[0].b_sub,
+            factor.as_ref(),
+            WeightingScheme::OwnerTakes,
+            &mut ws,
+        );
+        assert_zero_alloc("RankEngine::step (single)", 50, || {
+            engine.step().expect("engine step");
+        });
+    }
 
     // Sanity: the counter itself works (an obvious allocation is seen).
     let before = ALLOCATIONS.load(Relaxed);
