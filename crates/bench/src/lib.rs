@@ -4,6 +4,14 @@
 //! experiment scale: small enough that `cargo bench` completes in minutes,
 //! large enough that the measured work profiles are not dominated by
 //! fixed overheads.
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! [`msplit_core`] (see the diagram in `crates/core/src/lib.rs`), this crate
+//! stands outside the runtime proper: it scales the
+//! [`msplit_core::experiment`] descriptors so the Criterion harnesses and
+//! the `reproduce` binary exercise every adapter at a CI-friendly size.
 
 use msplit_core::experiment::ExperimentConfig;
 use msplit_dense::{BandMatrix, DenseMatrix};

@@ -79,6 +79,21 @@ impl ResidualTracker {
     pub fn reset(&mut self) {
         self.consecutive = 0;
     }
+
+    /// Number of consecutive below-tolerance iterations observed so far —
+    /// the confirmation-window progress.  Exposed so a checkpoint can
+    /// persist the tracker mid-window and a resumed rank reproduces the
+    /// exact same convergence decision sequence.
+    pub fn consecutive(&self) -> usize {
+        self.consecutive
+    }
+
+    /// Restores the confirmation-window state saved by a checkpoint
+    /// ([`ResidualTracker::consecutive`] / [`ResidualTracker::last_increment`]).
+    pub fn restore(&mut self, consecutive: usize, last_increment: f64) {
+        self.consecutive = consecutive;
+        self.last_increment = last_increment;
+    }
 }
 
 /// Local convergence verdict of one processor for one iteration.

@@ -22,6 +22,18 @@
 //!   synchronous (allreduce-based) and asynchronous (shared-board,
 //!   confirmation-window) modes, following the centralized \[2\] and
 //!   decentralized \[4\] schemes referenced by the paper.
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! `msplit-core` (`crates/core/src/lib.rs`), this crate is the bottom box:
+//! every driver funnels its traffic through a `RankLink` over a
+//! [`transport::Transport`] from here, the [`message::Message`] enum is the
+//! complete protocol vocabulary (data slices, convergence votes, halts,
+//! heartbeats, reshape notices and speed reports for the fault-tolerance
+//! layer of `docs/fault-tolerance.md`), and [`convergence`] supplies the
+//! vote-window bookkeeping the convergence policies persist across
+//! checkpoints.
 
 pub mod communicator;
 pub mod convergence;

@@ -65,6 +65,30 @@ pub enum Message {
         /// Sender rank.
         from: usize,
     },
+    /// Announcement that the job must be re-partitioned.  Broadcast by the
+    /// rank that detected a peer death (under `FailurePolicy::Redistribute`)
+    /// or by the coordinator when observed iteration speeds have drifted past
+    /// the rebalance threshold.  Every receiver abandons the current
+    /// iteration loop and reports a reshape outcome so the launcher can
+    /// re-derive band ownership and relaunch from the latest checkpoints.
+    Reshape {
+        /// Sender rank (the detector / coordinator).
+        from: usize,
+        /// The dead rank that triggered the reshape, or `u64::MAX` encoded
+        /// as `None` when the reshape is a speed-drift rebalance.
+        dead_rank: Option<usize>,
+    },
+    /// Periodic per-rank speed report sent to the coordinator (rank 0) so it
+    /// can detect when the relative iteration speeds have drifted from the
+    /// splitting the job was partitioned with (online rebalancing hook).
+    SpeedReport {
+        /// Sender rank.
+        from: usize,
+        /// Sender's outer-iteration counter at report time.
+        iteration: u64,
+        /// Smoothed wall time of one outer iteration, in microseconds.
+        step_micros: u64,
+    },
 }
 
 const TAG_SOLUTION: u8 = 1;
@@ -73,6 +97,11 @@ const TAG_GLOBAL: u8 = 3;
 const TAG_HALT: u8 = 4;
 const TAG_SOLUTION_BATCH: u8 = 5;
 const TAG_HEARTBEAT: u8 = 6;
+const TAG_RESHAPE: u8 = 7;
+const TAG_SPEED_REPORT: u8 = 8;
+
+/// `dead_rank` sentinel for a speed-drift reshape (no dead rank).
+const NO_DEAD_RANK: u64 = u64::MAX;
 
 impl Message {
     /// The rank that produced the message, when it carries one.
@@ -81,7 +110,9 @@ impl Message {
             Message::Solution { from, .. }
             | Message::SolutionBatch { from, .. }
             | Message::ConvergenceVote { from, .. }
-            | Message::Heartbeat { from } => Some(*from),
+            | Message::Heartbeat { from }
+            | Message::Reshape { from, .. }
+            | Message::SpeedReport { from, .. } => Some(*from),
             _ => None,
         }
     }
@@ -99,6 +130,8 @@ impl Message {
             Message::GlobalConverged { .. } => 1 + 8,
             Message::Halt => 1,
             Message::Heartbeat { .. } => 1 + 8,
+            Message::Reshape { .. } => 1 + 8 + 8,
+            Message::SpeedReport { .. } => 1 + 8 + 8 + 8,
         }
     }
 
@@ -159,6 +192,21 @@ impl Message {
             Message::Heartbeat { from } => {
                 buf.put_u8(TAG_HEARTBEAT);
                 buf.put_u64_le(*from as u64);
+            }
+            Message::Reshape { from, dead_rank } => {
+                buf.put_u8(TAG_RESHAPE);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(dead_rank.map_or(NO_DEAD_RANK, |r| r as u64));
+            }
+            Message::SpeedReport {
+                from,
+                iteration,
+                step_micros,
+            } => {
+                buf.put_u8(TAG_SPEED_REPORT);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(*iteration);
+                buf.put_u64_le(*step_micros);
             }
         }
         buf.freeze()
@@ -259,6 +307,27 @@ impl Message {
                     from: data.get_u64_le() as usize,
                 })
             }
+            TAG_RESHAPE => {
+                if data.remaining() < 16 {
+                    return Err(CommError::Codec("truncated reshape notice".to_string()));
+                }
+                let from = data.get_u64_le() as usize;
+                let dead = data.get_u64_le();
+                Ok(Message::Reshape {
+                    from,
+                    dead_rank: (dead != NO_DEAD_RANK).then_some(dead as usize),
+                })
+            }
+            TAG_SPEED_REPORT => {
+                if data.remaining() < 24 {
+                    return Err(CommError::Codec("truncated speed report".to_string()));
+                }
+                Ok(Message::SpeedReport {
+                    from: data.get_u64_le() as usize,
+                    iteration: data.get_u64_le(),
+                    step_micros: data.get_u64_le(),
+                })
+            }
             other => Err(CommError::Codec(format!("unknown message tag {other}"))),
         }
     }
@@ -323,6 +392,19 @@ mod tests {
             Message::GlobalConverged { iteration: 9 },
             Message::Halt,
             Message::Heartbeat { from: 5 },
+            Message::Reshape {
+                from: 2,
+                dead_rank: Some(3),
+            },
+            Message::Reshape {
+                from: 0,
+                dead_rank: None,
+            },
+            Message::SpeedReport {
+                from: 4,
+                iteration: 120,
+                step_micros: 1_500,
+            },
         ] {
             let decoded = Message::decode(msg.encode()).unwrap();
             assert_eq!(decoded, msg);
@@ -398,5 +480,28 @@ mod tests {
             values: vec![0.0; 1000],
         };
         assert_eq!(large.encoded_len() - small.encoded_len(), 8 * 990);
+    }
+
+    #[test]
+    fn truncated_reshape_and_speed_report_are_rejected() {
+        for msg in [
+            Message::Reshape {
+                from: 1,
+                dead_rank: Some(2),
+            },
+            Message::SpeedReport {
+                from: 1,
+                iteration: 9,
+                step_micros: 77,
+            },
+        ] {
+            let encoded = msg.encode();
+            for cut in 1..encoded.len() {
+                assert!(matches!(
+                    Message::decode(encoded.slice(0..cut)),
+                    Err(CommError::Codec(_))
+                ));
+            }
+        }
     }
 }

@@ -59,8 +59,9 @@ fn message_iteration(msg: &Message) -> u64 {
         Message::Solution { iteration, .. }
         | Message::SolutionBatch { iteration, .. }
         | Message::ConvergenceVote { iteration, .. }
-        | Message::GlobalConverged { iteration } => *iteration,
-        Message::Halt | Message::Heartbeat { .. } => 0,
+        | Message::GlobalConverged { iteration }
+        | Message::SpeedReport { iteration, .. } => *iteration,
+        Message::Halt | Message::Heartbeat { .. } | Message::Reshape { .. } => 0,
     }
 }
 

@@ -1,0 +1,626 @@
+//! Versioned, fingerprint-pinned per-rank snapshots for checkpoint/restart.
+//!
+//! A multisplitting job on an unreliable grid must survive rank death without
+//! re-iterating from zero.  Because the [`crate::runtime::RankEngine`] is a
+//! *pure* state machine, the complete per-rank iteration state is small and
+//! explicit: the local iterate, the halo (the latest dependency slice
+//! received from each peer, with its iteration stamp), the previous
+//! dependency values, and the convergence-window progress.  This module
+//! persists exactly that state every K outer iterations, and restores it so
+//! that a resumed **synchronous** run continues bitwise-identically to an
+//! uninterrupted one (asynchronous runs resume from the same numeric state
+//! but their message interleaving is not reproducible — see
+//! `docs/fault-tolerance.md`).
+//!
+//! The on-disk format is specified byte-for-byte in
+//! `docs/checkpoint-format.md`: a fixed little-endian header carrying a magic
+//! number, a format version, the matrix fingerprint (the same FNV-1a
+//! fingerprint the TCP handshake pins), the world size and rank, followed by
+//! the engine state and an FNV-1a checksum trailer.  Decoding never panics on
+//! truncated or corrupted input — every failure is a typed
+//! [`CheckpointError`], fuzzed like the torn-frame wire tests.
+//!
+//! Snapshot files are written atomically (tmp + rename) as
+//! `ckpt_r<rank>_i<iteration>.bin`; the last [`KEEP_CHECKPOINTS`] per rank
+//! are retained.  Lockstep ranks can be at most one iteration apart when a
+//! job dies, so keeping two boundaries guarantees a common restart iteration
+//! exists across every rank — [`max_common_iteration`] finds it.
+
+use crate::runtime::{EngineSnapshot, RankEngine, VoteState};
+use crate::CoreError;
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: &[u8; 8] = b"MSPLTCKP";
+
+/// Current snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// How many checkpoints per rank are retained (older ones are pruned).
+/// Two, because lockstep ranks are at most one iteration apart at death:
+/// the newest boundary of the slowest rank is always covered.
+pub const KEEP_CHECKPOINTS: usize = 2;
+
+/// Typed failure of a checkpoint operation — corruption and mismatches are
+/// errors, never panics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CheckpointError {
+    /// Filesystem failure (read, write, rename, scan).
+    Io(String),
+    /// The file is truncated, has a bad magic number, a bad checksum, or an
+    /// internally inconsistent length field.
+    Corrupt(String),
+    /// The file was written by a different format version.
+    VersionMismatch {
+        /// Version found in the file header.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The snapshot belongs to a different matrix.
+    FingerprintMismatch {
+        /// Fingerprint found in the file header.
+        found: u64,
+        /// Fingerprint of the system being solved.
+        expected: u64,
+    },
+    /// The snapshot does not fit the engine it is being restored into
+    /// (different world size, rank, or block shape).
+    ShapeMismatch(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(msg) => write!(f, "checkpoint I/O error: {msg}"),
+            CheckpointError::Corrupt(msg) => write!(f, "corrupt checkpoint: {msg}"),
+            CheckpointError::VersionMismatch { found, expected } => write!(
+                f,
+                "checkpoint format version {found} (this build reads version {expected})"
+            ),
+            CheckpointError::FingerprintMismatch { found, expected } => write!(
+                f,
+                "checkpoint fingerprint {found:#x} does not match system fingerprint {expected:#x}"
+            ),
+            CheckpointError::ShapeMismatch(msg) => write!(f, "checkpoint shape mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// The halo entry for one peer: the iteration stamp and, when a slice has
+/// been received, its global offset and values.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HaloPeer {
+    /// Iteration stamp of the most recent slice from this peer.
+    pub stamp: u64,
+    /// `(global offset, values)` of that slice, if any arrived.
+    pub slice: Option<(usize, Vec<f64>)>,
+}
+
+/// One rank's complete iteration state at an outer-iteration boundary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RankCheckpoint {
+    /// FNV-1a fingerprint of the system matrix the snapshot belongs to.
+    pub fingerprint: u64,
+    /// Number of ranks in the job.
+    pub world: usize,
+    /// The rank this snapshot belongs to.
+    pub rank: usize,
+    /// Outer iterations completed at snapshot time.
+    pub iteration: u64,
+    /// Last observed increment norm.
+    pub last_increment: f64,
+    /// Convergence-window progress ([`crate::runtime::VoteState`]).
+    pub vote_consecutive: u64,
+    /// Whether fresh halo data arrived since the last step.
+    pub fresh_since_step: bool,
+    /// The local iterate over the rank's extended range.
+    pub x_sub: Vec<f64>,
+    /// Previous dependency values (for the dependency-movement observation).
+    pub prev_deps: Vec<f64>,
+    /// Halo state, one entry per peer rank (`halo.len() == world`).
+    pub halo: Vec<HaloPeer>,
+}
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    bytes.iter().fold(FNV_OFFSET, |h, &b| {
+        (h ^ u64::from(b)).wrapping_mul(FNV_PRIME)
+    })
+}
+
+/// Little-endian cursor over a snapshot buffer; every read is bounds-checked
+/// so truncated input surfaces as [`CheckpointError::Corrupt`].
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, what: &str) -> Result<&'a [u8], CheckpointError> {
+        if self.data.len() - self.pos < n {
+            return Err(CheckpointError::Corrupt(format!(
+                "truncated while reading {what} (need {n} bytes at offset {})",
+                self.pos
+            )));
+        }
+        let out = &self.data[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &str) -> Result<u8, CheckpointError> {
+        Ok(self.take(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &str) -> Result<u32, CheckpointError> {
+        Ok(u32::from_le_bytes(self.take(4, what)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self, what: &str) -> Result<u64, CheckpointError> {
+        Ok(u64::from_le_bytes(self.take(8, what)?.try_into().unwrap()))
+    }
+
+    fn f64(&mut self, what: &str) -> Result<f64, CheckpointError> {
+        Ok(f64::from_bits(self.u64(what)?))
+    }
+
+    /// Reads a length-prefixed f64 vector.  The length is validated against
+    /// the remaining bytes *before* allocating, so a corrupted length field
+    /// cannot trigger a huge allocation or an overflow.
+    fn f64_vec(&mut self, what: &str) -> Result<Vec<f64>, CheckpointError> {
+        let len = self.u64(what)? as usize;
+        if (self.data.len() - self.pos) / 8 < len {
+            return Err(CheckpointError::Corrupt(format!(
+                "truncated {what}: header announces {len} values"
+            )));
+        }
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(self.f64(what)?);
+        }
+        Ok(out)
+    }
+}
+
+impl RankCheckpoint {
+    /// Serializes the snapshot into the versioned on-disk byte layout
+    /// (see `docs/checkpoint-format.md`).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut buf = Vec::with_capacity(
+            96 + 8 * (self.x_sub.len() + self.prev_deps.len())
+                + self
+                    .halo
+                    .iter()
+                    .map(|h| 25 + h.slice.as_ref().map_or(0, |(_, v)| 8 * v.len()))
+                    .sum::<usize>(),
+        );
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes()); // flags, reserved
+        buf.extend_from_slice(&self.fingerprint.to_le_bytes());
+        buf.extend_from_slice(&(self.world as u64).to_le_bytes());
+        buf.extend_from_slice(&(self.rank as u64).to_le_bytes());
+        buf.extend_from_slice(&self.iteration.to_le_bytes());
+        buf.extend_from_slice(&self.last_increment.to_bits().to_le_bytes());
+        buf.extend_from_slice(&self.vote_consecutive.to_le_bytes());
+        buf.push(u8::from(self.fresh_since_step));
+        push_f64_vec(&mut buf, &self.x_sub);
+        push_f64_vec(&mut buf, &self.prev_deps);
+        buf.extend_from_slice(&(self.halo.len() as u64).to_le_bytes());
+        for peer in &self.halo {
+            buf.extend_from_slice(&peer.stamp.to_le_bytes());
+            match &peer.slice {
+                None => buf.push(0),
+                Some((offset, values)) => {
+                    buf.push(1);
+                    buf.extend_from_slice(&(*offset as u64).to_le_bytes());
+                    push_f64_vec(&mut buf, values);
+                }
+            }
+        }
+        let checksum = fnv1a(&buf);
+        buf.extend_from_slice(&checksum.to_le_bytes());
+        buf
+    }
+
+    /// Parses a snapshot produced by [`RankCheckpoint::encode`].  Magic,
+    /// version and checksum are validated; any truncation or inconsistency
+    /// is a typed error, never a panic.
+    pub fn decode(data: &[u8]) -> Result<Self, CheckpointError> {
+        if data.len() < MAGIC.len() + 8 {
+            return Err(CheckpointError::Corrupt(format!(
+                "file of {} bytes is smaller than the fixed envelope",
+                data.len()
+            )));
+        }
+        if &data[..MAGIC.len()] != MAGIC {
+            return Err(CheckpointError::Corrupt(
+                "bad magic number (not a snapshot file)".to_string(),
+            ));
+        }
+        let (body, trailer) = data.split_at(data.len() - 8);
+        let stored = u64::from_le_bytes(trailer.try_into().unwrap());
+        if fnv1a(body) != stored {
+            return Err(CheckpointError::Corrupt(
+                "checksum mismatch (torn or corrupted snapshot)".to_string(),
+            ));
+        }
+        let mut r = Reader {
+            data: body,
+            pos: MAGIC.len(),
+        };
+        let version = r.u32("version")?;
+        if version != FORMAT_VERSION {
+            return Err(CheckpointError::VersionMismatch {
+                found: version,
+                expected: FORMAT_VERSION,
+            });
+        }
+        let _flags = r.u32("flags")?;
+        let fingerprint = r.u64("fingerprint")?;
+        let world = r.u64("world")? as usize;
+        let rank = r.u64("rank")? as usize;
+        if rank >= world {
+            return Err(CheckpointError::Corrupt(format!(
+                "rank {rank} out of range for world {world}"
+            )));
+        }
+        let iteration = r.u64("iteration")?;
+        let last_increment = r.f64("last_increment")?;
+        let vote_consecutive = r.u64("vote_consecutive")?;
+        let fresh_since_step = r.u8("fresh_since_step")? != 0;
+        let x_sub = r.f64_vec("x_sub")?;
+        let prev_deps = r.f64_vec("prev_deps")?;
+        let peers = r.u64("halo count")? as usize;
+        if peers != world {
+            return Err(CheckpointError::Corrupt(format!(
+                "halo has {peers} entries for a world of {world}"
+            )));
+        }
+        let mut halo = Vec::with_capacity(peers);
+        for p in 0..peers {
+            let stamp = r.u64("halo stamp")?;
+            let slice = if r.u8("halo presence flag")? != 0 {
+                let offset = r.u64("halo offset")? as usize;
+                let values = r.f64_vec("halo values")?;
+                Some((offset, values))
+            } else {
+                None
+            };
+            let _ = p;
+            halo.push(HaloPeer { stamp, slice });
+        }
+        if r.pos != body.len() {
+            return Err(CheckpointError::Corrupt(format!(
+                "{} trailing bytes after the halo section",
+                body.len() - r.pos
+            )));
+        }
+        Ok(RankCheckpoint {
+            fingerprint,
+            world,
+            rank,
+            iteration,
+            last_increment,
+            vote_consecutive,
+            fresh_since_step,
+            x_sub,
+            prev_deps,
+            halo,
+        })
+    }
+
+    /// Builds a snapshot from a live engine and its convergence-window state.
+    pub fn capture(
+        engine: &RankEngine,
+        vote: VoteState,
+        fingerprint: u64,
+        world: usize,
+    ) -> Result<Self, CoreError> {
+        let snap: EngineSnapshot = engine.snapshot()?;
+        Ok(RankCheckpoint {
+            fingerprint,
+            world,
+            rank: engine.rank(),
+            iteration: snap.iterations,
+            last_increment: snap.last_increment,
+            vote_consecutive: vote.consecutive,
+            fresh_since_step: snap.fresh_since_step,
+            x_sub: snap.x_sub,
+            prev_deps: snap.prev_deps,
+            halo: snap
+                .halo
+                .into_iter()
+                .map(|(stamp, slice)| HaloPeer { stamp, slice })
+                .collect(),
+        })
+    }
+
+    /// Restores this snapshot into `engine` and returns the convergence
+    /// window to feed back into the local vote.
+    pub fn restore_into(&self, engine: &mut RankEngine) -> Result<VoteState, CoreError> {
+        let snap = EngineSnapshot {
+            iterations: self.iteration,
+            last_increment: self.last_increment,
+            fresh_since_step: self.fresh_since_step,
+            x_sub: self.x_sub.clone(),
+            prev_deps: self.prev_deps.clone(),
+            halo: self
+                .halo
+                .iter()
+                .map(|p| (p.stamp, p.slice.clone()))
+                .collect(),
+        };
+        engine.restore(&snap)?;
+        Ok(VoteState {
+            consecutive: self.vote_consecutive,
+            last_increment: self.last_increment,
+        })
+    }
+}
+
+fn push_f64_vec(buf: &mut Vec<u8>, values: &[f64]) {
+    buf.extend_from_slice(&(values.len() as u64).to_le_bytes());
+    for v in values {
+        buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+}
+
+/// Snapshot file name of (`rank`, `iteration`).
+pub fn checkpoint_file(rank: usize, iteration: u64) -> String {
+    format!("ckpt_r{rank}_i{iteration}.bin")
+}
+
+fn parse_checkpoint_name(name: &str) -> Option<(usize, u64)> {
+    let rest = name.strip_prefix("ckpt_r")?.strip_suffix(".bin")?;
+    let (rank, iter) = rest.split_once("_i")?;
+    Some((rank.parse().ok()?, iter.parse().ok()?))
+}
+
+/// Writes `ckpt` atomically into `dir` (tmp + rename) and prunes this rank's
+/// older snapshots down to [`KEEP_CHECKPOINTS`].
+pub fn save(dir: &Path, ckpt: &RankCheckpoint) -> Result<PathBuf, CoreError> {
+    let path = dir.join(checkpoint_file(ckpt.rank, ckpt.iteration));
+    let tmp = dir.join(format!("ckpt_r{}.tmp", ckpt.rank));
+    std::fs::write(&tmp, ckpt.encode())
+        .map_err(|e| CheckpointError::Io(format!("write {}: {e}", tmp.display())))?;
+    std::fs::rename(&tmp, &path)
+        .map_err(|e| CheckpointError::Io(format!("publish {}: {e}", path.display())))?;
+    let mut iters: Vec<u64> = scan(dir)?.remove(&ckpt.rank).unwrap_or_default();
+    iters.sort_unstable();
+    while iters.len() > KEEP_CHECKPOINTS {
+        let old = iters.remove(0);
+        let _ = std::fs::remove_file(dir.join(checkpoint_file(ckpt.rank, old)));
+    }
+    Ok(path)
+}
+
+/// Loads and parses one snapshot file.
+pub fn load(path: &Path) -> Result<RankCheckpoint, CheckpointError> {
+    let data = std::fs::read(path)
+        .map_err(|e| CheckpointError::Io(format!("read {}: {e}", path.display())))?;
+    RankCheckpoint::decode(&data)
+}
+
+/// Loads one snapshot and pins it to the system being solved: a snapshot of
+/// a different matrix is rejected with
+/// [`CheckpointError::FingerprintMismatch`] before any state is restored.
+pub fn load_pinned(path: &Path, fingerprint: u64) -> Result<RankCheckpoint, CheckpointError> {
+    let ckpt = load(path)?;
+    if ckpt.fingerprint != fingerprint {
+        return Err(CheckpointError::FingerprintMismatch {
+            found: ckpt.fingerprint,
+            expected: fingerprint,
+        });
+    }
+    Ok(ckpt)
+}
+
+/// Scans `dir` for snapshot files: rank → sorted iteration list.
+pub fn scan(dir: &Path) -> Result<BTreeMap<usize, Vec<u64>>, CoreError> {
+    let mut out: BTreeMap<usize, Vec<u64>> = BTreeMap::new();
+    let entries = std::fs::read_dir(dir)
+        .map_err(|e| CheckpointError::Io(format!("scan {}: {e}", dir.display())))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| CheckpointError::Io(format!("scan entry: {e}")))?;
+        if let Some((rank, iter)) = entry.file_name().to_str().and_then(parse_checkpoint_name) {
+            out.entry(rank).or_default().push(iter);
+        }
+    }
+    for iters in out.values_mut() {
+        iters.sort_unstable();
+    }
+    Ok(out)
+}
+
+/// The highest iteration for which **every** rank `0..world` has a snapshot
+/// in `dir` — the restart point of a killed job.  `None` when some rank has
+/// no snapshot at all or the ranks share no common boundary.
+pub fn max_common_iteration(dir: &Path, world: usize) -> Result<Option<u64>, CoreError> {
+    let by_rank = scan(dir)?;
+    let mut common: Option<Vec<u64>> = None;
+    for rank in 0..world {
+        let Some(iters) = by_rank.get(&rank) else {
+            return Ok(None);
+        };
+        common = Some(match common {
+            None => iters.clone(),
+            Some(prev) => prev.into_iter().filter(|i| iters.contains(i)).collect(),
+        });
+    }
+    Ok(common.and_then(|c| c.into_iter().max()))
+}
+
+/// Periodic snapshot writer hooked into the drive loop: every `every` outer
+/// iterations, the engine state is captured and persisted.
+#[derive(Debug, Clone)]
+pub struct Checkpointer {
+    /// Directory the snapshots are written into (the job directory).
+    pub dir: PathBuf,
+    /// Snapshot period in outer iterations (must be ≥ 1).
+    pub every: u64,
+    /// Fingerprint of the system matrix (pins the snapshots).
+    pub fingerprint: u64,
+    /// World size recorded in every snapshot.
+    pub world: usize,
+}
+
+impl Checkpointer {
+    /// Saves a snapshot when `iteration` is a period boundary.  Returns
+    /// whether one was written.
+    pub fn maybe_save(
+        &self,
+        engine: &RankEngine,
+        vote: VoteState,
+        iteration: u64,
+    ) -> Result<bool, CoreError> {
+        if self.every == 0 || iteration == 0 || !iteration.is_multiple_of(self.every) {
+            return Ok(false);
+        }
+        let ckpt = RankCheckpoint::capture(engine, vote, self.fingerprint, self.world)?;
+        save(&self.dir, &ckpt)?;
+        Ok(true)
+    }
+
+    /// Saves a snapshot immediately, regardless of the period boundary —
+    /// the final state flush a rank performs before stopping for a reshape.
+    pub fn save_now(&self, engine: &RankEngine, vote: VoteState) -> Result<PathBuf, CoreError> {
+        let ckpt = RankCheckpoint::capture(engine, vote, self.fingerprint, self.world)?;
+        save(&self.dir, &ckpt)
+    }
+}
+
+impl From<CheckpointError> for CoreError {
+    fn from(e: CheckpointError) -> Self {
+        CoreError::Checkpoint(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RankCheckpoint {
+        RankCheckpoint {
+            fingerprint: 0xABCD_EF01_2345_6789,
+            world: 3,
+            rank: 1,
+            iteration: 40,
+            last_increment: 3.5e-9,
+            vote_consecutive: 2,
+            fresh_since_step: true,
+            x_sub: vec![1.0, -2.5, f64::MIN_POSITIVE, 0.0],
+            prev_deps: vec![0.125, -7.0],
+            halo: vec![
+                HaloPeer {
+                    stamp: 40,
+                    slice: Some((0, vec![9.0, 8.0, 7.0])),
+                },
+                HaloPeer {
+                    stamp: 0,
+                    slice: None,
+                },
+                HaloPeer {
+                    stamp: 39,
+                    slice: Some((8, vec![-1.0])),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn encode_decode_round_trips_bitwise() {
+        let ckpt = sample();
+        let decoded = RankCheckpoint::decode(&ckpt.encode()).unwrap();
+        assert_eq!(decoded, ckpt);
+        // f64 bit patterns survive exactly, including signed zero.
+        let mut z = sample();
+        z.x_sub = vec![-0.0];
+        let back = RankCheckpoint::decode(&z.encode()).unwrap();
+        assert_eq!(back.x_sub[0].to_bits(), (-0.0f64).to_bits());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let encoded = sample().encode();
+        for cut in 0..encoded.len() {
+            match RankCheckpoint::decode(&encoded[..cut]) {
+                Err(CheckpointError::Corrupt(_)) => {}
+                other => panic!("truncation at {cut} gave {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn bit_flips_are_rejected_by_the_checksum() {
+        let encoded = sample().encode();
+        for pos in (0..encoded.len()).step_by(7) {
+            let mut bad = encoded.clone();
+            bad[pos] ^= 0x20;
+            assert!(
+                RankCheckpoint::decode(&bad).is_err(),
+                "bit flip at {pos} went undetected"
+            );
+        }
+    }
+
+    #[test]
+    fn version_and_fingerprint_mismatches_are_typed() {
+        let dir = std::env::temp_dir().join("msplit-ckpt-test-pins");
+        std::fs::create_dir_all(&dir).unwrap();
+        let ckpt = sample();
+        let path = save(&dir, &ckpt).unwrap();
+        assert!(matches!(
+            load_pinned(&path, 0x1111),
+            Err(CheckpointError::FingerprintMismatch {
+                expected: 0x1111,
+                ..
+            })
+        ));
+        // Patch the version field (offset 8) and re-checksum.
+        let mut bytes = ckpt.encode();
+        bytes[8] = 99;
+        let body_len = bytes.len() - 8;
+        let sum = fnv1a(&bytes[..body_len]);
+        bytes[body_len..].copy_from_slice(&sum.to_le_bytes());
+        assert!(matches!(
+            RankCheckpoint::decode(&bytes),
+            Err(CheckpointError::VersionMismatch {
+                found: 99,
+                expected: FORMAT_VERSION
+            })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn save_prunes_to_the_retention_window_and_scan_finds_common_iteration() {
+        let dir = std::env::temp_dir().join("msplit-ckpt-test-prune");
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        let mut ckpt = sample();
+        ckpt.world = 2;
+        ckpt.halo.truncate(2);
+        for (rank, iters) in [(0usize, vec![10u64, 20, 30]), (1, vec![10, 20])] {
+            for iter in iters {
+                ckpt.rank = rank;
+                ckpt.iteration = iter;
+                save(&dir, &ckpt).unwrap();
+            }
+        }
+        let by_rank = scan(&dir).unwrap();
+        // Rank 0 wrote three snapshots; only the newest two survive.
+        assert_eq!(by_rank[&0], vec![20, 30]);
+        assert_eq!(by_rank[&1], vec![10, 20]);
+        assert_eq!(max_common_iteration(&dir, 2).unwrap(), Some(20));
+        // A missing rank means no common restart point.
+        assert_eq!(max_common_iteration(&dir, 3).unwrap(), None);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

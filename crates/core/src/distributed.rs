@@ -27,9 +27,10 @@
 //! and a prompt error instead of a hang — see
 //! [`crate::runtime::FailurePolicy`].
 
+use crate::checkpoint::{self, Checkpointer};
 use crate::runtime::{
-    drive, free_running_policies, lockstep_policies, EventLog, FailurePolicy, IterationWorkspace,
-    RankEngine, RankLink,
+    drive_with_hooks, free_running_policies, lockstep_policies, DriveHooks, EventLog,
+    FailurePolicy, IterationWorkspace, RankEngine, RankLink, ReshapeReason, SpeedHook,
 };
 use crate::solver::{ExecutionMode, MultisplittingConfig};
 use crate::CoreError;
@@ -37,6 +38,7 @@ use crate::CoreError;
 use msplit_comm::message::Message;
 use msplit_comm::transport::Transport;
 use msplit_sparse::{BandPartition, LocalBlocks};
+use std::path::PathBuf;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -58,9 +60,34 @@ pub struct RankOutcome {
     /// Wall-clock seconds spent in the iteration loop (factorization
     /// included).
     pub wall_seconds: f64,
+    /// Set when the run stopped so the launcher can re-partition the bands
+    /// (rank death under [`FailurePolicy::Redistribute`] or speed drift).
+    pub reshape: Option<ReshapeReason>,
     /// Recorded engine transitions, when [`RankOptions::record_events`] was
     /// set — replayable with [`crate::runtime::RankEngine::replay`].
     pub event_log: Option<EventLog>,
+}
+
+/// Periodic checkpointing of a distributed rank (see [`crate::checkpoint`]).
+#[derive(Debug, Clone)]
+pub struct CheckpointConfig {
+    /// Directory snapshots are written into (the shared job directory).
+    pub dir: PathBuf,
+    /// Snapshot period in outer iterations.
+    pub every: u64,
+    /// Fingerprint of the system matrix — pins every snapshot so a resumed
+    /// run cannot mix state from a different system.
+    pub fingerprint: u64,
+}
+
+/// Online-rebalancing hook of a distributed rank: report step speeds to
+/// rank 0, which requests a reshape when the spread exceeds the threshold.
+#[derive(Debug, Clone, Copy)]
+pub struct RebalanceConfig {
+    /// Speed reporting period in outer iterations.
+    pub report_every: u64,
+    /// Max/min step-time ratio above which rank 0 requests a reshape.
+    pub drift_threshold: f64,
 }
 
 /// Options of a distributed rank run that are not part of the numerical
@@ -70,10 +97,21 @@ pub struct RankOptions {
     /// How long a blocking wait (lockstep votes, peer slices) may stall
     /// before the run is abandoned with an error.
     pub peer_timeout: Duration,
-    /// How a rank death observed mid-solve is handled (lockstep mode).
+    /// How a rank death observed mid-solve is handled.
     pub failure: FailurePolicy,
     /// Record every engine transition for deterministic offline replay.
     pub record_events: bool,
+    /// Write periodic snapshots for checkpoint/restart.
+    pub checkpoint: Option<CheckpointConfig>,
+    /// Resume from the snapshot of this iteration (requires `checkpoint`
+    /// for the directory and fingerprint).
+    pub resume_at: Option<u64>,
+    /// Warm-start the iterate from this global initial guess (length =
+    /// system order) instead of zero — how a redistributed solve carries
+    /// over pre-reshape progress.
+    pub initial_guess: Option<Vec<f64>>,
+    /// Report step speeds and let rank 0 trigger drift rebalancing.
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl Default for RankOptions {
@@ -82,6 +120,10 @@ impl Default for RankOptions {
             peer_timeout: Duration::from_secs(60),
             failure: FailurePolicy::default(),
             record_events: false,
+            checkpoint: None,
+            resume_at: None,
+            initial_guess: None,
+            rebalance: None,
         }
     }
 }
@@ -127,9 +169,46 @@ pub fn run_rank(
         config.weighting,
         &mut ws,
     );
+    if let Some(x0) = &options.initial_guess {
+        engine.warm_start(x0)?;
+    }
+    // Resume from a pinned snapshot *before* any recording starts, so an
+    // event log captures only the post-resume transitions.
+    let restored_vote = match (&options.checkpoint, options.resume_at) {
+        (Some(ck), Some(iteration)) => {
+            let path = ck.dir.join(checkpoint::checkpoint_file(rank, iteration));
+            let snapshot = checkpoint::load_pinned(&path, ck.fingerprint)?;
+            if snapshot.world != world || snapshot.rank != rank {
+                return Err(CoreError::Distributed(format!(
+                    "rank {rank}: snapshot {} is for rank {} of {} — expected rank {rank} of {world}",
+                    path.display(),
+                    snapshot.rank,
+                    snapshot.world,
+                )));
+            }
+            Some(snapshot.restore_into(&mut engine)?)
+        }
+        (None, Some(_)) => {
+            return Err(CoreError::Distributed(format!(
+                "rank {rank}: resume_at requires a checkpoint directory and fingerprint"
+            )));
+        }
+        _ => None,
+    };
     if options.record_events {
         engine.record_events();
     }
+    let mut hooks = DriveHooks {
+        checkpoint: options.checkpoint.as_ref().map(|ck| Checkpointer {
+            dir: ck.dir.clone(),
+            every: ck.every,
+            fingerprint: ck.fingerprint,
+            world,
+        }),
+        speed: options
+            .rebalance
+            .map(|r| SpeedHook::new(r.report_every, r.drift_threshold)),
+    };
     let mut link = RankLink::new(transport.as_ref(), rank, send_targets, senders_to_me);
     let run = match config.mode {
         ExecutionMode::Synchronous => {
@@ -140,25 +219,40 @@ pub fn run_rank(
                 options.peer_timeout,
                 options.failure,
             );
-            drive(
+            if let Some(state) = restored_vote {
+                use crate::runtime::LocalVote;
+                vote.restore_state(state);
+            }
+            drive_with_hooks(
                 &mut engine,
                 &mut link,
                 &mut vote,
                 &mut conv,
                 &mut progress,
                 config.max_iterations,
+                &mut hooks,
             )?
         }
         ExecutionMode::Asynchronous => {
-            let (mut vote, mut conv, mut progress) =
-                free_running_policies(rank, world, config.tolerance, config.async_confirmations);
-            drive(
+            let (mut vote, mut conv, mut progress) = free_running_policies(
+                rank,
+                world,
+                config.tolerance,
+                config.async_confirmations,
+                options.failure,
+            );
+            if let Some(state) = restored_vote {
+                use crate::runtime::LocalVote;
+                vote.restore_state(state);
+            }
+            drive_with_hooks(
                 &mut engine,
                 &mut link,
                 &mut vote,
                 &mut conv,
                 &mut progress,
                 config.max_iterations,
+                &mut hooks,
             )?
         }
     };
@@ -169,6 +263,7 @@ pub fn run_rank(
         last_increment: run.last_increment,
         converged: run.converged,
         wall_seconds: start.elapsed().as_secs_f64(),
+        reshape: run.reshape,
         event_log: engine.take_event_log(),
     })
 }
@@ -507,11 +602,13 @@ mod tests {
         .unwrap();
         assert!(outcome.converged);
 
-        // Rank 0 exited with nothing queued: every slice/vote rank 1 sends
-        // hits Disconnected and must be skipped (not fatal) until the budget
-        // runs out — the run ends cleanly, without error.
+        // Rank 0 exited with nothing queued: no convergence notice can ever
+        // arrive, so the death must surface as a prompt error under the
+        // default HaltOnDeath policy — not be tolerated silently until the
+        // budget runs out (the pre-fix behaviour this test regressed on).
         let transport2 = InProcTransport::new(2);
         transport2.close_rank(0).unwrap();
+        let started = Instant::now();
         let outcome2 = run_rank(
             &partition,
             &blocks[1],
@@ -520,9 +617,161 @@ mod tests {
             &cfg,
             transport2,
             &RankOptions::default(),
+        );
+        assert!(started.elapsed() < Duration::from_secs(10), "hung too long");
+        match outcome2 {
+            Err(CoreError::Distributed(msg)) => {
+                assert!(msg.contains("rank 0"), "unexpected message: {msg}");
+            }
+            other => panic!("expected a prompt death error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn free_running_fail_fast_keeps_tolerating_dead_peers() {
+        // FailFast preserves the historical semantics: a dead peer is
+        // skipped silently and the rank runs its budget out.
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let mut cfg = config(2, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 25;
+        let d = Decomposition::uniform(&a, &b, 2, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let transport = InProcTransport::new(2);
+        transport.close_rank(0).unwrap();
+        let options = RankOptions {
+            failure: FailurePolicy::FailFast,
+            ..Default::default()
+        };
+        let outcome = run_rank(
+            &partition,
+            &blocks[1],
+            &[0],
+            &[0],
+            &cfg,
+            transport,
+            &options,
         )
         .unwrap();
-        assert!(!outcome2.converged);
-        assert_eq!(outcome2.iterations, 25);
+        assert!(!outcome.converged);
+        assert_eq!(outcome.iterations, 25);
+        assert!(outcome.reshape.is_none());
+    }
+
+    #[test]
+    fn free_running_redistribute_surfaces_a_reshape_request() {
+        // Under Redistribute a dead peer is not fatal: the rank returns
+        // cleanly with a reshape request naming the dead rank, so the
+        // launcher can re-partition the bands over the survivors.
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let mut cfg = config(2, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 100_000;
+        let d = Decomposition::uniform(&a, &b, 2, 0).unwrap();
+        let partition = d.partition().clone();
+        let (_, blocks) = d.into_blocks();
+        let transport = InProcTransport::new(2);
+        transport.close_rank(0).unwrap();
+        let options = RankOptions {
+            failure: FailurePolicy::Redistribute {
+                heartbeat: Duration::from_millis(100),
+            },
+            ..Default::default()
+        };
+        let started = Instant::now();
+        let outcome = run_rank(
+            &partition,
+            &blocks[1],
+            &[0],
+            &[0],
+            &cfg,
+            transport,
+            &options,
+        )
+        .unwrap();
+        assert!(started.elapsed() < Duration::from_secs(10), "hung too long");
+        assert!(!outcome.converged);
+        assert_eq!(outcome.reshape, Some(ReshapeReason::RankDeath(0)));
+    }
+
+    #[test]
+    fn sync_resume_from_checkpoint_matches_uninterrupted_run() {
+        // The in-process version of the kill-and-resume e2e: run a lockstep
+        // solve to completion, then re-run it with checkpoints enabled, stop
+        // it early (budget), resume every rank from the max common snapshot
+        // and check the resumed solution is bitwise-identical.
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 240,
+            seed: 41,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 11) as f64) - 5.0);
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let (x_full, full) = run_all_ranks(&a, &b, &cfg, &RankOptions::default());
+        assert!(full.iter().all(|o| o.converged));
+        let full_iters = full[0].iterations;
+        assert!(full_iters > 8, "need room to interrupt: {full_iters}");
+
+        let dir = std::env::temp_dir().join(format!(
+            "msplit_ckpt_test_{}_{:x}",
+            std::process::id(),
+            full_iters
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        let fingerprint = a.fingerprint();
+        let ckpt = CheckpointConfig {
+            dir: dir.clone(),
+            every: 2,
+            fingerprint,
+        };
+
+        // Interrupted run: budget expires mid-solve, snapshots remain.
+        let mut cut = cfg.clone();
+        cut.max_iterations = full_iters / 2;
+        let options = RankOptions {
+            checkpoint: Some(ckpt.clone()),
+            ..Default::default()
+        };
+        let (_, partial) = run_all_ranks(&a, &b, &cut, &options);
+        assert!(partial.iter().all(|o| !o.converged));
+
+        let resume_at = checkpoint::max_common_iteration(&dir, 3)
+            .unwrap()
+            .expect("snapshots were written");
+        assert!(resume_at > 0 && resume_at <= cut.max_iterations);
+
+        let resumed_options = RankOptions {
+            checkpoint: Some(ckpt),
+            resume_at: Some(resume_at),
+            ..Default::default()
+        };
+        let (x_resumed, resumed) = run_all_ranks(&a, &b, &cfg, &resumed_options);
+        assert!(resumed.iter().all(|o| o.converged));
+        // Same lockstep trajectory: the resumed ranks pick up at the
+        // snapshot iteration and land on the very same bits.
+        assert_eq!(resumed[0].iterations, full_iters);
+        assert_eq!(x_resumed, x_full);
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn resume_without_checkpoint_config_is_rejected() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let b = vec![1.0; 30];
+        let cfg = config(3, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let blk = d.blocks(0).clone();
+        let transport: Arc<dyn Transport> = InProcTransport::new(3);
+        let options = RankOptions {
+            resume_at: Some(4),
+            ..Default::default()
+        };
+        assert!(matches!(
+            run_rank(&partition, &blk, &[1], &[1], &cfg, transport, &options),
+            Err(CoreError::Distributed(_))
+        ));
     }
 }

@@ -96,6 +96,30 @@ impl NeighborData {
         })
     }
 
+    /// Exports the halo for a checkpoint: per peer, the iteration stamp and
+    /// the latest slice (if any).  One entry per part, in rank order.
+    pub(crate) fn export_state(&self) -> Vec<crate::runtime::HaloEntry> {
+        self.stamps
+            .iter()
+            .zip(self.latest.iter())
+            .map(|(&stamp, slice)| (stamp, slice.clone()))
+            .collect()
+    }
+
+    /// Restores halo state captured by [`NeighborData::export_state`].
+    /// Returns `false` (leaving the halo untouched) when the snapshot was
+    /// taken under a different world size.
+    pub(crate) fn restore_state(&mut self, state: &[crate::runtime::HaloEntry]) -> bool {
+        if state.len() != self.latest.len() {
+            return false;
+        }
+        for (k, (stamp, slice)) in state.iter().enumerate() {
+            self.stamps[k] = *stamp;
+            self.latest[k] = slice.clone();
+        }
+        true
+    }
+
     /// Writes the current best estimate of every dependency column of the
     /// owning band into `x_global` (entries inside the band's extended range
     /// are left untouched — the band solves for those itself).

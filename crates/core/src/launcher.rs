@@ -13,13 +13,17 @@
 //! directory; the launcher assembles them with the configured weighting
 //! scheme — the same gather the threaded drivers perform in memory.
 
+use crate::checkpoint;
+use crate::distributed::RebalanceConfig;
+use crate::runtime::{FailurePolicy, ReshapeReason};
 use crate::solver::{ExecutionMode, MultisplittingConfig};
 use crate::weighting::WeightingScheme;
 use crate::CoreError;
 use msplit_comm::tcp::LinkDelay;
 use msplit_direct::SolverKind;
 use msplit_grid::cluster;
-use msplit_sparse::{io as sparse_io, CsrMatrix};
+use msplit_grid::perf::speeds_from_step_times;
+use msplit_sparse::{io as sparse_io, BandPartition, CsrMatrix};
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 use std::time::{Duration, Instant};
@@ -95,6 +99,13 @@ pub struct JobSpec {
     pub delay: Option<LinkDelaySpec>,
     /// Stall budget for lockstep waits and mesh formation.
     pub peer_timeout: Duration,
+    /// Snapshot period in outer iterations (0 disables checkpointing); the
+    /// snapshots land next to the job files (see [`crate::checkpoint`]).
+    pub checkpoint_every: u64,
+    /// How workers react to a rank death observed mid-solve.
+    pub failure: FailurePolicy,
+    /// Optional online-rebalancing hook (speed reports + drift threshold).
+    pub rebalance: Option<RebalanceConfig>,
 }
 
 impl JobSpec {
@@ -146,6 +157,15 @@ impl JobSpec {
             "peer_timeout_secs={:.17e}\n",
             self.peer_timeout.as_secs_f64()
         ));
+        text.push_str(&format!("checkpoint_every={}\n", self.checkpoint_every));
+        text.push_str(&format!("failure={}\n", failure_to_str(self.failure)));
+        match self.rebalance {
+            None => text.push_str("rebalance=none\n"),
+            Some(r) => text.push_str(&format!(
+                "rebalance={}:{:.17e}\n",
+                r.report_every, r.drift_threshold
+            )),
+        }
         std::fs::write(dir.join("job.cfg"), text)
             .map_err(|e| CoreError::Distributed(format!("write job.cfg: {e}")))
     }
@@ -195,6 +215,28 @@ impl JobSpec {
                 time_scale: parse_field(get("delay_scale")?, "delay_scale")?,
             }),
         };
+        // The fault-tolerance keys are parsed leniently (absent → default)
+        // so job.cfg files from before the elastic runtime still load.
+        let checkpoint_every = match fields.get("checkpoint_every") {
+            None => 0,
+            Some(v) => parse_field(v, "checkpoint_every")?,
+        };
+        let failure = match fields.get("failure") {
+            None => FailurePolicy::default(),
+            Some(v) => failure_from_str(v)?,
+        };
+        let rebalance = match fields.get("rebalance").map(String::as_str) {
+            None | Some("none") => None,
+            Some(v) => {
+                let (every, threshold) = v
+                    .split_once(':')
+                    .ok_or_else(|| CoreError::Distributed(format!("malformed rebalance '{v}'")))?;
+                Some(RebalanceConfig {
+                    report_every: parse_field(every, "rebalance period")?,
+                    drift_threshold: parse_field(threshold, "rebalance threshold")?,
+                })
+            }
+        };
         Ok(JobSpec {
             addrs,
             fingerprint,
@@ -203,8 +245,68 @@ impl JobSpec {
             peer_timeout: Duration::from_secs_f64(
                 parse_field::<f64>(get("peer_timeout_secs")?, "peer_timeout_secs")?.max(0.0),
             ),
+            checkpoint_every,
+            failure,
+            rebalance,
         })
     }
+}
+
+fn failure_to_str(f: FailurePolicy) -> String {
+    match f {
+        FailurePolicy::FailFast => "fail_fast".to_string(),
+        FailurePolicy::HaltOnDeath { heartbeat } => {
+            format!("halt_on_death:{:.17e}", heartbeat.as_secs_f64())
+        }
+        FailurePolicy::Redistribute { heartbeat } => {
+            format!("redistribute:{:.17e}", heartbeat.as_secs_f64())
+        }
+    }
+}
+
+fn failure_from_str(text: &str) -> Result<FailurePolicy, CoreError> {
+    if text == "fail_fast" {
+        return Ok(FailurePolicy::FailFast);
+    }
+    if let Some(secs) = text.strip_prefix("halt_on_death:") {
+        return Ok(FailurePolicy::HaltOnDeath {
+            heartbeat: Duration::from_secs_f64(parse_field::<f64>(secs, "heartbeat")?.max(0.0)),
+        });
+    }
+    if let Some(secs) = text.strip_prefix("redistribute:") {
+        return Ok(FailurePolicy::Redistribute {
+            heartbeat: Duration::from_secs_f64(parse_field::<f64>(secs, "heartbeat")?.max(0.0)),
+        });
+    }
+    Err(CoreError::Distributed(format!(
+        "unknown failure policy '{text}'"
+    )))
+}
+
+fn reshape_to_str(r: Option<ReshapeReason>) -> String {
+    match r {
+        None => "none".to_string(),
+        Some(ReshapeReason::RankDeath(rank)) => format!("death:{rank}"),
+        Some(ReshapeReason::SpeedDrift) => "drift".to_string(),
+    }
+}
+
+fn reshape_from_str(text: &str) -> Result<Option<ReshapeReason>, CoreError> {
+    if text == "none" {
+        return Ok(None);
+    }
+    if text == "drift" {
+        return Ok(Some(ReshapeReason::SpeedDrift));
+    }
+    if let Some(rank) = text.strip_prefix("death:") {
+        return Ok(Some(ReshapeReason::RankDeath(parse_field(
+            rank,
+            "dead rank",
+        )?)));
+    }
+    Err(CoreError::Distributed(format!(
+        "unknown reshape reason '{text}'"
+    )))
 }
 
 fn parse_field<T: std::str::FromStr>(text: &str, what: &str) -> Result<T, CoreError>
@@ -302,6 +404,9 @@ pub mod job_files {
     pub const MATRIX: &str = "system.mtx";
     /// The shipped right-hand side (vector file).
     pub const RHS: &str = "rhs.vec";
+    /// Optional global initial guess: workers warm-start from it when
+    /// present (how a redistributed job carries over pre-reshape progress).
+    pub const INITIAL_GUESS: &str = "x0.vec";
     /// Rank `r`'s solution slice.
     pub fn result_vec(rank: usize) -> String {
         format!("x_{rank}.vec")
@@ -327,6 +432,9 @@ pub struct RankMeta {
     pub last_increment: f64,
     /// Wall-clock seconds inside the rank loop.
     pub wall_seconds: f64,
+    /// Reshape request the rank exited with, if any (a dead peer under
+    /// [`FailurePolicy::Redistribute`], or observed speed drift).
+    pub reshape: Option<ReshapeReason>,
 }
 
 /// Writes a rank's result (slice + metadata) into the job directory.  The
@@ -339,11 +447,12 @@ pub fn store_rank_result(
     x_local: &[f64],
 ) -> Result<(), CoreError> {
     let meta_text = format!(
-        "iterations={}\nconverged={}\nlast_increment={:.17e}\nwall_seconds={:.6}\n",
+        "iterations={}\nconverged={}\nlast_increment={:.17e}\nwall_seconds={:.6}\nreshape={}\n",
         meta.iterations,
         u8::from(meta.converged),
         meta.last_increment,
-        meta.wall_seconds
+        meta.wall_seconds,
+        reshape_to_str(meta.reshape)
     );
     std::fs::write(dir.join(job_files::result_meta(rank)), meta_text)
         .map_err(|e| CoreError::Distributed(format!("write rank {rank} meta: {e}")))?;
@@ -366,6 +475,11 @@ pub fn load_rank_result(dir: &Path, rank: usize) -> Result<(RankMeta, Vec<f64>),
         converged: parse_field::<u8>(get("converged")?, "converged")? != 0,
         last_increment: parse_field(get("last_increment")?, "last_increment")?,
         wall_seconds: parse_field(get("wall_seconds")?, "wall_seconds")?,
+        // Lenient: meta files from before the elastic runtime lack the key.
+        reshape: match fields.get("reshape") {
+            None => None,
+            Some(v) => reshape_from_str(v)?,
+        },
     };
     let x = sparse_io::read_vector_file(dir.join(job_files::result_vec(rank)))
         .map_err(CoreError::Sparse)?;
@@ -390,6 +504,16 @@ pub struct LauncherConfig {
     pub job_root: Option<PathBuf>,
     /// Keep the job directory after the run (for debugging).
     pub keep_job_dir: bool,
+    /// Snapshot period workers apply, in outer iterations (0 = off).
+    pub checkpoint_every: u64,
+    /// Failure policy workers apply to a rank death observed mid-solve.
+    pub failure: FailurePolicy,
+    /// Online-rebalancing hook workers apply (speed reports to rank 0).
+    pub rebalance: Option<RebalanceConfig>,
+    /// Extra environment variables set on every spawned worker — how
+    /// fault-injection drills arm the worker's `MSPLIT_DIE_AT` hook without
+    /// touching the launcher process's own environment.
+    pub worker_env: Vec<(String, String)>,
 }
 
 impl Default for LauncherConfig {
@@ -401,6 +525,10 @@ impl Default for LauncherConfig {
             delay: None,
             job_root: None,
             keep_job_dir: false,
+            checkpoint_every: 0,
+            failure: FailurePolicy::default(),
+            rebalance: None,
+            worker_env: Vec::new(),
         }
     }
 }
@@ -435,10 +563,33 @@ impl DistributedOutcome {
     }
 }
 
+/// Result of an elastic ([`Launcher::solve_elastic`]) distributed solve.
+#[derive(Debug, Clone)]
+pub struct ElasticOutcome {
+    /// The final (converged) solve's outcome.
+    pub outcome: DistributedOutcome,
+    /// Every reshape performed on the way, in order.
+    pub reshapes: Vec<ReshapeReason>,
+    /// Worker count of the final solve (shrinks on each rank death).
+    pub final_parts: usize,
+}
+
 /// Spawns `msplit-worker` processes to solve a system over real sockets.
 #[derive(Debug, Clone, Default)]
 pub struct Launcher {
     config: LauncherConfig,
+}
+
+/// What one elastic attempt produced: a finished solve, or a reshape
+/// request with the salvaged state.
+enum Attempt {
+    Done(DistributedOutcome),
+    Reshape {
+        reason: ReshapeReason,
+        dead: Vec<usize>,
+        guess: Vec<f64>,
+        step_seconds: Vec<f64>,
+    },
 }
 
 impl Launcher {
@@ -564,6 +715,85 @@ impl Launcher {
         Ok(addrs)
     }
 
+    /// Ships the system into `job_dir` (matrix, RHS, `job.cfg` with freshly
+    /// reserved loopback addresses) so workers can be spawned against it —
+    /// the first half of [`Launcher::solve`], exposed for tests and tools
+    /// that manage worker processes themselves (e.g. kill-and-resume
+    /// drills).
+    pub fn prepare_job(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        config: &MultisplittingConfig,
+        job_dir: &Path,
+    ) -> Result<JobSpec, CoreError> {
+        sparse_io::write_matrix_market_file(a, job_dir.join(job_files::MATRIX))
+            .map_err(CoreError::Sparse)?;
+        sparse_io::write_vector_file(b, job_dir.join(job_files::RHS)).map_err(CoreError::Sparse)?;
+        let spec = JobSpec {
+            addrs: Self::reserve_addrs(config.parts)?,
+            fingerprint: a.fingerprint(),
+            config: config.clone(),
+            delay: self.config.delay.clone(),
+            peer_timeout: self.config.peer_timeout,
+            checkpoint_every: self.config.checkpoint_every,
+            failure: self.config.failure,
+            rebalance: self.config.rebalance,
+        };
+        spec.store(job_dir)?;
+        Ok(spec)
+    }
+
+    /// Spawns one `msplit-worker` process for `rank` of the job in
+    /// `job_dir`, its output captured in the rank's log file.  With
+    /// `resume_at`, the worker restores the rank's pinned snapshot of that
+    /// iteration before iterating.
+    pub fn spawn_worker(
+        &self,
+        worker_bin: &Path,
+        job_dir: &Path,
+        rank: usize,
+        resume_at: Option<u64>,
+    ) -> Result<std::process::Child, CoreError> {
+        let log = std::fs::File::create(job_dir.join(job_files::worker_log(rank)))
+            .map_err(|e| CoreError::Distributed(format!("create worker log: {e}")))?;
+        let log_err = log
+            .try_clone()
+            .map_err(|e| CoreError::Distributed(format!("clone worker log: {e}")))?;
+        let mut cmd = std::process::Command::new(worker_bin);
+        cmd.arg("--job")
+            .arg(job_dir)
+            .arg("--rank")
+            .arg(rank.to_string());
+        if let Some(iteration) = resume_at {
+            cmd.arg("--resume-at").arg(iteration.to_string());
+        }
+        for (key, value) in &self.config.worker_env {
+            cmd.env(key, value);
+        }
+        cmd.stdout(std::process::Stdio::from(log))
+            .stderr(std::process::Stdio::from(log_err))
+            .spawn()
+            .map_err(|e| CoreError::Distributed(format!("spawn {}: {e}", worker_bin.display())))
+    }
+
+    fn spawn_all(
+        &self,
+        worker_bin: &Path,
+        job_dir: &Path,
+        world: usize,
+        resume_at: Option<u64>,
+    ) -> (Vec<Option<std::process::Child>>, Result<(), CoreError>) {
+        let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(world);
+        for rank in 0..world {
+            match self.spawn_worker(worker_bin, job_dir, rank, resume_at) {
+                Ok(child) => children.push(Some(child)),
+                Err(e) => return (children, Err(e)),
+            }
+        }
+        (children, Ok(()))
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_job(
         &self,
@@ -572,46 +802,12 @@ impl Launcher {
         config: &MultisplittingConfig,
         worker_bin: &Path,
         job_dir: &Path,
-        partition: &msplit_sparse::BandPartition,
+        partition: &BandPartition,
         start: Instant,
     ) -> Result<DistributedOutcome, CoreError> {
         let world = config.parts;
-        sparse_io::write_matrix_market_file(a, job_dir.join(job_files::MATRIX))
-            .map_err(CoreError::Sparse)?;
-        sparse_io::write_vector_file(b, job_dir.join(job_files::RHS)).map_err(CoreError::Sparse)?;
-        let spec = JobSpec {
-            addrs: Self::reserve_addrs(world)?,
-            fingerprint: a.fingerprint(),
-            config: config.clone(),
-            delay: self.config.delay.clone(),
-            peer_timeout: self.config.peer_timeout,
-        };
-        spec.store(job_dir)?;
-
-        let mut children: Vec<Option<std::process::Child>> = Vec::with_capacity(world);
-        let spawn_result = (|| -> Result<(), CoreError> {
-            for rank in 0..world {
-                let log = std::fs::File::create(job_dir.join(job_files::worker_log(rank)))
-                    .map_err(|e| CoreError::Distributed(format!("create worker log: {e}")))?;
-                let log_err = log
-                    .try_clone()
-                    .map_err(|e| CoreError::Distributed(format!("clone worker log: {e}")))?;
-                let child = std::process::Command::new(worker_bin)
-                    .arg("--job")
-                    .arg(job_dir)
-                    .arg("--rank")
-                    .arg(rank.to_string())
-                    .stdout(std::process::Stdio::from(log))
-                    .stderr(std::process::Stdio::from(log_err))
-                    .spawn()
-                    .map_err(|e| {
-                        CoreError::Distributed(format!("spawn {}: {e}", worker_bin.display()))
-                    })?;
-                children.push(Some(child));
-            }
-            Ok(())
-        })();
-
+        self.prepare_job(a, b, config, job_dir)?;
+        let (mut children, spawn_result) = self.spawn_all(worker_bin, job_dir, world, None);
         let wait_result = spawn_result.and_then(|()| {
             let deadline = Instant::now() + self.config.timeout;
             Self::wait_for_workers(&mut children, deadline, job_dir)
@@ -623,7 +819,17 @@ impl Launcher {
             let _ = child.wait();
         }
         wait_result?;
+        Self::gather_outcome(job_dir, config, partition, start)
+    }
 
+    /// Assembles the global solution from every rank's published result.
+    fn gather_outcome(
+        job_dir: &Path,
+        config: &MultisplittingConfig,
+        partition: &BandPartition,
+        start: Instant,
+    ) -> Result<DistributedOutcome, CoreError> {
+        let world = config.parts;
         let mut locals = Vec::with_capacity(world);
         let mut iterations_per_rank = Vec::with_capacity(world);
         let mut converged = true;
@@ -650,6 +856,284 @@ impl Launcher {
             last_increment,
             wall_seconds: start.elapsed().as_secs_f64(),
         })
+    }
+
+    /// Resumes a killed or interrupted job from its snapshots.
+    ///
+    /// `job_dir` must hold a complete job (`job.cfg`, system, RHS) written
+    /// with `checkpoint_every > 0` whose workers are no longer running.  The
+    /// launcher finds the highest iteration *every* rank has a snapshot for,
+    /// refreshes the listen addresses in `job.cfg` (the original ports are
+    /// gone with the original processes), clears stale results and respawns
+    /// every worker with `--resume-at`.  In synchronous mode the resumed
+    /// solution is bitwise-identical to an uninterrupted run's.
+    pub fn resume(&self, job_dir: &Path) -> Result<DistributedOutcome, CoreError> {
+        let start = Instant::now();
+        let mut spec = JobSpec::load(job_dir)?;
+        let world = spec.world_size();
+        let resume_at = checkpoint::max_common_iteration(job_dir, world)?.ok_or_else(|| {
+            CoreError::Distributed(format!(
+                "cannot resume {}: no iteration has a snapshot from every rank",
+                job_dir.display()
+            ))
+        })?;
+        spec.addrs = Self::reserve_addrs(world)?;
+        spec.store(job_dir)?;
+        for rank in 0..world {
+            let _ = std::fs::remove_file(job_dir.join(job_files::result_vec(rank)));
+            let _ = std::fs::remove_file(job_dir.join(job_files::result_meta(rank)));
+        }
+
+        // Rebuild the partition the workers will agree on, for the gather.
+        let a = sparse_io::read_matrix_market(job_dir.join(job_files::MATRIX))
+            .map_err(CoreError::Sparse)?;
+        let b =
+            sparse_io::read_vector_file(job_dir.join(job_files::RHS)).map_err(CoreError::Sparse)?;
+        let solver = crate::solver::MultisplittingSolver::new(spec.config.clone());
+        let partition = solver.decompose(&a, &b)?.partition().clone();
+
+        let worker_bin = self.worker_binary()?;
+        let (mut children, spawn_result) =
+            self.spawn_all(&worker_bin, job_dir, world, Some(resume_at));
+        let wait_result = spawn_result.and_then(|()| {
+            let deadline = Instant::now() + self.config.timeout;
+            Self::wait_for_workers(&mut children, deadline, job_dir)
+        });
+        for child in children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        wait_result?;
+        Self::gather_outcome(job_dir, &spec.config, &partition, start)
+    }
+
+    /// Solves `A x = b` elastically: on a reshape request (a worker killed
+    /// under [`FailurePolicy::Redistribute`], or observed speed drift) the
+    /// launcher salvages the freshest state from snapshots and published
+    /// slices, re-derives the band decomposition — fewer bands after a
+    /// death, drift-corrected splitting weights after a speed report — and
+    /// resubmits the job warm-started from the salvaged iterate, up to
+    /// `max_reshapes` times.
+    ///
+    /// Requires [`LauncherConfig::failure`] to be
+    /// [`FailurePolicy::Redistribute`]; `checkpoint_every > 0` is strongly
+    /// recommended so a dead rank's band loses at most one snapshot period
+    /// of progress.
+    pub fn solve_elastic(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        config: &MultisplittingConfig,
+        max_reshapes: usize,
+    ) -> Result<ElasticOutcome, CoreError> {
+        if !matches!(self.config.failure, FailurePolicy::Redistribute { .. }) {
+            return Err(CoreError::Distributed(
+                "solve_elastic needs FailurePolicy::Redistribute so workers survive a rank death"
+                    .to_string(),
+            ));
+        }
+        let start = Instant::now();
+        let worker_bin = self.worker_binary()?;
+        let mut cfg = config.clone();
+        let mut x0: Option<Vec<f64>> = None;
+        let mut reshapes: Vec<ReshapeReason> = Vec::new();
+        loop {
+            let solver = crate::solver::MultisplittingSolver::new(cfg.clone());
+            let partition = solver.decompose(a, b)?.partition().clone();
+            let job_dir = self.create_job_dir()?;
+            let attempt = self.run_elastic_attempt(
+                a,
+                b,
+                &cfg,
+                x0.as_deref(),
+                &worker_bin,
+                &job_dir,
+                &partition,
+            );
+            if !self.config.keep_job_dir {
+                let _ = std::fs::remove_dir_all(&job_dir);
+            } else {
+                eprintln!("launcher: job directory kept at {}", job_dir.display());
+            }
+            match attempt? {
+                Attempt::Done(mut outcome) => {
+                    outcome.wall_seconds = start.elapsed().as_secs_f64();
+                    return Ok(ElasticOutcome {
+                        outcome,
+                        reshapes,
+                        final_parts: cfg.parts,
+                    });
+                }
+                Attempt::Reshape {
+                    reason,
+                    dead,
+                    guess,
+                    step_seconds,
+                } => {
+                    if reshapes.len() >= max_reshapes {
+                        return Err(CoreError::Distributed(format!(
+                            "gave up after {} reshapes (next: {reason:?})",
+                            reshapes.len()
+                        )));
+                    }
+                    reshapes.push(reason);
+                    x0 = Some(guess);
+                    match reason {
+                        ReshapeReason::RankDeath(_) => {
+                            let lost = dead.len().max(1);
+                            if cfg.parts <= lost {
+                                return Err(CoreError::Distributed(
+                                    "every worker died; nothing left to redistribute over"
+                                        .to_string(),
+                                ));
+                            }
+                            cfg.parts -= lost;
+                            // Drop the dead machines' splitting weights; the
+                            // survivors keep their relative ordering.
+                            if cfg.relative_speeds.len() == cfg.parts + lost {
+                                let mut kept = Vec::with_capacity(cfg.parts);
+                                for (rank, speed) in cfg.relative_speeds.iter().enumerate() {
+                                    if !dead.contains(&rank) {
+                                        kept.push(*speed);
+                                    }
+                                }
+                                kept.truncate(cfg.parts);
+                                cfg.relative_speeds = kept;
+                            } else {
+                                cfg.relative_speeds = Vec::new();
+                            }
+                        }
+                        ReshapeReason::SpeedDrift => {
+                            cfg.relative_speeds = speeds_from_step_times(&step_seconds);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// One round of [`Launcher::solve_elastic`]: ship, spawn, wait for every
+    /// worker to exit (however it exits), then classify the outcome.
+    #[allow(clippy::too_many_arguments)]
+    fn run_elastic_attempt(
+        &self,
+        a: &CsrMatrix,
+        b: &[f64],
+        cfg: &MultisplittingConfig,
+        x0: Option<&[f64]>,
+        worker_bin: &Path,
+        job_dir: &Path,
+        partition: &BandPartition,
+    ) -> Result<Attempt, CoreError> {
+        let world = cfg.parts;
+        let start = Instant::now();
+        if let Some(guess) = x0 {
+            sparse_io::write_vector_file(guess, job_dir.join(job_files::INITIAL_GUESS))
+                .map_err(CoreError::Sparse)?;
+        }
+        let spec = self.prepare_job(a, b, cfg, job_dir)?;
+        let (mut children, spawn_result) = self.spawn_all(worker_bin, job_dir, world, None);
+        let wait_result = spawn_result.and_then(|()| {
+            let deadline = Instant::now() + self.config.timeout;
+            Self::wait_until_all_exit(&mut children, deadline)
+        });
+        for child in children.iter_mut().flatten() {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+        wait_result?;
+
+        let results: Vec<Option<(RankMeta, Vec<f64>)>> = (0..world)
+            .map(|rank| load_rank_result(job_dir, rank).ok())
+            .collect();
+        let dead: Vec<usize> = results
+            .iter()
+            .enumerate()
+            .filter_map(|(rank, r)| r.is_none().then_some(rank))
+            .collect();
+        let reshape = results.iter().flatten().find_map(|(meta, _)| meta.reshape);
+        if dead.is_empty() && reshape.is_none() {
+            return Ok(Attempt::Done(Self::gather_outcome(
+                job_dir, cfg, partition, start,
+            )?));
+        }
+        let reason = reshape.unwrap_or(ReshapeReason::RankDeath(dead[0]));
+        let guess = Self::salvage_guess(job_dir, &spec, cfg, partition, &results)?;
+        // Observed mean step time per rank, for drift-corrected band sizing.
+        let step_seconds: Vec<f64> = results
+            .iter()
+            .map(|r| match r {
+                Some((meta, _)) if meta.iterations > 0 => {
+                    meta.wall_seconds / meta.iterations as f64
+                }
+                _ => f64::INFINITY,
+            })
+            .collect();
+        Ok(Attempt::Reshape {
+            reason,
+            dead,
+            guess,
+            step_seconds,
+        })
+    }
+
+    /// Best global iterate recoverable from a stopped job: each surviving
+    /// rank's published slice, a dead rank's latest snapshot, zeros where
+    /// nothing was recovered — assembled with the job's weighting scheme.
+    fn salvage_guess(
+        job_dir: &Path,
+        spec: &JobSpec,
+        cfg: &MultisplittingConfig,
+        partition: &BandPartition,
+        results: &[Option<(RankMeta, Vec<f64>)>],
+    ) -> Result<Vec<f64>, CoreError> {
+        let snapshots = checkpoint::scan(job_dir)?;
+        let mut locals = Vec::with_capacity(results.len());
+        for (rank, result) in results.iter().enumerate() {
+            let expected = partition.extended_range(rank).len();
+            let from_snapshot = || -> Option<Vec<f64>> {
+                let iteration = *snapshots.get(&rank)?.last()?;
+                let path = job_dir.join(checkpoint::checkpoint_file(rank, iteration));
+                let ckpt = checkpoint::load_pinned(&path, spec.fingerprint).ok()?;
+                (ckpt.x_sub.len() == expected).then_some(ckpt.x_sub)
+            };
+            let x_sub = match result {
+                Some((_, x)) if x.len() == expected => x.clone(),
+                _ => from_snapshot().unwrap_or_else(|| vec![0.0; expected]),
+            };
+            locals.push(x_sub);
+        }
+        Ok(cfg.weighting.assemble(partition, &locals))
+    }
+
+    /// Waits for every worker to exit, succeeding or not — elastic runs
+    /// expect a killed worker and read the survivors' verdicts instead.
+    fn wait_until_all_exit(
+        children: &mut [Option<std::process::Child>],
+        deadline: Instant,
+    ) -> Result<(), CoreError> {
+        loop {
+            let mut all_done = true;
+            for slot in children.iter_mut() {
+                let Some(child) = slot else { continue };
+                match child.try_wait() {
+                    Ok(Some(_)) => *slot = None,
+                    Ok(None) => all_done = false,
+                    Err(e) => {
+                        return Err(CoreError::Distributed(format!("wait on worker: {e}")));
+                    }
+                }
+            }
+            if all_done {
+                return Ok(());
+            }
+            if Instant::now() >= deadline {
+                return Err(CoreError::Distributed(
+                    "elastic solve timed out waiting for workers to exit".to_string(),
+                ));
+            }
+            std::thread::sleep(Duration::from_millis(20));
+        }
     }
 
     fn wait_for_workers(
@@ -745,6 +1229,14 @@ mod tests {
             // whole seconds (a 500 ms budget shipped as 0 would make every
             // worker fail mesh formation instantly).
             peer_timeout: Duration::from_millis(45_500),
+            checkpoint_every: 8,
+            failure: FailurePolicy::Redistribute {
+                heartbeat: Duration::from_millis(750),
+            },
+            rebalance: Some(RebalanceConfig {
+                report_every: 25,
+                drift_threshold: 2.5,
+            }),
         };
         spec.store(&dir).unwrap();
         let back = JobSpec::load(&dir).unwrap();
@@ -761,7 +1253,65 @@ mod tests {
         assert_eq!(back.config.relative_speeds, vec![1.0, 1.5]);
         assert_eq!(back.delay, spec.delay);
         assert_eq!(back.peer_timeout, spec.peer_timeout);
+        assert_eq!(back.checkpoint_every, 8);
+        assert_eq!(back.failure, spec.failure);
+        assert_eq!(
+            back.rebalance.map(|r| (r.report_every, r.drift_threshold)),
+            Some((25, 2.5))
+        );
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn job_cfg_without_fault_tolerance_keys_still_loads() {
+        // Pre-elastic job.cfg files lack the checkpoint/failure/rebalance
+        // keys; loading must fall back to the defaults, not error.
+        let dir = temp_dir("jobspec-compat");
+        let text = "% msplit distributed job\n\
+                    addrs=127.0.0.1:4001\n\
+                    fingerprint=0xabc\n\
+                    parts=1\n\
+                    overlap=0\n\
+                    weighting=owner_takes\n\
+                    solver=sparse_lu\n\
+                    tolerance=1e-10\n\
+                    max_iterations=100\n\
+                    mode=sync\n\
+                    async_confirmations=3\n\
+                    relative_speeds=\n\
+                    delay_grid=none\n\
+                    delay_scale=0\n\
+                    peer_timeout_secs=60\n";
+        std::fs::write(dir.join("job.cfg"), text).unwrap();
+        let spec = JobSpec::load(&dir).unwrap();
+        assert_eq!(spec.checkpoint_every, 0);
+        assert_eq!(spec.failure, FailurePolicy::default());
+        assert!(spec.rebalance.is_none());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn failure_and_reshape_encodings_round_trip() {
+        for policy in [
+            FailurePolicy::FailFast,
+            FailurePolicy::HaltOnDeath {
+                heartbeat: Duration::from_millis(250),
+            },
+            FailurePolicy::Redistribute {
+                heartbeat: Duration::from_secs(2),
+            },
+        ] {
+            assert_eq!(failure_from_str(&failure_to_str(policy)).unwrap(), policy);
+        }
+        assert!(failure_from_str("shrug").is_err());
+        for reshape in [
+            None,
+            Some(ReshapeReason::RankDeath(3)),
+            Some(ReshapeReason::SpeedDrift),
+        ] {
+            assert_eq!(reshape_from_str(&reshape_to_str(reshape)).unwrap(), reshape);
+        }
+        assert!(reshape_from_str("sideways").is_err());
     }
 
     #[test]
@@ -793,6 +1343,7 @@ mod tests {
             converged: true,
             last_increment: 3.25e-11,
             wall_seconds: 0.125,
+            reshape: Some(ReshapeReason::RankDeath(0)),
         };
         let x = vec![1.0, -2.5, 3.0e-4];
         store_rank_result(&dir, 1, &meta, &x).unwrap();

@@ -35,6 +35,43 @@
 //! assert!(err < 1e-6);
 //! ```
 //!
+//! # Architecture: engine, policies, adapters
+//!
+//! Every driver in the workspace is an adapter over the same three-part
+//! runtime (see [`runtime`]):
+//!
+//! ```text
+//!                  ┌────────────────────────────────────────────────┐
+//!                  │                 drive loop                     │
+//!                  │  collect → step → fan_out → vote → exchange    │
+//!                  │            (+ checkpoint / speed hooks)        │
+//!                  └──────┬─────────────┬──────────────┬────────────┘
+//!                         │             │              │
+//!              ┌──────────▼───┐  ┌──────▼───────┐  ┌───▼──────────┐
+//!              │  RankEngine  │  │ Convergence/ │  │ FailurePolicy│
+//!              │ (pure state  │  │ Progress     │  │ FailFast /   │
+//!              │  machine,    │  │ policies:    │  │ HaltOnDeath /│
+//!              │  replayable, │  │ Lockstep or  │  │ Redistribute │
+//!              │  snapshot-   │  │ FreeRunning  │  │ (heartbeats) │
+//!              │  able)       │  │              │  │              │
+//!              └──────┬───────┘  └──────┬───────┘  └───┬──────────┘
+//!                     │                 │              │
+//!              ┌──────▼─────────────────▼──────────────▼───────────┐
+//!              │ RankLink over a Transport (in-process or TCP)     │
+//!              └───────────────────────────────────────────────────┘
+//!
+//!   adapters: threaded sync / threaded batch / threaded async
+//!             (runtime::solve_threaded) and the multi-process
+//!             distributed runtime (distributed::run_rank, spawned
+//!             by launcher::Launcher + the msplit-worker binary)
+//! ```
+//!
+//! Because the engine is pure (its only transitions are `ingest` and
+//! `step`), the lockstep iterates are bitwise identical across transports,
+//! runs can be recorded and replayed ([`runtime::EventLog`]), and the
+//! [`checkpoint`] module can snapshot a rank mid-solve and resume it
+//! bitwise (`docs/checkpoint-format.md`, `docs/fault-tolerance.md`).
+//!
 //! Modules:
 //!
 //! * [`decomposition`] — the band decomposition of the system (Figure 1),
@@ -48,6 +85,11 @@
 //!   ([`runtime::ConvergencePolicy`]), progress
 //!   ([`runtime::ProgressPolicy`]) and failure ([`runtime::FailurePolicy`])
 //!   policies; every driver below is an adapter over it,
+//! * [`checkpoint`] — versioned, fingerprint-pinned per-rank snapshots for
+//!   checkpoint/restart and elastic reshaping,
+//! * [`distributed`] / [`launcher`] — the multi-process runtime: one
+//!   [`distributed::run_rank`] per worker process, orchestrated by
+//!   [`launcher::Launcher`],
 //! * [`sync_driver`] / [`async_driver`] — deprecated shims of the threaded
 //!   synchronous and asynchronous entry points (kept for one release),
 //! * [`solver`] — the user-facing builder tying everything together,
@@ -59,8 +101,11 @@
 //! * [`experiment`] — the experiment descriptors that regenerate each table
 //!   and figure of the paper.
 
+#![warn(missing_docs)]
+
 pub mod async_driver;
 pub mod baseline;
+pub mod checkpoint;
 pub mod decomposition;
 pub mod distributed;
 pub(crate) mod driver_common;
@@ -75,11 +120,14 @@ pub mod sync_driver;
 pub mod theory;
 pub mod weighting;
 
+pub use checkpoint::{CheckpointError, Checkpointer, RankCheckpoint};
 pub use decomposition::Decomposition;
-pub use distributed::{run_rank, RankOptions, RankOutcome};
-pub use launcher::{DistributedOutcome, Launcher, LauncherConfig};
+pub use distributed::{run_rank, CheckpointConfig, RankOptions, RankOutcome, RebalanceConfig};
+pub use launcher::{DistributedOutcome, ElasticOutcome, Launcher, LauncherConfig};
 pub use prepared::PreparedSystem;
-pub use runtime::{EngineEvent, EventLog, FailurePolicy, IterationWorkspace, RankEngine};
+pub use runtime::{
+    EngineEvent, EventLog, FailurePolicy, IterationWorkspace, RankEngine, ReshapeReason,
+};
 pub use solver::{
     BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder,
 };
@@ -121,6 +169,9 @@ pub enum CoreError {
     /// The distributed runtime failed (worker spawn, job shipping, a peer
     /// timing out or dying mid-solve).
     Distributed(String),
+    /// A checkpoint operation failed (corrupt snapshot, version or
+    /// fingerprint mismatch, I/O).
+    Checkpoint(checkpoint::CheckpointError),
 }
 
 impl std::fmt::Display for CoreError {
@@ -140,6 +191,7 @@ impl std::fmt::Display for CoreError {
             ),
             CoreError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
             CoreError::Distributed(msg) => write!(f, "distributed runtime error: {msg}"),
+            CoreError::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
         }
     }
 }

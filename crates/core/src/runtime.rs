@@ -31,9 +31,14 @@
 //! reference.
 //!
 //! Failure handling is a policy too: [`FailurePolicy::HaltOnDeath`] probes
-//! silent peers with [`Message::Heartbeat`] during lockstep waits, so a dead
-//! rank (surfaced as [`msplit_comm::CommError::Disconnected`]) downgrades to
-//! a [`Message::Halt`] broadcast and a prompt error instead of a hang.
+//! silent peers with [`Message::Heartbeat`] during lockstep waits (and, since
+//! the elastic-grid work, between free-running sweeps), so a dead rank
+//! (surfaced as [`msplit_comm::CommError::Disconnected`]) downgrades to a
+//! [`Message::Halt`] broadcast and a prompt error instead of a hang.
+//! [`FailurePolicy::Redistribute`] goes one step further: a detected death
+//! surfaces as [`Flow::Reshape`] so the launcher can re-partition the bands
+//! over the survivors and resume from the latest checkpoint
+//! ([`crate::checkpoint`]) instead of failing the job.
 
 use crate::driver_common::increment_norm;
 use crate::solver::{
@@ -66,6 +71,13 @@ const VOTE_REFRESH_ITERATIONS: u64 = 25;
 /// peer halting at the same instant the coordinator declares convergence
 /// must not turn a converged run into a failed one).
 const HALT_GRACE: Duration = Duration::from_millis(20);
+
+/// How long a free-running rank that detected a peer death keeps draining
+/// its inbox for a racing [`Message::GlobalConverged`] before treating the
+/// death as real.  Longer than [`HALT_GRACE`] because the convergence notice
+/// of a legitimately exited peer may still be in flight over TCP when the
+/// heartbeat probe observes the closed socket.
+const DEATH_GRACE: Duration = Duration::from_millis(250);
 
 /// Lockstep peer timeout of the threaded adapters.  The pre-runtime barrier
 /// waited indefinitely for slow (but live) peers, so this is deliberately
@@ -414,7 +426,120 @@ impl<'a> RankEngine<'a> {
         }
         Ok(())
     }
+
+    /// Captures the complete mutable state of this (single-RHS) engine for a
+    /// checkpoint.  Because [`RankEngine::step`] reads nothing but the halo,
+    /// `x_sub` and `prev_deps` (the dependency columns of `x_global` are
+    /// refilled from the halo every sweep), restoring this snapshot into a
+    /// freshly prepared engine and continuing is bitwise-identical to never
+    /// having stopped.
+    pub fn snapshot(&self) -> Result<EngineSnapshot, CoreError> {
+        match self.shape {
+            EngineShape::Single => Ok(EngineSnapshot {
+                iterations: self.iterations,
+                last_increment: self.last_increment,
+                fresh_since_step: self.fresh_since_step,
+                x_sub: self.ws.x_sub.clone(),
+                prev_deps: self.prev_deps.clone(),
+                halo: self.neighbors[0].export_state(),
+            }),
+            EngineShape::Batch(_) => Err(CoreError::Checkpoint(
+                crate::checkpoint::CheckpointError::ShapeMismatch(
+                    "checkpointing supports the single right-hand-side engine shape only"
+                        .to_string(),
+                ),
+            )),
+        }
+    }
+
+    /// Restores a snapshot captured by [`RankEngine::snapshot`] into this
+    /// freshly prepared engine.  The snapshot must come from the same block
+    /// shape (extended-range size, dependency columns, world size) or a
+    /// typed [`crate::checkpoint::CheckpointError::ShapeMismatch`] is
+    /// returned with the engine untouched.
+    pub fn restore(&mut self, snap: &EngineSnapshot) -> Result<(), CoreError> {
+        let shape_err = |msg: String| {
+            CoreError::Checkpoint(crate::checkpoint::CheckpointError::ShapeMismatch(msg))
+        };
+        if !matches!(self.shape, EngineShape::Single) {
+            return Err(shape_err(
+                "checkpointing supports the single right-hand-side engine shape only".to_string(),
+            ));
+        }
+        if snap.x_sub.len() != self.ws.x_sub.len() {
+            return Err(shape_err(format!(
+                "snapshot iterate has {} entries, band expects {}",
+                snap.x_sub.len(),
+                self.ws.x_sub.len()
+            )));
+        }
+        if snap.prev_deps.len() != self.prev_deps.len() {
+            return Err(shape_err(format!(
+                "snapshot has {} dependency values, band expects {}",
+                snap.prev_deps.len(),
+                self.prev_deps.len()
+            )));
+        }
+        if !self.neighbors[0].restore_state(&snap.halo) {
+            return Err(shape_err(format!(
+                "snapshot halo covers {} peers, transport has a different world",
+                snap.halo.len()
+            )));
+        }
+        self.ws.x_sub.copy_from_slice(&snap.x_sub);
+        self.prev_deps.copy_from_slice(&snap.prev_deps);
+        self.iterations = snap.iterations;
+        self.last_increment = snap.last_increment;
+        self.fresh_since_step = snap.fresh_since_step;
+        Ok(())
+    }
+
+    /// Seeds a freshly prepared (single-RHS) engine with a global initial
+    /// guess instead of the all-zero default — the warm start of a
+    /// redistributed solve, assembled from the pre-reshape checkpoints.
+    /// Dependency columns with halo data are overwritten at the next sweep;
+    /// columns whose sender has not spoken yet keep the warm-start value.
+    pub fn warm_start(&mut self, x0: &[f64]) -> Result<(), CoreError> {
+        if !matches!(self.shape, EngineShape::Single) || x0.len() != self.ws.x_global.len() {
+            return Err(CoreError::Checkpoint(
+                crate::checkpoint::CheckpointError::ShapeMismatch(format!(
+                    "warm start of {} entries does not fit a system of order {}",
+                    x0.len(),
+                    self.ws.x_global.len()
+                )),
+            ));
+        }
+        self.ws.x_global.copy_from_slice(x0);
+        let offset = self.blk.offset;
+        let size = self.ws.x_sub.len();
+        self.ws.x_sub.copy_from_slice(&x0[offset..offset + size]);
+        Ok(())
+    }
 }
+
+/// The complete mutable state of a single-RHS [`RankEngine`], as captured by
+/// [`RankEngine::snapshot`] and persisted by [`crate::checkpoint`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct EngineSnapshot {
+    /// Outer iterations performed.
+    pub iterations: u64,
+    /// Infinity norm of the most recent iterate increment.
+    pub last_increment: f64,
+    /// Whether fresh halo data arrived after the last step.
+    pub fresh_since_step: bool,
+    /// The local iterate over the band's extended range.
+    pub x_sub: Vec<f64>,
+    /// Previous dependency values (dependency-movement observation state).
+    pub prev_deps: Vec<f64>,
+    /// Per-peer halo state: iteration stamp and latest slice, one entry per
+    /// rank of the world.
+    pub halo: Vec<HaloEntry>,
+}
+
+/// One peer's halo state in an [`EngineSnapshot`]: the iteration stamp of
+/// the latest slice received from that peer and, when one arrived, its
+/// `(global offset, values)`.
+pub type HaloEntry = (u64, Option<(usize, Vec<f64>)>);
 
 // ---------------------------------------------------------------------------
 // Local votes
@@ -435,6 +560,30 @@ pub trait LocalVote: Send {
     fn effective_increment(&self, obs: &StepObservation) -> f64 {
         obs.increment
     }
+
+    /// The persistable convergence-window progress of this vote, captured at
+    /// a checkpoint boundary so a resumed rank reproduces the exact same
+    /// convergence decision sequence.  Stateless votes return the default.
+    fn checkpoint_state(&self) -> VoteState {
+        VoteState {
+            consecutive: 0,
+            last_increment: f64::INFINITY,
+        }
+    }
+
+    /// Restores window progress captured by [`LocalVote::checkpoint_state`].
+    /// A no-op for stateless votes.
+    fn restore_state(&mut self, _state: VoteState) {}
+}
+
+/// Convergence-window progress of a [`LocalVote`], the policy state a
+/// checkpoint persists alongside the engine snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VoteState {
+    /// Consecutive below-tolerance iterations observed so far.
+    pub consecutive: u64,
+    /// Most recent effective increment recorded.
+    pub last_increment: f64,
 }
 
 /// Base vote: the iterate increment has stayed below tolerance for a
@@ -479,6 +628,18 @@ impl LocalVote for IncrementVote {
             obs.increment
         }
     }
+
+    fn checkpoint_state(&self) -> VoteState {
+        VoteState {
+            consecutive: self.tracker.consecutive() as u64,
+            last_increment: self.tracker.last_increment(),
+        }
+    }
+
+    fn restore_state(&mut self, state: VoteState) {
+        self.tracker
+            .restore(state.consecutive as usize, state.last_increment);
+    }
 }
 
 /// Composable stale-sweep guard: a rank with dependencies may only count a
@@ -510,11 +671,29 @@ impl<V: LocalVote> LocalVote for StaleSweepGuard<V> {
     fn effective_increment(&self, obs: &StepObservation) -> f64 {
         self.inner.effective_increment(obs)
     }
+
+    fn checkpoint_state(&self) -> VoteState {
+        self.inner.checkpoint_state()
+    }
+
+    fn restore_state(&mut self, state: VoteState) {
+        self.inner.restore_state(state);
+    }
 }
 
 // ---------------------------------------------------------------------------
 // Link
 // ---------------------------------------------------------------------------
+
+/// Why a run is asking the launcher for a new band layout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReshapeReason {
+    /// The given rank died permanently; survivors need its rows.
+    RankDeath(usize),
+    /// Observed per-rank iteration speeds drifted beyond the configured
+    /// threshold; the same rows deserve new splitting weights.
+    SpeedDrift,
+}
 
 /// Control-flow outcome of a policy interaction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -525,6 +704,9 @@ pub enum Flow {
     Converged,
     /// A peer halted the run (budget exhaustion or failure elsewhere).
     Halted,
+    /// The run must stop so the launcher can re-partition the bands
+    /// ([`FailurePolicy::Redistribute`] / speed-drift rebalancing).
+    Reshape(ReshapeReason),
 }
 
 /// What a send to a disconnected peer means.
@@ -540,6 +722,10 @@ pub enum DeathRule {
     /// and the `GlobalConverged` it flushed on the way out is already queued
     /// or in flight (see [`ConfirmationWaves`]).
     Tolerate,
+    /// Mark the peer dead, broadcast [`Message::Reshape`] to the survivors
+    /// and surface [`Flow::Reshape`] from the drive loop — the elastic
+    /// failure response of [`FailurePolicy::Redistribute`].
+    Reshape,
 }
 
 /// How the runtime reacts to a rank death observed mid-solve.
@@ -552,6 +738,15 @@ pub enum FailurePolicy {
     /// [`Message::Halt`] and fail fast instead of hanging until the peer
     /// timeout.
     HaltOnDeath {
+        /// Probe interval.
+        heartbeat: Duration,
+    },
+    /// Probe like [`FailurePolicy::HaltOnDeath`], but treat a detected death
+    /// as a request to reshape: the drive loop returns
+    /// [`Flow::Reshape`]`(`[`ReshapeReason::RankDeath`]`)` so the launcher
+    /// can re-derive band ownership over the survivors and resume from the
+    /// latest checkpoints instead of failing the job.
+    Redistribute {
         /// Probe interval.
         heartbeat: Duration,
     },
@@ -570,6 +765,16 @@ impl FailurePolicy {
         match self {
             FailurePolicy::FailFast => DeathRule::Fatal,
             FailurePolicy::HaltOnDeath { .. } => DeathRule::Halt,
+            FailurePolicy::Redistribute { .. } => DeathRule::Reshape,
+        }
+    }
+
+    /// The heartbeat probe interval, when this policy probes at all.
+    fn heartbeat(self) -> Option<Duration> {
+        match self {
+            FailurePolicy::FailFast => None,
+            FailurePolicy::HaltOnDeath { heartbeat }
+            | FailurePolicy::Redistribute { heartbeat } => Some(heartbeat),
         }
     }
 }
@@ -583,6 +788,12 @@ pub struct RankLink<'a> {
     send_targets: &'a [usize],
     senders_to_me: &'a [usize],
     dead: Vec<bool>,
+    /// A reshape request raised by a [`DeathRule::Reshape`] send failure,
+    /// consumed by the drive loop via [`RankLink::take_reshape`].
+    pending_reshape: Option<ReshapeReason>,
+    /// Latest observed per-rank step times in microseconds (0 = unknown),
+    /// fed by [`Message::SpeedReport`] on rank 0.
+    speeds: Vec<u64>,
 }
 
 impl<'a> RankLink<'a> {
@@ -601,6 +812,8 @@ impl<'a> RankLink<'a> {
             send_targets,
             senders_to_me,
             dead: vec![false; world],
+            pending_reshape: None,
+            speeds: vec![0; world],
         }
     }
 
@@ -643,10 +856,67 @@ impl<'a> RankLink<'a> {
                             self.rank
                         )))
                     }
+                    DeathRule::Reshape => {
+                        self.raise_reshape(ReshapeReason::RankDeath(to));
+                        Ok(())
+                    }
                 }
             }
             Err(e) => Err(CoreError::Comm(e)),
         }
+    }
+
+    /// Records a reshape request and announces it to the surviving peers
+    /// (best effort, first request wins).
+    fn raise_reshape(&mut self, reason: ReshapeReason) {
+        if self.pending_reshape.is_some() {
+            return;
+        }
+        self.pending_reshape = Some(reason);
+        let note = Message::Reshape {
+            from: self.rank,
+            dead_rank: match reason {
+                ReshapeReason::RankDeath(r) => Some(r),
+                ReshapeReason::SpeedDrift => None,
+            },
+        };
+        for to in 0..self.world {
+            if to != self.rank && !self.dead[to] {
+                if let Err(CommError::Disconnected { .. }) =
+                    self.transport.send(self.rank, to, note.clone())
+                {
+                    self.dead[to] = true;
+                }
+            }
+        }
+    }
+
+    /// Consumes a pending reshape request raised by a failed send or a
+    /// liveness probe under [`DeathRule::Reshape`].
+    pub fn take_reshape(&mut self) -> Option<ReshapeReason> {
+        self.pending_reshape.take()
+    }
+
+    /// Records an observed step time for `rank` (rank 0's rebalancing input).
+    pub fn note_speed(&mut self, rank: usize, step_micros: u64) {
+        if rank < self.speeds.len() {
+            self.speeds[rank] = step_micros;
+        }
+    }
+
+    /// Latest observed per-rank step times in microseconds (0 = unknown).
+    pub fn observed_speeds(&self) -> &[u64] {
+        &self.speeds
+    }
+
+    /// Number of peers observed dead so far.
+    pub fn dead_count(&self) -> usize {
+        self.dead.iter().filter(|&&d| d).count()
+    }
+
+    /// The ranks observed dead so far.
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.world).filter(|&r| self.dead[r]).collect()
     }
 
     /// Fans `msg` out to every send target.
@@ -675,12 +945,15 @@ impl<'a> RankLink<'a> {
     }
 
     /// Probes every live peer with a heartbeat; a disconnected peer triggers
-    /// the halt-and-abort failure response.
-    fn probe_liveness(&mut self) -> Result<(), CoreError> {
+    /// the failure response of `rule` (halt-and-abort for lockstep
+    /// [`FailurePolicy::HaltOnDeath`], a pending reshape for
+    /// [`FailurePolicy::Redistribute`], silent marking for the free-running
+    /// tolerate-then-verify path).
+    fn probe_liveness(&mut self, rule: DeathRule) -> Result<(), CoreError> {
         for to in 0..self.world {
             if to != self.rank && !self.dead[to] {
                 let probe = Message::Heartbeat { from: self.rank };
-                self.send_ruled(to, probe, DeathRule::Halt)?;
+                self.send_ruled(to, probe, rule)?;
             }
         }
         Ok(())
@@ -1193,21 +1466,31 @@ impl ProgressPolicy for Lockstep {
                             engine.ingest(msg);
                         }
                     }
-                    None => {
-                        if matches!(msg, Message::Heartbeat { .. }) {
-                            continue;
+                    None => match msg {
+                        Message::Heartbeat { .. } => continue,
+                        Message::Reshape { dead_rank, .. } => {
+                            return Ok(Flow::Reshape(match dead_rank {
+                                Some(r) => ReshapeReason::RankDeath(r),
+                                None => ReshapeReason::SpeedDrift,
+                            }));
                         }
-                        match conv.observe(&msg, link)? {
+                        Message::SpeedReport {
+                            from, step_micros, ..
+                        } => link.note_speed(from, step_micros),
+                        msg => match conv.observe(&msg, link)? {
                             Flow::Continue => {}
                             flow => return Ok(flow),
-                        }
-                    }
+                        },
+                    },
                 },
                 Err(CommError::Timeout { .. }) => {
-                    if let FailurePolicy::HaltOnDeath { heartbeat } = self.failure {
+                    if let Some(heartbeat) = self.failure.heartbeat() {
                         if last_probe.elapsed() >= heartbeat {
                             last_probe = Instant::now();
-                            link.probe_liveness()?;
+                            link.probe_liveness(self.failure.death_rule())?;
+                            if let Some(reason) = link.take_reshape() {
+                                return Ok(Flow::Reshape(reason));
+                            }
                         }
                     }
                 }
@@ -1221,32 +1504,52 @@ impl ProgressPolicy for Lockstep {
 /// Free-running progress: drain whatever has arrived before each step, and
 /// back off briefly when locally stable with nothing new (AIAC style — slow
 /// links delay *data freshness* instead of blocking the computation).
+///
+/// A dead peer is detected *between* sweeps too: every `heartbeat` interval
+/// of the failure policy the peers are probed, and any death observed (by a
+/// probe or by a tolerated data send) is verified with a `DEATH_GRACE`
+/// drain — a peer that exited because the run converged has a
+/// [`Message::GlobalConverged`] queued or in flight, which wins.  Only a
+/// death with no convergence notice behind it triggers the failure response,
+/// so async-mode rank death no longer spins until budget exhaustion.
 pub struct FreeRunning {
     idle_backoff: Duration,
+    failure: FailurePolicy,
+    last_probe: Instant,
+    /// Deaths already adjudicated (index = rank), plus a count for a cheap
+    /// nothing-new early-out in the per-iteration check.
+    reported_dead: Vec<bool>,
+    reported_count: usize,
 }
 
 impl FreeRunning {
-    /// Builds the policy with the default idle backoff.
-    pub fn new() -> Self {
+    /// Builds the policy with the default idle backoff and the given failure
+    /// response for detected peer deaths.
+    pub fn new(failure: FailurePolicy) -> Self {
         FreeRunning {
             idle_backoff: IDLE_BACKOFF,
+            failure,
+            last_probe: Instant::now(),
+            reported_dead: Vec::new(),
+            reported_count: 0,
         }
     }
 }
 
 impl Default for FreeRunning {
     fn default() -> Self {
-        Self::new()
+        Self::new(FailurePolicy::default())
     }
 }
 
 impl FreeRunning {
-    /// A halt racing a convergence broadcast: keep draining briefly so a
-    /// queued or in-flight [`Message::GlobalConverged`] wins over the halt —
-    /// this is what makes halt handling race-free when a converged peer has
-    /// already exited.
-    fn drain_for_converged(link: &mut RankLink) -> Flow {
-        let deadline = Instant::now() + HALT_GRACE;
+    /// A halt or death racing a convergence or reshape broadcast: keep
+    /// draining briefly so a queued or in-flight [`Message::GlobalConverged`]
+    /// (or a peer's [`Message::Reshape`], which names the rank that
+    /// *actually* died) wins — this is what keeps halt handling race-free
+    /// when a converged or reshaping peer has already exited.
+    fn drain_for_converged(link: &mut RankLink, grace: Duration) -> Flow {
+        let deadline = Instant::now() + grace;
         loop {
             let now = Instant::now();
             if now >= deadline {
@@ -1254,8 +1557,66 @@ impl FreeRunning {
             }
             match link.recv_timeout(deadline - now) {
                 Ok(Message::GlobalConverged { .. }) => return Flow::Converged,
+                Ok(Message::Reshape { dead_rank, .. }) => {
+                    return Flow::Reshape(match dead_rank {
+                        Some(r) => ReshapeReason::RankDeath(r),
+                        None => ReshapeReason::SpeedDrift,
+                    })
+                }
                 Ok(_) => continue,
                 Err(_) => return Flow::Halted,
+            }
+        }
+    }
+
+    /// Adjudicates peers newly observed dead (by a probe or a tolerated
+    /// send): a racing convergence notice wins, otherwise the failure policy
+    /// decides between halting the run and requesting a reshape.
+    /// [`FailurePolicy::FailFast`] keeps the historical free-running
+    /// behavior of tolerating exits silently.
+    fn handle_new_deaths(&mut self, link: &mut RankLink) -> Result<Flow, CoreError> {
+        if link.dead_count() == self.reported_count {
+            return Ok(Flow::Continue);
+        }
+        if self.reported_dead.len() != link.world() {
+            self.reported_dead = vec![false; link.world()];
+        }
+        let newly: Vec<usize> = link
+            .dead_ranks()
+            .into_iter()
+            .filter(|&r| !self.reported_dead[r])
+            .collect();
+        for &r in &newly {
+            self.reported_dead[r] = true;
+            self.reported_count += 1;
+        }
+        let Some(&first) = newly.first() else {
+            return Ok(Flow::Continue);
+        };
+        match Self::drain_for_converged(link, DEATH_GRACE) {
+            Flow::Converged => return Ok(Flow::Converged),
+            // A peer already adjudicated this death and told us who it was —
+            // its notice beats our own guess, which may name a survivor that
+            // merely exited first while reshaping.
+            Flow::Reshape(reason) => return Ok(Flow::Reshape(reason)),
+            _ => {}
+        }
+        match self.failure {
+            FailurePolicy::FailFast => Ok(Flow::Continue),
+            FailurePolicy::HaltOnDeath { .. } => {
+                link.broadcast_halt();
+                Err(CoreError::Distributed(format!(
+                    "rank {}: peer rank {first} disconnected mid-solve with no convergence \
+                     notice in flight; halted the run",
+                    link.rank()
+                )))
+            }
+            FailurePolicy::Redistribute { .. } => {
+                let reason = ReshapeReason::RankDeath(first);
+                // Tell the survivors who died before exiting, so they report
+                // the same reason instead of blaming this rank's own exit.
+                link.raise_reshape(reason);
+                Ok(Flow::Reshape(reason))
             }
         }
     }
@@ -1273,11 +1634,25 @@ impl ProgressPolicy for FreeRunning {
                 Ok(Some(msg)) => {
                     if data_meta(&msg).is_some() {
                         engine.ingest(msg);
-                    } else if !matches!(msg, Message::Heartbeat { .. }) {
-                        match conv.observe(&msg, link)? {
-                            Flow::Continue => {}
-                            Flow::Halted => return Ok(Self::drain_for_converged(link)),
-                            flow => return Ok(flow),
+                    } else {
+                        match msg {
+                            Message::Heartbeat { .. } => {}
+                            Message::Reshape { dead_rank, .. } => {
+                                return Ok(Flow::Reshape(match dead_rank {
+                                    Some(r) => ReshapeReason::RankDeath(r),
+                                    None => ReshapeReason::SpeedDrift,
+                                }));
+                            }
+                            Message::SpeedReport {
+                                from, step_micros, ..
+                            } => link.note_speed(from, step_micros),
+                            msg => match conv.observe(&msg, link)? {
+                                Flow::Continue => {}
+                                Flow::Halted => {
+                                    return Ok(Self::drain_for_converged(link, HALT_GRACE))
+                                }
+                                flow => return Ok(flow),
+                            },
                         }
                     }
                 }
@@ -1290,7 +1665,7 @@ impl ProgressPolicy for FreeRunning {
     fn exchange(
         &mut self,
         _engine: &mut RankEngine,
-        _link: &mut RankLink,
+        link: &mut RankLink,
         _conv: &mut dyn ConvergencePolicy,
         obs: &StepObservation,
         vote: bool,
@@ -1300,7 +1675,16 @@ impl ProgressPolicy for FreeRunning {
             // of flooding the network with identical slices.
             std::thread::sleep(self.idle_backoff);
         }
-        Ok(Flow::Continue)
+        let Some(heartbeat) = self.failure.heartbeat() else {
+            return Ok(Flow::Continue);
+        };
+        if self.last_probe.elapsed() >= heartbeat {
+            self.last_probe = Instant::now();
+            // Probe under Tolerate: a closed peer is only *marked* here; the
+            // adjudication below decides whether the death is benign.
+            link.probe_liveness(DeathRule::Tolerate)?;
+        }
+        self.handle_new_deaths(link)
     }
 }
 
@@ -1324,17 +1708,19 @@ pub fn lockstep_policies(
 }
 
 /// The free-running policy stack of the asynchronous adapters (threaded and
-/// distributed).
+/// distributed).  `failure` decides what a heartbeat-detected peer death
+/// does: halt the run, request a reshape, or (historically) tolerate it.
 pub fn free_running_policies(
     rank: usize,
     world: usize,
     tolerance: f64,
     confirmations: u64,
+    failure: FailurePolicy,
 ) -> (IncrementVote, ConfirmationWaves, FreeRunning) {
     (
         IncrementVote::free_running(tolerance),
         ConfirmationWaves::new(rank, world, confirmations),
-        FreeRunning::new(),
+        FreeRunning::new(failure),
     )
 }
 
@@ -1351,6 +1737,61 @@ pub struct RankRun {
     pub last_increment: f64,
     /// Whether global convergence was reached.
     pub converged: bool,
+    /// Set when the run stopped to let the launcher re-partition the bands
+    /// (rank death under [`FailurePolicy::Redistribute`] or speed drift).
+    pub reshape: Option<ReshapeReason>,
+}
+
+/// Per-rank step-speed observer: keeps an exponential moving average of the
+/// outer-iteration wall time, periodically reports it to rank 0
+/// ([`Message::SpeedReport`]), and — on rank 0 — requests a reshape when the
+/// slowest rank's step time exceeds the fastest's by more than
+/// `drift_threshold` (the online-rebalancing hook; the check runs at
+/// checkpoint boundaries so the repartitioned job resumes from fresh
+/// snapshots).
+pub struct SpeedHook {
+    /// Reporting period in outer iterations.
+    pub report_every: u64,
+    /// Max/min step-time ratio above which rank 0 requests a reshape
+    /// (values ≤ 1 disable the drift check; reporting still happens).
+    pub drift_threshold: f64,
+    ema_micros: f64,
+}
+
+impl SpeedHook {
+    /// Builds the hook with the given reporting period and drift threshold.
+    pub fn new(report_every: u64, drift_threshold: f64) -> Self {
+        SpeedHook {
+            report_every: report_every.max(1),
+            drift_threshold,
+            ema_micros: 0.0,
+        }
+    }
+
+    /// Folds one observed step time into the moving average.
+    fn observe(&mut self, micros: f64) {
+        self.ema_micros = if self.ema_micros == 0.0 {
+            micros
+        } else {
+            0.8 * self.ema_micros + 0.2 * micros
+        };
+    }
+
+    /// The smoothed step time in whole microseconds (at least 1).
+    fn smoothed_micros(&self) -> u64 {
+        self.ema_micros.max(1.0) as u64
+    }
+}
+
+/// Optional instrumentation of the drive loop: periodic snapshots and
+/// speed-drift rebalancing.  [`DriveHooks::default`] is a no-op, which is
+/// what the plain [`drive`] entry uses.
+#[derive(Default)]
+pub struct DriveHooks {
+    /// Periodic snapshot writer (see [`crate::checkpoint`]).
+    pub checkpoint: Option<crate::checkpoint::Checkpointer>,
+    /// Step-speed reporting and drift-triggered rebalancing.
+    pub speed: Option<SpeedHook>,
 }
 
 /// Pumps messages between the transport and the engine until convergence,
@@ -1365,13 +1806,90 @@ pub fn drive(
     progress: &mut dyn ProgressPolicy,
     max_iterations: u64,
 ) -> Result<RankRun, CoreError> {
-    let result = drive_inner(engine, link, vote, conv, progress, max_iterations);
+    drive_with_hooks(
+        engine,
+        link,
+        vote,
+        conv,
+        progress,
+        max_iterations,
+        &mut DriveHooks::default(),
+    )
+}
+
+/// [`drive`] with checkpoint/rebalance instrumentation — the entry the
+/// distributed runtime uses when [`crate::distributed::RankOptions`] enables
+/// checkpointing or online rebalancing.
+pub fn drive_with_hooks(
+    engine: &mut RankEngine,
+    link: &mut RankLink,
+    vote: &mut dyn LocalVote,
+    conv: &mut dyn ConvergencePolicy,
+    progress: &mut dyn ProgressPolicy,
+    max_iterations: u64,
+    hooks: &mut DriveHooks,
+) -> Result<RankRun, CoreError> {
+    let result = drive_inner(engine, link, vote, conv, progress, max_iterations, hooks);
     if result.is_err() {
         link.broadcast_halt();
     }
     result
 }
 
+/// Runs the post-exchange hook block of one iteration: speed bookkeeping,
+/// the periodic checkpoint, and rank 0's drift check.  Returns a reshape
+/// reason when the drift check fires.
+fn run_iteration_hooks(
+    engine: &RankEngine,
+    link: &mut RankLink,
+    vote: &dyn LocalVote,
+    hooks: &mut DriveHooks,
+    iteration: u64,
+    step_micros: f64,
+) -> Result<Option<ReshapeReason>, CoreError> {
+    let mut at_boundary = hooks.checkpoint.is_none();
+    if let Some(ck) = &hooks.checkpoint {
+        at_boundary = ck.maybe_save(engine, vote.checkpoint_state(), iteration)?;
+    }
+    let Some(speed) = hooks.speed.as_mut() else {
+        return Ok(None);
+    };
+    speed.observe(step_micros);
+    if iteration.is_multiple_of(speed.report_every) {
+        let micros = speed.smoothed_micros();
+        link.note_speed(link.rank(), micros);
+        if link.rank() != 0 {
+            link.send_ruled(
+                0,
+                Message::SpeedReport {
+                    from: link.rank(),
+                    iteration,
+                    step_micros: micros,
+                },
+                DeathRule::Tolerate,
+            )?;
+        }
+    }
+    // Drift check: rank 0 only, at a checkpoint boundary (or any reporting
+    // boundary when checkpointing is off), once every rank has reported.
+    if link.rank() == 0
+        && at_boundary
+        && iteration.is_multiple_of(speed.report_every)
+        && speed.drift_threshold > 1.0
+    {
+        let speeds = link.observed_speeds();
+        if speeds.iter().all(|&s| s > 0) {
+            let max = speeds.iter().copied().max().unwrap_or(1) as f64;
+            let min = speeds.iter().copied().min().unwrap_or(1).max(1) as f64;
+            if max / min > speed.drift_threshold {
+                link.raise_reshape(ReshapeReason::SpeedDrift);
+            }
+        }
+    }
+    Ok(link.take_reshape())
+}
+
+#[allow(clippy::too_many_arguments)]
 fn drive_inner(
     engine: &mut RankEngine,
     link: &mut RankLink,
@@ -1379,8 +1897,10 @@ fn drive_inner(
     conv: &mut dyn ConvergencePolicy,
     progress: &mut dyn ProgressPolicy,
     max_iterations: u64,
+    hooks: &mut DriveHooks,
 ) -> Result<RankRun, CoreError> {
     let mut converged = false;
+    let mut reshape = None;
     let mut last_increment = f64::INFINITY;
     'outer: while engine.iterations() < max_iterations {
         // (0) intake (free-running drains here; lockstep ingested everything
@@ -1392,9 +1912,15 @@ fn drive_inner(
                 break 'outer;
             }
             Flow::Halted => break 'outer,
+            Flow::Reshape(reason) => {
+                reshape = Some(reason);
+                break 'outer;
+            }
         }
         // (1)+(2) dependency fill and local solve
+        let t_step = Instant::now();
         let obs = engine.step()?;
+        let step_micros = t_step.elapsed().as_secs_f64() * 1e6;
         last_increment = vote.effective_increment(&obs);
         // (3) send the slice to every dependent processor
         link.fan_out(engine.outgoing(), conv.death_rule())?;
@@ -1407,6 +1933,10 @@ fn drive_inner(
                 break 'outer;
             }
             Flow::Halted => break 'outer,
+            Flow::Reshape(reason) => {
+                reshape = Some(reason);
+                break 'outer;
+            }
         }
         match progress.exchange(engine, link, conv, &obs, local)? {
             Flow::Continue => {}
@@ -1415,9 +1945,22 @@ fn drive_inner(
                 break 'outer;
             }
             Flow::Halted => break 'outer,
+            Flow::Reshape(reason) => {
+                reshape = Some(reason);
+                break 'outer;
+            }
+        }
+        // (5) instrumentation: checkpoint at the boundary (the halo now
+        // holds every slice of this iteration), report speeds, check drift,
+        // and honor any reshape raised by a tolerated send failure.
+        if let Some(reason) =
+            run_iteration_hooks(engine, link, vote, hooks, obs.iteration, step_micros)?
+        {
+            reshape = Some(reason);
+            break 'outer;
         }
     }
-    if !converged && engine.iterations() >= max_iterations {
+    if !converged && reshape.is_none() && engine.iterations() >= max_iterations {
         // A convergence notice may already be queued: the coordinator can
         // declare global convergence while this rank finishes its last
         // budgeted iteration.  Drain once more before telling everyone to
@@ -1425,13 +1968,22 @@ fn drive_inner(
         match progress.collect(engine, link, conv)? {
             Flow::Converged => converged = true,
             Flow::Halted => {}
+            Flow::Reshape(reason) => reshape = Some(reason),
             Flow::Continue => conv.abandon(link),
+        }
+    }
+    if reshape.is_some() && !converged {
+        // Persist the freshest possible state for the post-reshape warm
+        // start (best effort — the periodic snapshot remains the fallback).
+        if let Some(ck) = &hooks.checkpoint {
+            let _ = ck.save_now(engine, vote.checkpoint_state());
         }
     }
     Ok(RankRun {
         iterations: engine.iterations(),
         last_increment,
         converged,
+        reshape,
     })
 }
 
@@ -1664,6 +2216,7 @@ fn free_running_worker(
         link.world(),
         config.tolerance,
         config.async_confirmations,
+        FailurePolicy::default(),
     );
     let run = drive(
         &mut engine,

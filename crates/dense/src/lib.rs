@@ -20,6 +20,15 @@
 //! All kernels operate on `f64`.  They are written for clarity first, with
 //! cache-friendly loop orders and optional [`rayon`]-based parallelism for the
 //! larger kernels (`gemm`, blocked LU updates).
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! `msplit-core` (`crates/core/src/lib.rs`), these kernels sit inside the
+//! per-rank step: the `RankEngine` pays one [`lu::DenseLu`] or
+//! [`band::BandLu`] factorization per band at preparation time, then two
+//! [`triangular`] sweeps per outer iteration — the factorize-once economics
+//! the paper is built on.
 
 pub mod band;
 pub mod lu;

@@ -16,6 +16,16 @@
 //! * [`stats`] — fill-in, flop and memory accounting.  The memory estimates
 //!   drive the grid model's "not enough memory" verdicts (Table 3 of the
 //!   paper) and the factorization-time columns of Tables 1–3.
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! `msplit-core` (`crates/core/src/lib.rs`), a boxed
+//! [`api::Factorization`] is the compute half of each `RankEngine` step:
+//! factorized once at preparation time (and once more after a resume or an
+//! elastic reshape — snapshots deliberately exclude LU factors, see
+//! `docs/checkpoint-format.md`), then reused for two triangular solves per
+//! outer iteration.
 
 pub mod api;
 pub mod gplu;

@@ -57,6 +57,15 @@
 //! assert_eq!(report.factorizations, 1);
 //! assert_eq!(report.cache_hits, 1);
 //! ```
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! [`msplit_core`] (see the diagram in `crates/core/src/lib.rs`), this crate
+//! sits *above* the adapters: it owns prepared systems and dispatches jobs
+//! onto the threaded drivers ([`msplit_core::runtime`]), amortizing the
+//! factorize-once cost across requests the same way the elastic launcher
+//! amortizes it across reshapes.
 
 pub mod cache;
 pub mod engine;

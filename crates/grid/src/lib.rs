@@ -17,6 +17,16 @@
 //! and CPU costs ([`network`], [`perf`]), provides a discrete-event scheduler
 //! ([`event`]) used by the performance replay in `msplit-core`, and records
 //! per-processor timelines ([`trace`]).
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! `msplit-core` (`crates/core/src/lib.rs`), this crate is the environment
+//! model around the runtime: link delays from [`network`] are replayed onto
+//! live transports, [`cluster`] speed profiles size the bands
+//! heterogeneously, and [`perf::speeds_from_step_times`] converts observed
+//! per-rank step times back into splitting weights when the online
+//! rebalancing hook of `docs/fault-tolerance.md` triggers a reshape.
 
 pub mod cluster;
 pub mod event;

@@ -24,6 +24,15 @@
 //!   `DepRight`, overlap expansion),
 //! * [`io`] — MatrixMarket import/export so real collection matrices can be
 //!   dropped in when available.
+//!
+//! # Place in the runtime architecture
+//!
+//! In the engine/policy/adapter architecture documented at the top of
+//! `msplit-core` (`crates/core/src/lib.rs`), this crate feeds the engine
+//! its inputs: [`partition`] defines the band split every rank re-derives
+//! deterministically, and [`CsrMatrix::fingerprint`] is the identity that
+//! pins TCP handshakes, job directories and checkpoint snapshots
+//! (`docs/checkpoint-format.md`) to one exact system.
 
 pub mod builder;
 pub mod coo;

@@ -3,6 +3,7 @@
 //! compared against the in-process drivers on the identical system.
 
 use multisplitting::core::launcher::{GridSpec, Launcher, LauncherConfig, LinkDelaySpec};
+use multisplitting::core::{FailurePolicy, ReshapeReason};
 use multisplitting::prelude::*;
 use multisplitting::sparse::generators::{self, DiagDominantConfig};
 use std::path::PathBuf;
@@ -106,6 +107,88 @@ fn distributed_budget_exhaustion_reports_non_convergence() {
     let outcome = launcher(None).solve(&a, &b, &cfg).unwrap();
     assert!(!outcome.converged);
     assert!(outcome.iterations() <= 5);
+}
+
+#[test]
+fn killed_worker_job_resumes_bitwise_from_checkpoints() {
+    // The tentpole e2e: a 4-process synchronous job whose rank 1 dies
+    // (SIGABRT via the MSPLIT_DIE_AT drill — indistinguishable from a
+    // kill -9 to everyone else) once its snapshots pass iteration 10.  The
+    // survivors detect the death and fail the job; resuming from the
+    // highest common snapshot must land on *bitwise* the same solution as
+    // an uninterrupted run, because lockstep iterates are deterministic.
+    let a = generators::spectral_radius_targeted(200, 0.9);
+    let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 13) as f64) - 6.0);
+    let cfg = config(4, ExecutionMode::Synchronous);
+
+    let root = std::env::temp_dir().join(format!("msplit-kill-resume-{}", std::process::id()));
+    std::fs::create_dir_all(&root).unwrap();
+
+    let killed = Launcher::new(LauncherConfig {
+        worker_binary: Some(worker_bin()),
+        timeout: Duration::from_secs(120),
+        job_root: Some(root.clone()),
+        keep_job_dir: true,
+        checkpoint_every: 5,
+        failure: FailurePolicy::HaltOnDeath {
+            heartbeat: Duration::from_millis(200),
+        },
+        worker_env: vec![("MSPLIT_DIE_AT".into(), "1:10".into())],
+        ..Default::default()
+    });
+    let interrupted = killed.solve(&a, &b, &cfg);
+    assert!(interrupted.is_err(), "the armed worker should have died");
+
+    // The kept job directory (snapshots included) is the resume point.
+    let job_dir = std::fs::read_dir(&root)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .find(|p| p.is_dir())
+        .expect("job directory was kept");
+
+    let clean = launcher(None);
+    let resumed = clean.resume(&job_dir).unwrap();
+    assert!(resumed.converged, "resumed run did not converge");
+
+    let full = clean.solve(&a, &b, &cfg).unwrap();
+    assert!(full.converged);
+    assert_eq!(resumed.x, full.x, "resumed solution must match bitwise");
+    assert_eq!(resumed.iterations(), full.iterations());
+
+    std::fs::remove_dir_all(&root).ok();
+}
+
+#[test]
+fn elastic_solve_redistributes_bands_after_a_rank_death() {
+    // Three workers under FailurePolicy::Redistribute; rank 2 dies
+    // mid-solve.  The survivors request a reshape, the launcher salvages
+    // the freshest iterate (published slices + the dead rank's snapshot),
+    // re-partitions over two bands and resubmits warm-started — and the
+    // shrunken world still converges to the configured tolerance.
+    let a = generators::spectral_radius_targeted(150, 0.99);
+    let (_, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+    let mut cfg = config(3, ExecutionMode::Asynchronous);
+    cfg.tolerance = 1e-8;
+
+    let elastic = Launcher::new(LauncherConfig {
+        worker_binary: Some(worker_bin()),
+        timeout: Duration::from_secs(120),
+        checkpoint_every: 5,
+        failure: FailurePolicy::Redistribute {
+            heartbeat: Duration::from_millis(200),
+        },
+        worker_env: vec![("MSPLIT_DIE_AT".into(), "2:8".into())],
+        ..Default::default()
+    });
+    let outcome = elastic.solve_elastic(&a, &b, &cfg, 2).unwrap();
+    assert!(outcome.outcome.converged, "shrunken world did not converge");
+    assert_eq!(outcome.final_parts, 2, "one band per surviving worker");
+    assert_eq!(outcome.reshapes, vec![ReshapeReason::RankDeath(2)]);
+    assert!(
+        outcome.outcome.residual(&a, &b) < 1e-6,
+        "residual {} too large",
+        outcome.outcome.residual(&a, &b)
+    );
 }
 
 #[test]

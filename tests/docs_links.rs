@@ -1,0 +1,184 @@
+//! Doc lint: the prose in `docs/` and `README.md` references real code.
+//!
+//! Documentation rots in two ways: a backticked file path outlives the file
+//! it names, or a backticked `msplit_x::ident` outlives the identifier.
+//! Both are cheap to catch mechanically, so CI fails on either — see the
+//! doc-lint step of the `distributed-smoke` lane.
+
+use std::path::{Path, PathBuf};
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+}
+
+/// Every markdown page the lint covers: `README.md` plus all of `docs/`.
+fn doc_pages() -> Vec<PathBuf> {
+    let root = repo_root();
+    let mut pages = vec![root.join("README.md")];
+    let mut docs: Vec<PathBuf> = std::fs::read_dir(root.join("docs"))
+        .expect("docs/ directory exists")
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "md"))
+        .collect();
+    docs.sort();
+    assert!(!docs.is_empty(), "docs/ contains no markdown pages");
+    pages.extend(docs);
+    pages
+}
+
+/// Inline code spans of a markdown page.  Splitting on backticks makes the
+/// odd-numbered fragments the spans; fenced blocks come out as multi-line
+/// fragments, which the per-check filters below reject anyway.
+fn code_spans(text: &str) -> Vec<String> {
+    text.split('`')
+        .enumerate()
+        .filter(|(i, _)| i % 2 == 1)
+        .map(|(_, s)| s.to_string())
+        .collect()
+}
+
+/// Whether a code span claims to be a repo-relative file path (as opposed to
+/// a bare file name like `job.cfg`, a placeholder like `ckpt_r<rank>...`, or
+/// a code fragment).
+fn looks_like_repo_path(span: &str) -> bool {
+    const EXTENSIONS: [&str; 8] = [
+        ".rs", ".md", ".toml", ".yml", ".yaml", ".cfg", ".sh", ".json",
+    ];
+    span.contains('/')
+        && !span.starts_with('/')
+        && !span.contains("://")
+        && !span.contains(char::is_whitespace)
+        && !span.contains(['<', '(', '*'])
+        && EXTENSIONS.iter().any(|e| span.ends_with(e))
+}
+
+#[test]
+fn referenced_paths_exist() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for page in doc_pages() {
+        let text = std::fs::read_to_string(&page).unwrap();
+        for span in code_spans(&text) {
+            if looks_like_repo_path(&span) && !root.join(&span).exists() {
+                broken.push(format!("{}: `{span}`", page.display()));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "documentation references missing files:\n{}",
+        broken.join("\n")
+    );
+}
+
+/// All `.rs` files under `dir`, recursively.
+fn rust_sources(dir: &Path, out: &mut Vec<PathBuf>) {
+    for entry in std::fs::read_dir(dir).unwrap() {
+        let path = entry.unwrap().path();
+        if path.is_dir() {
+            rust_sources(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// `needle` appears in `haystack` delimited by non-identifier characters.
+fn contains_ident(haystack: &str, needle: &str) -> bool {
+    let is_ident = |c: char| c.is_alphanumeric() || c == '_';
+    haystack.match_indices(needle).any(|(at, _)| {
+        let before_ok = !haystack[..at].chars().next_back().is_some_and(is_ident);
+        let after_ok = !haystack[at + needle.len()..]
+            .chars()
+            .next()
+            .is_some_and(is_ident);
+        before_ok && after_ok
+    })
+}
+
+#[test]
+fn crate_qualified_identifiers_exist() {
+    let root = repo_root();
+    let mut broken = Vec::new();
+    for page in doc_pages() {
+        let text = std::fs::read_to_string(&page).unwrap();
+        for span in code_spans(&text) {
+            // A reference like `msplit_core::runtime::FailurePolicy` (or a
+            // fn path, possibly with a trailing call or type suffix).
+            let Some(rest) = span.strip_prefix("msplit_") else {
+                continue;
+            };
+            let Some((crate_name, path)) = rest.split_once("::") else {
+                continue;
+            };
+            if !crate_name.chars().all(|c| c.is_ascii_lowercase()) {
+                continue;
+            }
+            let src = root.join("crates").join(crate_name).join("src");
+            if !src.is_dir() {
+                broken.push(format!(
+                    "{}: `{span}` names unknown crate msplit-{crate_name}",
+                    page.display()
+                ));
+                continue;
+            }
+            let leaf: String = path
+                .rsplit("::")
+                .next()
+                .unwrap()
+                .chars()
+                .take_while(|c| c.is_alphanumeric() || *c == '_')
+                .collect();
+            if leaf.is_empty() {
+                continue;
+            }
+            let mut sources = Vec::new();
+            rust_sources(&src, &mut sources);
+            let found = sources
+                .iter()
+                .any(|file| contains_ident(&std::fs::read_to_string(file).unwrap(), &leaf));
+            if !found {
+                broken.push(format!(
+                    "{}: `{span}` — `{leaf}` not found under {}",
+                    page.display(),
+                    src.display()
+                ));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "documentation references missing identifiers:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn ops_docs_cover_the_fault_tolerance_surface() {
+    // The two ops pages must keep describing the knobs the code exposes;
+    // renaming a policy or a config key without updating the docs fails here.
+    let docs = repo_root().join("docs");
+    let ft = std::fs::read_to_string(docs.join("fault-tolerance.md")).unwrap();
+    for required in [
+        "FailFast",
+        "HaltOnDeath",
+        "Redistribute",
+        "checkpoint_every",
+        "--resume-at",
+        "MSPLIT_DIE_AT",
+        "max_common_iteration",
+        "RebalanceConfig",
+    ] {
+        assert!(
+            ft.contains(required),
+            "docs/fault-tolerance.md no longer mentions {required}"
+        );
+    }
+    let fmt = std::fs::read_to_string(docs.join("checkpoint-format.md")).unwrap();
+    for required in ["MSPLTCKP", "FNV-1a", "little-endian", "KEEP_CHECKPOINTS"] {
+        assert!(
+            fmt.contains(required),
+            "docs/checkpoint-format.md no longer mentions {required}"
+        );
+    }
+}
