@@ -5,8 +5,11 @@
 //! cold-vs-warm `PreparedSystem::solve_many` serving) plus the **transport**
 //! layer (in-process vs TCP-loopback message round-trip latency, and the
 //! bytes each synchronous outer iteration puts on the links, from
-//! `LinkStats`), and writes the results as a small JSON document so
-//! successive PRs accumulate a perf trajectory.
+//! `LinkStats`), the driver-dispatch overhead, and the **serving** fleet
+//! (cold vs warm vs coalesced request throughput through a live
+//! `msplit-serve` shard, with queue-latency percentiles), and writes the
+//! results as a small JSON document so successive PRs accumulate a perf
+//! trajectory.
 //!
 //! Usage:
 //!
@@ -23,6 +26,8 @@ use msplit_core::solver::{ExecutionMode, MultisplittingConfig};
 use msplit_core::{Decomposition, MultisplittingSolver, PreparedSystem, WeightingScheme};
 use msplit_dense::{BandLu, DenseLu};
 use msplit_direct::{SolveScratch, SolverKind};
+use msplit_engine::EngineConfig;
+use msplit_serve::{ClientOptions, ServeClient, ServeConfig, SolveServer};
 use msplit_sparse::generators;
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -33,6 +38,12 @@ use std::time::Instant;
 /// 2 %, plus a small absolute slack absorbing timer noise on µs-scale steps.
 const MAX_DISPATCH_OVERHEAD_PCT: f64 = 2.0;
 const DISPATCH_SLACK_US: f64 = 0.5;
+
+/// Serving acceptance gate: warm coalesced throughput must beat cold
+/// (factorize-per-request) throughput by at least this factor.  Cold pays a
+/// factorization per request; warm coalesced pays one cached triangular
+/// sweep per *batch*, so well below 3x means coalescing or the cache broke.
+const MIN_COALESCED_OVER_COLD: f64 = 3.0;
 
 /// Best-of-`reps` wall-clock milliseconds for `f`.
 fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
@@ -193,6 +204,152 @@ fn driver_dispatch_overhead(n: usize, steps_per_rep: usize, reps: usize) -> Driv
         inlined_us: inlined_ms * 1e3 / steps_per_rep as f64,
         engine_us: engine_ms * 1e3 / steps_per_rep as f64,
     }
+}
+
+/// One row of the serving table (the networked fleet in `msplit-serve`).
+struct ServingRecord {
+    name: &'static str,
+    value: f64,
+    unit: &'static str,
+}
+
+/// Measures the solve fleet three ways against one in-process shard: cold
+/// requests (distinct matrices, each paying a factorization), warm solo
+/// requests (same matrix, strictly sequential, so nothing coalesces), and
+/// warm coalesced requests (concurrent clients on the same matrix sharing
+/// multi-RHS sweeps).  Queue-latency percentiles come from the
+/// `queue_micros` every `SolveResult` carries.
+fn serving_table(check_mode: bool) -> (Vec<ServingRecord>, f64, f64) {
+    let n = if check_mode { 200 } else { 600 };
+    let cold_matrices = if check_mode { 3u64 } else { 6 };
+    let warm_reqs = if check_mode { 10 } else { 40 };
+    let (threads, solves_per_thread) = if check_mode { (8, 4) } else { (16, 8) };
+
+    let config = MultisplittingConfig {
+        parts: 2,
+        tolerance: 1e-8,
+        ..Default::default()
+    };
+    let server = SolveServer::start(
+        "127.0.0.1:0",
+        ServeConfig {
+            coalesce_window: std::time::Duration::from_millis(2),
+            engine: EngineConfig {
+                workers: 2,
+                ..EngineConfig::default()
+            },
+            ..ServeConfig::default()
+        },
+    )
+    .expect("start serving shard");
+    let addrs = vec![server.local_addr().to_string()];
+    let client = ServeClient::new(&addrs, ClientOptions::default()).expect("serve client");
+
+    // Cold: every request is a matrix the shard has never seen, so each one
+    // pays decode + factorize + solve.
+    let t0 = Instant::now();
+    for seed in 0..cold_matrices {
+        let a = generators::diag_dominant(&generators::DiagDominantConfig {
+            n,
+            seed: 1000 + seed,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 7) as f64) - 3.0);
+        client.solve(&a, &config, &b).expect("cold solve");
+    }
+    let cold_rps = cold_matrices as f64 / t0.elapsed().as_secs_f64();
+
+    // Warm solo: one matrix, strictly sequential requests — the cache is hot
+    // but each request still waits out its own coalescing window.
+    let a = generators::diag_dominant(&generators::DiagDominantConfig {
+        n,
+        seed: 2000,
+        ..Default::default()
+    });
+    let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 5) as f64) - 2.0);
+    client.solve(&a, &config, &b).expect("warming solve");
+    let t0 = Instant::now();
+    for _ in 0..warm_reqs {
+        client.solve(&a, &config, &b).expect("warm solve");
+    }
+    let warm_solo_rps = warm_reqs as f64 / t0.elapsed().as_secs_f64();
+
+    // Warm coalesced: concurrent clients hammering the same matrix, so
+    // requests landing in the same window share one multi-RHS sweep.
+    let a = std::sync::Arc::new(a);
+    let config = std::sync::Arc::new(config);
+    let addrs = std::sync::Arc::new(addrs);
+    let t0 = Instant::now();
+    let workers: Vec<_> = (0..threads)
+        .map(|t| {
+            let a = std::sync::Arc::clone(&a);
+            let config = std::sync::Arc::clone(&config);
+            let addrs = std::sync::Arc::clone(&addrs);
+            std::thread::spawn(move || {
+                let client =
+                    ServeClient::new(&addrs, ClientOptions::default()).expect("tenant client");
+                let mut queue_us = Vec::with_capacity(solves_per_thread);
+                let mut coalesced = 0u64;
+                for k in 0..solves_per_thread {
+                    let (_, b) = generators::rhs_for_solution(&a, move |i| {
+                        ((i + t * solves_per_thread + k) % 6) as f64
+                    });
+                    let sol = client.solve(&a, &config, &b).expect("coalesced solve");
+                    queue_us.push(sol.queue_micros);
+                    if sol.coalesced > 1 {
+                        coalesced += 1;
+                    }
+                }
+                (queue_us, coalesced)
+            })
+        })
+        .collect();
+    let mut queue_us: Vec<u64> = Vec::new();
+    let mut coalesced_requests = 0u64;
+    for w in workers {
+        let (q, c) = w.join().expect("tenant thread");
+        queue_us.extend(q);
+        coalesced_requests += c;
+    }
+    let total = (threads * solves_per_thread) as f64;
+    let warm_coalesced_rps = total / t0.elapsed().as_secs_f64();
+    server.shutdown();
+
+    queue_us.sort_unstable();
+    let pct = |p: f64| queue_us[((queue_us.len() - 1) as f64 * p) as usize] as f64;
+    let records = vec![
+        ServingRecord {
+            name: "cold_requests_per_s",
+            value: cold_rps,
+            unit: "req/s",
+        },
+        ServingRecord {
+            name: "warm_solo_requests_per_s",
+            value: warm_solo_rps,
+            unit: "req/s",
+        },
+        ServingRecord {
+            name: "warm_coalesced_requests_per_s",
+            value: warm_coalesced_rps,
+            unit: "req/s",
+        },
+        ServingRecord {
+            name: "coalesced_request_share",
+            value: coalesced_requests as f64 / total,
+            unit: "fraction",
+        },
+        ServingRecord {
+            name: "queue_latency_p50",
+            value: pct(0.50),
+            unit: "us",
+        },
+        ServingRecord {
+            name: "queue_latency_p99",
+            value: pct(0.99),
+            unit: "us",
+        },
+    ];
+    (records, cold_rps, warm_coalesced_rps)
 }
 
 /// Mean microseconds per message round trip between ranks 0 and 1 of
@@ -420,6 +577,9 @@ fn main() {
         engine_us: e2e_ms * 1e3 / e2e_iters as f64,
     };
 
+    // --- Serving: the networked fleet, cold vs warm vs coalesced. ---
+    let (serving_records, cold_rps, coalesced_rps) = serving_table(check_mode);
+
     // --- Report. ---
     let mut json = String::new();
     json.push_str("{\n  \"suite\": \"kernel_suite\",\n  \"unit\": \"ms (best of reps)\",\n");
@@ -470,6 +630,19 @@ fn main() {
         "    {{\"name\": \"{}\", \"n\": {}, \"inlined_us_per_iteration\": null, \"engine_us_per_iteration\": {:.3}, \"overhead_pct\": null}}",
         e2e_record.name, e2e_record.n, e2e_record.engine_us
     );
+    json.push_str("  ],\n  \"serving\": [\n");
+    for (i, s) in serving_records.iter().enumerate() {
+        let comma = if i + 1 == serving_records.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"name\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{}",
+            s.name, s.value, s.unit, comma
+        );
+    }
     json.push_str("  ]\n}\n");
 
     println!("{json}");
@@ -516,6 +689,28 @@ fn main() {
         println!(
             "# driver dispatch within budget: {:.3} <= {:.3} us/iter",
             dispatch.engine_us, budget_us
+        );
+    }
+    println!(
+        "# serving: cold {cold_rps:.1} req/s, coalesced {coalesced_rps:.1} req/s \
+         ({:.1}x); queue p50/p99 in the serving table",
+        coalesced_rps / cold_rps
+    );
+    // The serving acceptance gate: a multi-tenant fleet only earns its keep
+    // if coalesced warm traffic beats factorize-per-request cold traffic by
+    // a wide margin.
+    if coalesced_rps < MIN_COALESCED_OVER_COLD * cold_rps {
+        eprintln!(
+            "# FAIL: warm coalesced throughput {coalesced_rps:.1} req/s is below \
+             {MIN_COALESCED_OVER_COLD}x cold ({cold_rps:.1} req/s)"
+        );
+        if check_mode {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "# serving within budget: {coalesced_rps:.1} >= {:.1} req/s",
+            MIN_COALESCED_OVER_COLD * cold_rps
         );
     }
 

@@ -44,7 +44,7 @@ pub mod wire;
 
 pub use communicator::{CommGroup, Communicator};
 pub use convergence::{ConvergenceBoard, LocalConvergence, ResidualTracker};
-pub use message::Message;
+pub use message::{Message, RejectCode};
 pub use tcp::{BoundTcpTransport, LinkDelay, LoopbackMesh, TcpOptions, TcpTransport};
 pub use transport::{DelayedTransport, InProcTransport, LinkStats, Transport};
 

@@ -89,6 +89,126 @@ pub enum Message {
         /// Smoothed wall time of one outer iteration, in microseconds.
         step_micros: u64,
     },
+    /// A client's solve request to a serve node (the serve-protocol frames
+    /// reuse this codec and framing; a serve connection is distinguished by a
+    /// handshake with `world_size == 0`).  The matrix and configuration
+    /// travel as opaque byte blobs encoded by the serve layer so the wire
+    /// crate stays independent of the solver crates.
+    SubmitSolve {
+        /// Client-chosen identifier echoed in the response; unique per
+        /// connection.
+        request_id: u64,
+        /// Matrix fingerprint; shard routing and cache lookups key on it.
+        fingerprint: u64,
+        /// Scheduling priority lane (0 = highest), mirroring the engine's
+        /// priority lanes.
+        priority: u8,
+        /// Queue deadline in microseconds (0 = none): if the request cannot
+        /// start within this budget the server rejects instead of solving.
+        queue_deadline_micros: u64,
+        /// Opaque solver configuration (serve-layer codec).
+        config: Vec<u8>,
+        /// Opaque matrix encoding (serve-layer codec).  Empty when the
+        /// client only wants the factorization warmed or believes the
+        /// server already holds the matrix.
+        matrix: Vec<u8>,
+        /// The right-hand side.  Empty marks a cache-warming request: the
+        /// server prepares (or confirms) the factorization and replies with
+        /// an empty solution.
+        rhs: Vec<f64>,
+    },
+    /// A successful solve (or warm) response.
+    SolveResult {
+        /// Echo of the request identifier.
+        request_id: u64,
+        /// Outer iterations the solve took (0 for a warm-only request).
+        iterations: u64,
+        /// Number of requests served by the sweep that produced this answer
+        /// (1 = solo, >1 = coalesced batch).
+        coalesced: u64,
+        /// Microseconds the request waited before its solve started.
+        queue_micros: u64,
+        /// The solution vector (empty for a warm-only request).
+        x: Vec<f64>,
+    },
+    /// A load-shed or failure response.
+    Reject {
+        /// Echo of the request identifier.
+        request_id: u64,
+        /// Why the request was rejected (see [`RejectCode`]).
+        code: RejectCode,
+        /// Suggested microseconds to wait before retrying (0 = no hint;
+        /// meaningful for [`RejectCode::QueueFull`] and
+        /// [`RejectCode::DeadlineExpired`]).
+        retry_after_micros: u64,
+        /// Human-readable detail.
+        detail: String,
+    },
+    /// A client's request for a stats snapshot.
+    StatsQuery,
+    /// Snapshot of a serve node's counters, answering [`Message::StatsQuery`].
+    ServerStats {
+        /// Shard index of the responding node.
+        shard: u64,
+        /// Requests answered with a [`Message::SolveResult`].
+        completed: u64,
+        /// Requests answered with a [`Message::Reject`].
+        rejected: u64,
+        /// Requests that shared a coalesced sweep with at least one other
+        /// request.
+        coalesced: u64,
+        /// Coalesced sweeps executed.
+        batches: u64,
+        /// Prepared systems evicted from the factorization cache.
+        cache_evictions: u64,
+        /// Cache lookups that parked behind an in-flight preparation.
+        single_flight_waits: u64,
+        /// Total microseconds parked behind in-flight preparations.
+        single_flight_wait_micros: u64,
+        /// Current queue depth per priority lane, highest priority first.
+        queue_depths: [u64; 3],
+    },
+}
+
+/// Typed reason carried by [`Message::Reject`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RejectCode {
+    /// The priority lane (or the whole queue) is at its admission limit;
+    /// retry after the hinted backoff.
+    QueueFull,
+    /// The request's queue deadline expired before a worker could start it.
+    DeadlineExpired,
+    /// The node is shutting down; retry against another shard.
+    ShuttingDown,
+    /// The request was malformed (bad matrix/config encoding, fingerprint
+    /// mismatch, unknown matrix).  Retrying will not help.
+    Invalid,
+}
+
+impl RejectCode {
+    fn to_u8(self) -> u8 {
+        match self {
+            RejectCode::QueueFull => 0,
+            RejectCode::DeadlineExpired => 1,
+            RejectCode::ShuttingDown => 2,
+            RejectCode::Invalid => 3,
+        }
+    }
+
+    fn from_u8(raw: u8) -> Result<Self, CommError> {
+        Ok(match raw {
+            0 => RejectCode::QueueFull,
+            1 => RejectCode::DeadlineExpired,
+            2 => RejectCode::ShuttingDown,
+            3 => RejectCode::Invalid,
+            other => return Err(CommError::Codec(format!("unknown reject code {other}"))),
+        })
+    }
+
+    /// Whether retrying the same request (possibly elsewhere) can succeed.
+    pub fn is_retryable(self) -> bool {
+        !matches!(self, RejectCode::Invalid)
+    }
 }
 
 const TAG_SOLUTION: u8 = 1;
@@ -99,9 +219,50 @@ const TAG_SOLUTION_BATCH: u8 = 5;
 const TAG_HEARTBEAT: u8 = 6;
 const TAG_RESHAPE: u8 = 7;
 const TAG_SPEED_REPORT: u8 = 8;
+const TAG_SUBMIT_SOLVE: u8 = 9;
+const TAG_SOLVE_RESULT: u8 = 10;
+const TAG_REJECT: u8 = 11;
+const TAG_STATS_QUERY: u8 = 12;
+const TAG_SERVER_STATS: u8 = 13;
 
 /// `dead_rank` sentinel for a speed-drift reshape (no dead rank).
 const NO_DEAD_RANK: u64 = u64::MAX;
+
+/// Reads a `u64`-length-prefixed byte blob, rejecting lengths beyond the
+/// remaining buffer so a corrupted header cannot trigger a huge allocation.
+fn get_blob(data: &mut Bytes, what: &str) -> Result<Vec<u8>, CommError> {
+    if data.remaining() < 8 {
+        return Err(CommError::Codec(format!("truncated {what} length")));
+    }
+    let len = data.get_u64_le() as usize;
+    if data.remaining() < len {
+        return Err(CommError::Codec(format!(
+            "truncated {what}: expected {len} bytes"
+        )));
+    }
+    let mut out = vec![0u8; len];
+    data.copy_to_slice(&mut out);
+    Ok(out)
+}
+
+/// Reads a `u64`-length-prefixed vector of little-endian `f64`s.
+fn get_f64s(data: &mut Bytes, what: &str) -> Result<Vec<f64>, CommError> {
+    if data.remaining() < 8 {
+        return Err(CommError::Codec(format!("truncated {what} length")));
+    }
+    let len = data.get_u64_le() as usize;
+    // `remaining / 8` (not `8 * len`) so a corrupted length cannot overflow.
+    if data.remaining() / 8 < len {
+        return Err(CommError::Codec(format!(
+            "truncated {what}: expected {len} values"
+        )));
+    }
+    let mut out = Vec::with_capacity(len);
+    for _ in 0..len {
+        out.push(data.get_f64_le());
+    }
+    Ok(out)
+}
 
 impl Message {
     /// The rank that produced the message, when it carries one.
@@ -132,6 +293,16 @@ impl Message {
             Message::Heartbeat { .. } => 1 + 8,
             Message::Reshape { .. } => 1 + 8 + 8,
             Message::SpeedReport { .. } => 1 + 8 + 8 + 8,
+            Message::SubmitSolve {
+                config,
+                matrix,
+                rhs,
+                ..
+            } => 1 + 8 + 8 + 1 + 8 + (8 + config.len()) + (8 + matrix.len()) + (8 + 8 * rhs.len()),
+            Message::SolveResult { x, .. } => 1 + 8 + 8 + 8 + 8 + 8 + 8 * x.len(),
+            Message::Reject { detail, .. } => 1 + 8 + 1 + 8 + 8 + detail.len(),
+            Message::StatsQuery => 1,
+            Message::ServerStats { .. } => 1 + 8 * 8 + 8 * 3,
         }
     }
 
@@ -207,6 +378,86 @@ impl Message {
                 buf.put_u64_le(*from as u64);
                 buf.put_u64_le(*iteration);
                 buf.put_u64_le(*step_micros);
+            }
+            Message::SubmitSolve {
+                request_id,
+                fingerprint,
+                priority,
+                queue_deadline_micros,
+                config,
+                matrix,
+                rhs,
+            } => {
+                buf.put_u8(TAG_SUBMIT_SOLVE);
+                buf.put_u64_le(*request_id);
+                buf.put_u64_le(*fingerprint);
+                buf.put_u8(*priority);
+                buf.put_u64_le(*queue_deadline_micros);
+                buf.put_u64_le(config.len() as u64);
+                buf.put_slice(config);
+                buf.put_u64_le(matrix.len() as u64);
+                buf.put_slice(matrix);
+                buf.put_u64_le(rhs.len() as u64);
+                for v in rhs {
+                    buf.put_f64_le(*v);
+                }
+            }
+            Message::SolveResult {
+                request_id,
+                iterations,
+                coalesced,
+                queue_micros,
+                x,
+            } => {
+                buf.put_u8(TAG_SOLVE_RESULT);
+                buf.put_u64_le(*request_id);
+                buf.put_u64_le(*iterations);
+                buf.put_u64_le(*coalesced);
+                buf.put_u64_le(*queue_micros);
+                buf.put_u64_le(x.len() as u64);
+                for v in x {
+                    buf.put_f64_le(*v);
+                }
+            }
+            Message::Reject {
+                request_id,
+                code,
+                retry_after_micros,
+                detail,
+            } => {
+                buf.put_u8(TAG_REJECT);
+                buf.put_u64_le(*request_id);
+                buf.put_u8(code.to_u8());
+                buf.put_u64_le(*retry_after_micros);
+                buf.put_u64_le(detail.len() as u64);
+                buf.put_slice(detail.as_bytes());
+            }
+            Message::StatsQuery => {
+                buf.put_u8(TAG_STATS_QUERY);
+            }
+            Message::ServerStats {
+                shard,
+                completed,
+                rejected,
+                coalesced,
+                batches,
+                cache_evictions,
+                single_flight_waits,
+                single_flight_wait_micros,
+                queue_depths,
+            } => {
+                buf.put_u8(TAG_SERVER_STATS);
+                buf.put_u64_le(*shard);
+                buf.put_u64_le(*completed);
+                buf.put_u64_le(*rejected);
+                buf.put_u64_le(*coalesced);
+                buf.put_u64_le(*batches);
+                buf.put_u64_le(*cache_evictions);
+                buf.put_u64_le(*single_flight_waits);
+                buf.put_u64_le(*single_flight_wait_micros);
+                for d in queue_depths {
+                    buf.put_u64_le(*d);
+                }
             }
         }
         buf.freeze()
@@ -326,6 +577,78 @@ impl Message {
                     from: data.get_u64_le() as usize,
                     iteration: data.get_u64_le(),
                     step_micros: data.get_u64_le(),
+                })
+            }
+            TAG_SUBMIT_SOLVE => {
+                if data.remaining() < 25 {
+                    return Err(CommError::Codec("truncated submit header".to_string()));
+                }
+                let request_id = data.get_u64_le();
+                let fingerprint = data.get_u64_le();
+                let priority = data.get_u8();
+                let queue_deadline_micros = data.get_u64_le();
+                let config = get_blob(&mut data, "submit config")?;
+                let matrix = get_blob(&mut data, "submit matrix")?;
+                let rhs = get_f64s(&mut data, "submit rhs")?;
+                Ok(Message::SubmitSolve {
+                    request_id,
+                    fingerprint,
+                    priority,
+                    queue_deadline_micros,
+                    config,
+                    matrix,
+                    rhs,
+                })
+            }
+            TAG_SOLVE_RESULT => {
+                if data.remaining() < 32 {
+                    return Err(CommError::Codec("truncated result header".to_string()));
+                }
+                let request_id = data.get_u64_le();
+                let iterations = data.get_u64_le();
+                let coalesced = data.get_u64_le();
+                let queue_micros = data.get_u64_le();
+                let x = get_f64s(&mut data, "result solution")?;
+                Ok(Message::SolveResult {
+                    request_id,
+                    iterations,
+                    coalesced,
+                    queue_micros,
+                    x,
+                })
+            }
+            TAG_REJECT => {
+                if data.remaining() < 17 {
+                    return Err(CommError::Codec("truncated reject header".to_string()));
+                }
+                let request_id = data.get_u64_le();
+                let code = RejectCode::from_u8(data.get_u8())?;
+                let retry_after_micros = data.get_u64_le();
+                let raw = get_blob(&mut data, "reject detail")?;
+                let detail = String::from_utf8(raw)
+                    .map_err(|_| CommError::Codec("reject detail is not UTF-8".to_string()))?;
+                Ok(Message::Reject {
+                    request_id,
+                    code,
+                    retry_after_micros,
+                    detail,
+                })
+            }
+            TAG_STATS_QUERY => Ok(Message::StatsQuery),
+            TAG_SERVER_STATS => {
+                if data.remaining() < 8 * 8 + 8 * 3 {
+                    return Err(CommError::Codec("truncated server stats".to_string()));
+                }
+                Ok(Message::ServerStats {
+                    shard: data.get_u64_le(),
+                    completed: data.get_u64_le(),
+                    rejected: data.get_u64_le(),
+                    coalesced: data.get_u64_le(),
+                    batches: data.get_u64_le(),
+                    cache_evictions: data.get_u64_le(),
+                    single_flight_waits: data.get_u64_le(),
+                    single_flight_wait_micros: data.get_u64_le(),
+                    queue_depths: [data.get_u64_le(), data.get_u64_le(), data.get_u64_le()],
                 })
             }
             other => Err(CommError::Codec(format!("unknown message tag {other}"))),
@@ -480,6 +803,132 @@ mod tests {
             values: vec![0.0; 1000],
         };
         assert_eq!(large.encoded_len() - small.encoded_len(), 8 * 990);
+    }
+
+    fn sample_serve_messages() -> Vec<Message> {
+        vec![
+            Message::SubmitSolve {
+                request_id: 7,
+                fingerprint: 0xDEAD_BEEF,
+                priority: 1,
+                queue_deadline_micros: 250_000,
+                config: vec![1, 2, 3, 4],
+                matrix: vec![9; 33],
+                rhs: vec![1.0, -0.5, 1e-12],
+            },
+            Message::SubmitSolve {
+                request_id: 8,
+                fingerprint: 1,
+                priority: 0,
+                queue_deadline_micros: 0,
+                config: Vec::new(),
+                matrix: Vec::new(),
+                rhs: Vec::new(),
+            },
+            Message::SolveResult {
+                request_id: 7,
+                iterations: 41,
+                coalesced: 6,
+                queue_micros: 1_234,
+                x: vec![0.25, 0.5, -3.0],
+            },
+            Message::Reject {
+                request_id: 9,
+                code: RejectCode::QueueFull,
+                retry_after_micros: 50_000,
+                detail: "high lane at its admission limit".to_string(),
+            },
+            Message::Reject {
+                request_id: 10,
+                code: RejectCode::Invalid,
+                retry_after_micros: 0,
+                detail: String::new(),
+            },
+            Message::StatsQuery,
+            Message::ServerStats {
+                shard: 2,
+                completed: 100,
+                rejected: 3,
+                coalesced: 48,
+                batches: 9,
+                cache_evictions: 1,
+                single_flight_waits: 5,
+                single_flight_wait_micros: 42_000,
+                queue_depths: [1, 4, 0],
+            },
+        ]
+    }
+
+    #[test]
+    fn serve_messages_round_trip() {
+        for msg in sample_serve_messages() {
+            let encoded = msg.encode();
+            assert_eq!(encoded.len(), msg.encoded_len(), "{msg:?}");
+            assert_eq!(Message::decode(encoded).unwrap(), msg);
+            assert_eq!(msg.sender(), None, "serve frames carry no mesh rank");
+        }
+    }
+
+    #[test]
+    fn serve_messages_reject_every_truncation() {
+        for msg in sample_serve_messages() {
+            let encoded = msg.encode();
+            for cut in 1..encoded.len() {
+                assert!(
+                    matches!(
+                        Message::decode(encoded.slice(0..cut)),
+                        Err(CommError::Codec(_))
+                    ),
+                    "{msg:?} cut at {cut} should fail"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_serve_lengths_do_not_allocate() {
+        // A submit whose config length claims u64::MAX must fail cleanly.
+        let mut buf = BytesMut::with_capacity(64);
+        buf.put_u8(TAG_SUBMIT_SOLVE);
+        buf.put_u64_le(1); // request_id
+        buf.put_u64_le(2); // fingerprint
+        buf.put_u8(0); // priority
+        buf.put_u64_le(0); // deadline
+        buf.put_u64_le(u64::MAX); // absurd config length
+        assert!(matches!(
+            Message::decode(buf.freeze()),
+            Err(CommError::Codec(_))
+        ));
+
+        let mut result = BytesMut::with_capacity(64);
+        result.put_u8(TAG_SOLVE_RESULT);
+        result.put_u64_le(1);
+        result.put_u64_le(2);
+        result.put_u64_le(3);
+        result.put_u64_le(4);
+        result.put_u64_le(u64::MAX); // absurd solution length
+        assert!(matches!(
+            Message::decode(result.freeze()),
+            Err(CommError::Codec(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_reject_codes_are_codec_errors() {
+        let msg = Message::Reject {
+            request_id: 1,
+            code: RejectCode::ShuttingDown,
+            retry_after_micros: 0,
+            detail: "x".to_string(),
+        };
+        let mut raw = msg.encode().as_ref().to_vec();
+        raw[9] = 99; // the code byte follows tag + request_id
+        assert!(matches!(
+            Message::decode(Bytes::from(raw)),
+            Err(CommError::Codec(_))
+        ));
+        assert!(RejectCode::QueueFull.is_retryable());
+        assert!(!RejectCode::Invalid.is_retryable());
     }
 
     #[test]

@@ -61,7 +61,17 @@ fn message_iteration(msg: &Message) -> u64 {
         | Message::ConvergenceVote { iteration, .. }
         | Message::GlobalConverged { iteration }
         | Message::SpeedReport { iteration, .. } => *iteration,
-        Message::Halt | Message::Heartbeat { .. } | Message::Reshape { .. } => 0,
+        // Serve-protocol frames have no iteration; the envelope slot carries
+        // the request id instead so a packet trace can pair a response with
+        // its request without decoding bodies.
+        Message::SubmitSolve { request_id, .. }
+        | Message::SolveResult { request_id, .. }
+        | Message::Reject { request_id, .. } => *request_id,
+        Message::Halt
+        | Message::Heartbeat { .. }
+        | Message::Reshape { .. }
+        | Message::StatsQuery
+        | Message::ServerStats { .. } => 0,
     }
 }
 

@@ -208,6 +208,7 @@ pub fn run_rank(
         speed: options
             .rebalance
             .map(|r| SpeedHook::new(r.report_every, r.drift_threshold)),
+        columns: None,
     };
     let mut link = RankLink::new(transport.as_ref(), rank, send_targets, senders_to_me);
     let run = match config.mode {

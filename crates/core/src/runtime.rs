@@ -160,6 +160,12 @@ pub struct RankEngine<'a> {
     fresh_since_step: bool,
     iterations: u64,
     last_increment: f64,
+    /// Per-column increment norms of the most recent batch step (empty in
+    /// single shape) — what a solo run of that column would have observed.
+    col_increments: Vec<f64>,
+    /// Per-column dependency movement of the most recent batch step (empty
+    /// in single shape).
+    col_dep_changes: Vec<f64>,
     recorder: Option<EventLog>,
 }
 
@@ -191,6 +197,8 @@ impl<'a> RankEngine<'a> {
             fresh_since_step: false,
             iterations: 0,
             last_increment: f64::INFINITY,
+            col_increments: Vec::new(),
+            col_dep_changes: Vec::new(),
             recorder: None,
         }
     }
@@ -228,6 +236,8 @@ impl<'a> RankEngine<'a> {
             fresh_since_step: false,
             iterations: 0,
             last_increment: f64::INFINITY,
+            col_increments: vec![f64::INFINITY; ncols],
+            col_dep_changes: vec![0.0; ncols],
             recorder: None,
         }
     }
@@ -335,11 +345,19 @@ impl<'a> RankEngine<'a> {
                     self.neighbors.iter().enumerate().zip(x_globals.iter_mut())
                 {
                     neighbor.fill_dependencies(x_global);
+                    // Track dependency movement per column as well as the
+                    // batch-wide maximum: a solo run of column `c` observes
+                    // only its own dependency values, and the per-column
+                    // convergence bits ([`ColumnTracker`]) must reproduce
+                    // that observation exactly.
+                    let mut col_dep = 0.0f64;
                     for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
                         let prev = &mut self.prev_deps[c * self.dep_cols_per_neighbor + slot];
-                        dep_change = dep_change.max((x_global[g] - *prev).abs());
+                        col_dep = col_dep.max((x_global[g] - *prev).abs());
                         *prev = x_global[g];
                     }
+                    self.col_dep_changes[c] = col_dep;
+                    dep_change = dep_change.max(col_dep);
                 }
                 for (x_global, (rhs, b_col)) in x_globals
                     .iter()
@@ -348,11 +366,10 @@ impl<'a> RankEngine<'a> {
                     self.blk.local_rhs_into(b_col, x_global, rhs)?;
                 }
                 self.factor.solve_many_into(rhs_cols, scratch)?;
-                self.last_increment = rhs_cols
-                    .iter()
-                    .zip(x_cols.iter())
-                    .map(|(n, o)| increment_norm(n, o))
-                    .fold(0.0f64, f64::max);
+                for (c, (n, o)) in rhs_cols.iter().zip(x_cols.iter()).enumerate() {
+                    self.col_increments[c] = increment_norm(n, o);
+                }
+                self.last_increment = self.col_increments.iter().copied().fold(0.0f64, f64::max);
                 for (xc, rc) in x_cols.iter_mut().zip(rhs_cols.iter()) {
                     xc.copy_from_slice(rc);
                 }
@@ -408,6 +425,21 @@ impl<'a> RankEngine<'a> {
     /// The current local iterate columns (batch shape).
     pub fn x_columns(&self) -> &[Vec<f64>] {
         &self.ws.x_cols
+    }
+
+    /// Per-column increment norms of the most recent batch step — entry `c`
+    /// is exactly what a solo [`RankEngine::single`] run of column `c` would
+    /// have reported as [`StepObservation::increment`].  Empty in single
+    /// shape.
+    pub fn column_increments(&self) -> &[f64] {
+        &self.col_increments
+    }
+
+    /// Per-column dependency movement of the most recent batch step — entry
+    /// `c` is exactly what a solo run of column `c` would have reported as
+    /// [`StepObservation::dep_change`].  Empty in single shape.
+    pub fn column_dep_changes(&self) -> &[f64] {
+        &self.col_dep_changes
     }
 
     /// Replays a recorded transition sequence onto this (freshly prepared)
@@ -1783,6 +1815,180 @@ impl SpeedHook {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Per-column convergence tracking (batch shape)
+// ---------------------------------------------------------------------------
+
+/// Shared per-column convergence board of one batched lockstep solve.
+///
+/// A batch runs every column to *global* convergence of the whole batch,
+/// which over-iterates the columns that stabilized first — their final
+/// iterates are "more converged" than a solo run of the same right-hand side
+/// and therefore not bitwise-identical to it.  The board fixes that: every
+/// rank posts, per iteration, one bit per column saying whether that column
+/// alone would have voted "converged" under the exact lockstep voting rule
+/// ([`StaleSweepGuard`] over [`IncrementVote::lockstep`]), and each rank
+/// freezes its local slice of a column at the first iteration whose AND over
+/// all ranks' bits is true — the precise iteration a solo lockstep run of
+/// that column would have stopped at.  Because the columns of a lockstep
+/// batch iterate independently (the batched triangular solve is per-column
+/// arithmetic-identical to the single solve), the frozen slices assemble to
+/// a solution **bitwise equal** to the solo solve of that right-hand side.
+///
+/// Completeness of a row at sweep time comes from the vote protocol itself:
+/// a rank posts its bits for iteration `k` *before* its vote for `k` is
+/// sent ([`LockstepVotes::submit`]), and a rank only sweeps row `k` after
+/// the lockstep decision for `k` resolved — which required every rank's
+/// vote, hence every rank's post.
+pub struct ColumnBoard {
+    state: std::sync::Mutex<ColumnBoardState>,
+}
+
+struct ColumnBoardState {
+    world: usize,
+    ncols: usize,
+    /// Per-iteration AND-aggregated bits plus bookkeeping, pruned once every
+    /// rank has swept the row (at most two rows are ever live in lockstep).
+    rows: std::collections::HashMap<u64, ColumnRow>,
+}
+
+struct ColumnRow {
+    /// AND over the posted ranks' per-column bits.
+    all_converged: Vec<bool>,
+    posted: usize,
+    swept: usize,
+}
+
+impl ColumnBoard {
+    /// Creates a board for `world` ranks and `ncols` batch columns.
+    pub fn new(world: usize, ncols: usize) -> Arc<Self> {
+        Arc::new(ColumnBoard {
+            state: std::sync::Mutex::new(ColumnBoardState {
+                world,
+                ncols,
+                rows: std::collections::HashMap::new(),
+            }),
+        })
+    }
+
+    /// Posts one rank's per-column convergence bits for `iteration`.
+    fn post(&self, iteration: u64, bits: &[bool]) {
+        let mut state = self.state.lock().expect("column board poisoned");
+        let ncols = state.ncols;
+        debug_assert_eq!(bits.len(), ncols);
+        let row = state.rows.entry(iteration).or_insert_with(|| ColumnRow {
+            all_converged: vec![true; ncols],
+            posted: 0,
+            swept: 0,
+        });
+        for (agg, &bit) in row.all_converged.iter_mut().zip(bits) {
+            *agg &= bit;
+        }
+        row.posted += 1;
+    }
+
+    /// Reads the AND row for `iteration` if every rank has posted it, and
+    /// counts the caller as having swept it (rows are pruned once swept by
+    /// all ranks).  Returns `None` for an incomplete row — only possible
+    /// when the run is aborting mid-iteration.
+    fn sweep(&self, iteration: u64) -> Option<Vec<bool>> {
+        let mut state = self.state.lock().expect("column board poisoned");
+        let world = state.world;
+        let row = state.rows.get_mut(&iteration)?;
+        if row.posted < world {
+            return None;
+        }
+        debug_assert_eq!(row.posted, world);
+        let bits = row.all_converged.clone();
+        row.swept += 1;
+        if row.swept == world {
+            state.rows.remove(&iteration);
+        }
+        Some(bits)
+    }
+}
+
+/// Per-rank side of the [`ColumnBoard`] protocol, installed through
+/// [`DriveHooks::columns`] by the batched lockstep worker.
+///
+/// After each step it derives one solo-equivalent convergence bit per column
+/// — the [`StaleSweepGuard`] predicate evaluated on that column's own
+/// increment and dependency movement ([`RankEngine::column_increments`] /
+/// [`RankEngine::column_dep_changes`]) — and posts them; after each lockstep
+/// decision it sweeps the completed row and freezes newly all-converged
+/// columns at the current local iterate.
+pub struct ColumnTracker {
+    board: Arc<ColumnBoard>,
+    tolerance: f64,
+    /// Scratch bits, one per column.
+    bits: Vec<bool>,
+    /// Per column: the iteration a solo run would have stopped at, and this
+    /// rank's local iterate at that iteration.  `None` until the column's
+    /// AND row first comes up all-true.
+    frozen: Vec<Option<(u64, Vec<f64>)>>,
+}
+
+impl ColumnTracker {
+    /// Builds the tracker for one rank of a `ncols`-column batch.
+    pub fn new(board: Arc<ColumnBoard>, tolerance: f64, ncols: usize) -> Self {
+        ColumnTracker {
+            board,
+            tolerance,
+            bits: vec![false; ncols],
+            frozen: vec![None; ncols],
+        }
+    }
+
+    /// Posts this rank's per-column convergence bits for the step just
+    /// observed.  Must run before the rank's lockstep vote is submitted.
+    fn post(&mut self, engine: &RankEngine, obs: &StepObservation) {
+        let incs = engine.column_increments();
+        let deps = engine.column_dep_changes();
+        let fresh_ok = obs.fresh_data || !obs.needs_fresh_data;
+        for (bit, (&inc, &dep)) in self.bits.iter_mut().zip(incs.iter().zip(deps)) {
+            // Exactly StaleSweepGuard<IncrementVote::lockstep>: a window-1
+            // ResidualTracker verdict on the increment, vetoed unless the
+            // column's dependencies held still and the sweep saw fresh data.
+            *bit = inc <= self.tolerance && dep <= self.tolerance && fresh_ok;
+        }
+        self.board.post(obs.iteration, &self.bits);
+    }
+
+    /// Sweeps the completed row for `iteration`: any column whose AND bit is
+    /// true for the first time freezes at this rank's current local iterate.
+    fn sweep(&mut self, engine: &RankEngine, iteration: u64) {
+        let Some(all) = self.board.sweep(iteration) else {
+            return;
+        };
+        for (c, slot) in self.frozen.iter_mut().enumerate() {
+            if all[c] && slot.is_none() {
+                *slot = Some((iteration, engine.x_columns()[c].clone()));
+            }
+        }
+    }
+
+    /// Consumes the tracker into per-column results: the frozen local
+    /// iterate (or `live` for a column that never converged solo) and the
+    /// solo stopping iteration per column.
+    pub fn into_columns(self, live: &[Vec<f64>]) -> (Vec<Vec<f64>>, Vec<Option<u64>>) {
+        let mut columns = Vec::with_capacity(live.len());
+        let mut converged_at = Vec::with_capacity(live.len());
+        for (c, slot) in self.frozen.into_iter().enumerate() {
+            match slot {
+                Some((iteration, x)) => {
+                    columns.push(x);
+                    converged_at.push(Some(iteration));
+                }
+                None => {
+                    columns.push(live[c].clone());
+                    converged_at.push(None);
+                }
+            }
+        }
+        (columns, converged_at)
+    }
+}
+
 /// Optional instrumentation of the drive loop: periodic snapshots and
 /// speed-drift rebalancing.  [`DriveHooks::default`] is a no-op, which is
 /// what the plain [`drive`] entry uses.
@@ -1792,6 +1998,9 @@ pub struct DriveHooks {
     pub checkpoint: Option<crate::checkpoint::Checkpointer>,
     /// Step-speed reporting and drift-triggered rebalancing.
     pub speed: Option<SpeedHook>,
+    /// Per-column convergence tracking of a batched lockstep solve (see
+    /// [`ColumnTracker`]); `None` everywhere else.
+    pub columns: Option<ColumnTracker>,
 }
 
 /// Pumps messages between the transport and the engine until convergence,
@@ -1922,6 +2131,11 @@ fn drive_inner(
         let obs = engine.step()?;
         let step_micros = t_step.elapsed().as_secs_f64() * 1e6;
         last_increment = vote.effective_increment(&obs);
+        // Per-column bits must be on the board before this rank's vote for
+        // the iteration can reach the coordinator (see [`ColumnBoard`]).
+        if let Some(tracker) = hooks.columns.as_mut() {
+            tracker.post(engine, &obs);
+        }
         // (3) send the slice to every dependent processor
         link.fan_out(engine.outgoing(), conv.death_rule())?;
         // (4) vote and agree on global convergence
@@ -1938,7 +2152,17 @@ fn drive_inner(
                 break 'outer;
             }
         }
-        match progress.exchange(engine, link, conv, &obs, local)? {
+        let exchange_flow = progress.exchange(engine, link, conv, &obs, local)?;
+        // The lockstep decision for this iteration is resolved: the row of
+        // per-column bits is complete on every rank, so newly all-converged
+        // columns freeze at the iterate a solo run would have returned.
+        // (Halted/Reshape abort mid-wait with a possibly incomplete row.)
+        if matches!(exchange_flow, Flow::Continue | Flow::Converged) {
+            if let Some(tracker) = hooks.columns.as_mut() {
+                tracker.sweep(engine, obs.iteration);
+            }
+        }
+        match exchange_flow {
             Flow::Continue => {}
             Flow::Converged => {
                 converged = true;
@@ -2021,6 +2245,10 @@ pub(crate) struct WorkerOutput {
 struct BatchWorkerOutput {
     part: usize,
     x_columns: Vec<Vec<f64>>,
+    /// Per column: the iteration a solo run of that right-hand side would
+    /// have stopped at (`None` when it never converged on its own; see
+    /// [`ColumnTracker`]).  Identical across parts by construction.
+    column_converged_at: Vec<Option<u64>>,
     iterations: u64,
     last_increment: f64,
     converged: bool,
@@ -2377,6 +2605,7 @@ fn lockstep_batch_worker(
     config: &MultisplittingConfig,
     transport: &dyn Transport,
     ws: &mut IterationWorkspace,
+    board: &Arc<ColumnBoard>,
 ) -> Result<BatchWorkerOutput, CoreError> {
     let t0 = Instant::now();
     let ncols = b_cols.len();
@@ -2390,13 +2619,22 @@ fn lockstep_batch_worker(
         THREADED_PEER_TIMEOUT,
         failure,
     );
-    let run = drive(
+    let mut hooks = DriveHooks {
+        columns: Some(ColumnTracker::new(
+            Arc::clone(board),
+            config.tolerance,
+            ncols,
+        )),
+        ..DriveHooks::default()
+    };
+    let run = drive_with_hooks(
         &mut engine,
         &mut link,
         &mut vote,
         &mut conv,
         &mut progress,
         config.max_iterations,
+        &mut hooks,
     )?;
     let report = part_report(
         blk,
@@ -2407,9 +2645,15 @@ fn lockstep_batch_worker(
         ncols,
         t0.elapsed().as_secs_f64(),
     );
+    let (x_columns, column_converged_at) = hooks
+        .columns
+        .take()
+        .expect("tracker installed above")
+        .into_columns(engine.x_columns());
     Ok(BatchWorkerOutput {
         part: blk.part,
-        x_columns: engine.x_columns().to_vec(),
+        x_columns,
+        column_converged_at,
         iterations: run.iterations,
         last_increment: run.last_increment,
         converged: run.converged,
@@ -2440,6 +2684,7 @@ pub(crate) fn run_sync_batch(
     if ncols == 0 {
         return Ok(BatchSolveOutcome {
             columns: Vec::new(),
+            column_converged_at: Vec::new(),
             converged: true,
             iterations: 0,
             iterations_per_part: vec![0; parts],
@@ -2458,6 +2703,7 @@ pub(crate) fn run_sync_batch(
         }
     }
     let senders = receive_sources(send_targets);
+    let board = ColumnBoard::new(parts, ncols);
 
     let outputs: Vec<Result<BatchWorkerOutput, CoreError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = blocks
@@ -2468,6 +2714,7 @@ pub(crate) fn run_sync_batch(
             .zip(workspaces.iter_mut())
             .map(|((((blk, factor), targets), senders_to_me), ws)| {
                 let transport = &transport;
+                let board = &board;
                 scope.spawn(move || {
                     let range = partition.extended_range(blk.part);
                     let b_cols: Vec<&[f64]> =
@@ -2482,6 +2729,7 @@ pub(crate) fn run_sync_batch(
                         config,
                         transport.as_ref(),
                         ws,
+                        board,
                     )
                 })
             })
@@ -2501,12 +2749,22 @@ pub(crate) fn run_sync_batch(
     let mut iterations_per_part = vec![0u64; parts];
     let mut converged = true;
     let mut last_increment = 0.0f64;
+    let mut column_converged_at = vec![None; ncols];
     for out in outputs {
         let out = out?;
         iterations_per_part[out.part] = out.iterations;
         converged &= out.converged;
         last_increment = last_increment.max(out.last_increment);
         per_part_columns[out.part] = out.x_columns;
+        if out.part == 0 {
+            column_converged_at = out.column_converged_at;
+        } else {
+            debug_assert_eq!(
+                column_converged_at.len(),
+                out.column_converged_at.len(),
+                "parts disagree on batch width"
+            );
+        }
         reports.push(out.report);
     }
     reports.sort_by_key(|r| r.part);
@@ -2522,6 +2780,7 @@ pub(crate) fn run_sync_batch(
     let iterations = iterations_per_part.iter().copied().max().unwrap_or(0);
     Ok(BatchSolveOutcome {
         columns,
+        column_converged_at,
         converged,
         iterations,
         iterations_per_part,

@@ -157,6 +157,14 @@ impl SolveOutcome {
 pub struct BatchSolveOutcome {
     /// One assembled global solution per right-hand side, in request order.
     pub columns: Vec<Vec<f64>>,
+    /// Per column: the outer iteration at which a **solo** lockstep solve of
+    /// that right-hand side would have stopped, or `None` when the column
+    /// never converged on its own within the budget.  Columns with
+    /// `Some(k)` are bitwise-identical to the solo solve (see
+    /// `msplit_core::runtime::ColumnBoard`), which is what lets a serving
+    /// layer coalesce independent requests into one batch without changing
+    /// any answer.
+    pub column_converged_at: Vec<Option<u64>>,
     /// Whether every column converged within the iteration budget.
     pub converged: bool,
     /// Maximum outer-iteration count over all processors.
@@ -175,6 +183,13 @@ impl BatchSolveOutcome {
     /// Number of right-hand sides served.
     pub fn num_rhs(&self) -> usize {
         self.columns.len()
+    }
+
+    /// Whether column `c` converged on its own (its solo-equivalent stopping
+    /// iteration is known), as opposed to merely riding along in a batch
+    /// that exhausted its budget.
+    pub fn column_converged(&self, c: usize) -> bool {
+        self.column_converged_at.get(c).is_some_and(|k| k.is_some())
     }
 
     /// Maximum residual infinity norm over all columns of the batch.

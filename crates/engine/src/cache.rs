@@ -40,6 +40,14 @@ pub struct CacheStats {
     /// the number of *distinct* (matrix, config) keys prepared, no matter how
     /// many threads raced on them.
     pub factorizations: u64,
+    /// Requests that blocked behind another caller's in-flight preparation
+    /// of the same key (the single-flight wait path).
+    pub single_flight_waits: u64,
+    /// Total microseconds requests spent blocked behind in-flight
+    /// preparations.  Together with `single_flight_waits` this makes
+    /// factorization contention on a shard observable: a hot shard serving
+    /// many cold keys shows long waits, a warm one shows none.
+    pub single_flight_wait_micros: u64,
 }
 
 /// An LRU of [`PreparedSystem`]s keyed by [`MatrixKey`], with single-flight
@@ -59,6 +67,8 @@ pub struct FactorizationCache {
     evictions: AtomicU64,
     factorizations: AtomicU64,
     factorize_micros: AtomicU64,
+    single_flight_waits: AtomicU64,
+    single_flight_wait_micros: AtomicU64,
 }
 
 impl FactorizationCache {
@@ -80,6 +90,8 @@ impl FactorizationCache {
             evictions: AtomicU64::new(0),
             factorizations: AtomicU64::new(0),
             factorize_micros: AtomicU64::new(0),
+            single_flight_waits: AtomicU64::new(0),
+            single_flight_wait_micros: AtomicU64::new(0),
         }
     }
 
@@ -111,6 +123,8 @@ impl FactorizationCache {
             misses: self.misses.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
             factorizations: self.factorizations.load(Ordering::Relaxed),
+            single_flight_waits: self.single_flight_waits.load(Ordering::Relaxed),
+            single_flight_wait_micros: self.single_flight_wait_micros.load(Ordering::Relaxed),
         }
     }
 
@@ -140,6 +154,16 @@ impl FactorizationCache {
         }
         {
             let mut guard = self.state.lock();
+            // Set once the request first blocks behind an in-flight
+            // preparation; the total blocked time is recorded when the
+            // request resolves (hit or claim).
+            let mut wait_started: Option<Instant> = None;
+            let record_wait = |started: Option<Instant>| {
+                if let Some(at) = started {
+                    self.single_flight_wait_micros
+                        .fetch_add(at.elapsed().as_micros() as u64, Ordering::Relaxed);
+                }
+            };
             loop {
                 let action = {
                     let State { entries, tick } = &mut *guard;
@@ -162,13 +186,21 @@ impl FactorizationCache {
                 match action {
                     Action::Hit(prepared) => {
                         self.hits.fetch_add(1, Ordering::Relaxed);
+                        record_wait(wait_started);
                         return Ok(prepared);
                     }
                     // Re-check after the wakeup: the flight finished (ready
                     // or failed) or another waiter claimed a retry.
-                    Action::Wait => self.flight_done.wait(&mut guard),
+                    Action::Wait => {
+                        if wait_started.is_none() {
+                            wait_started = Some(Instant::now());
+                            self.single_flight_waits.fetch_add(1, Ordering::Relaxed);
+                        }
+                        self.flight_done.wait(&mut guard)
+                    }
                     Action::Claimed => {
                         self.misses.fetch_add(1, Ordering::Relaxed);
+                        record_wait(wait_started);
                         break;
                     }
                 }

@@ -164,6 +164,13 @@ impl Engine {
         self.queue.len()
     }
 
+    /// Jobs currently waiting per priority lane, highest priority first
+    /// (index with [`crate::Priority::lane`]).  Admission-control layers use
+    /// this to bound each lane independently of the global capacity.
+    pub fn lane_depths(&self) -> [usize; crate::Priority::COUNT] {
+        self.queue.lane_depths()
+    }
+
     /// The factorization cache (e.g. to inspect [`FactorizationCache::stats`]).
     pub fn cache(&self) -> &FactorizationCache {
         &self.cache
@@ -182,6 +189,8 @@ impl Engine {
             cache_hits: cache_stats.hits,
             cache_misses: cache_stats.misses,
             cache_evictions: cache_stats.evictions,
+            single_flight_waits: cache_stats.single_flight_waits,
+            single_flight_wait_seconds: cache_stats.single_flight_wait_micros as f64 / 1e6,
             factorizations: cache_stats.factorizations,
             cached_systems: self.cache.len(),
             queue_depth: self.queue.len(),

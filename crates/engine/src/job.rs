@@ -26,10 +26,11 @@ pub enum Priority {
 }
 
 impl Priority {
-    pub(crate) const COUNT: usize = 3;
+    /// Number of priority levels (= queue lanes).
+    pub const COUNT: usize = 3;
 
     /// Queue lane index: lane 0 is dequeued first.
-    pub(crate) fn lane(self) -> usize {
+    pub fn lane(self) -> usize {
         match self {
             Priority::High => 0,
             Priority::Normal => 1,

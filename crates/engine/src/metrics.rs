@@ -47,6 +47,10 @@ pub struct EngineReport {
     pub cache_misses: u64,
     /// Prepared systems evicted by the LRU policy.
     pub cache_evictions: u64,
+    /// Lookups that parked behind another thread's in-flight preparation.
+    pub single_flight_waits: u64,
+    /// Total seconds spent parked behind in-flight preparations.
+    pub single_flight_wait_seconds: f64,
     /// Successful factorizations performed (with single-flight, one per
     /// distinct matrix + configuration).
     pub factorizations: u64,
@@ -104,6 +108,11 @@ impl std::fmt::Display for EngineReport {
             self.cached_systems,
             self.cache_evictions
         )?;
+        writeln!(
+            f,
+            "single flight: {} waits, {:.3}s parked",
+            self.single_flight_waits, self.single_flight_wait_seconds
+        )?;
         write!(
             f,
             "work: {} rhs served, queue depth {}, {:.3}s factorize vs {:.3}s solve",
@@ -127,6 +136,8 @@ mod tests {
             cache_hits: 6,
             cache_misses: 2,
             cache_evictions: 1,
+            single_flight_waits: 3,
+            single_flight_wait_seconds: 0.25,
             factorizations: 2,
             cached_systems: 1,
             queue_depth: 0,

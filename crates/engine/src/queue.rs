@@ -54,6 +54,12 @@ impl JobQueue {
         self.state.lock().len
     }
 
+    /// Jobs waiting per priority lane, highest priority first.
+    pub(crate) fn lane_depths(&self) -> [usize; Priority::COUNT] {
+        let state = self.state.lock();
+        std::array::from_fn(|i| state.lanes[i].len())
+    }
+
     /// Enqueues, blocking while the queue is at capacity.
     pub(crate) fn push_blocking(&self, job: Job) -> Result<(), EngineError> {
         let mut state = self.state.lock();

@@ -1,0 +1,290 @@
+//! Byte codecs for the opaque blobs of the serve protocol.
+//!
+//! [`Message::SubmitSolve`](msplit_comm::Message) carries the solver
+//! configuration and the matrix as length-prefixed byte blobs so that
+//! `msplit-comm` stays independent of the solver crates.  This module is the
+//! single place that defines those encodings; both the server and the client
+//! go through it, and a version byte guards each blob so a mixed-version
+//! fleet fails with a typed error instead of a garbage solve.
+
+use crate::ServeError;
+use msplit_core::solver::{ExecutionMode, MultisplittingConfig};
+use msplit_core::weighting::WeightingScheme;
+use msplit_direct::SolverKind;
+use msplit_sparse::CsrMatrix;
+
+/// Version byte of the configuration encoding.
+const CONFIG_VERSION: u8 = 1;
+/// Version byte of the matrix encoding.
+const MATRIX_VERSION: u8 = 1;
+
+struct Reader<'a> {
+    data: &'a [u8],
+    pos: usize,
+    what: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(data: &'a [u8], what: &'static str) -> Self {
+        Reader { data, pos: 0, what }
+    }
+
+    fn u8(&mut self) -> Result<u8, ServeError> {
+        let b = *self
+            .data
+            .get(self.pos)
+            .ok_or_else(|| ServeError::Protocol(format!("truncated {} blob", self.what)))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn u64(&mut self) -> Result<u64, ServeError> {
+        let end = self.pos + 8;
+        let raw = self
+            .data
+            .get(self.pos..end)
+            .ok_or_else(|| ServeError::Protocol(format!("truncated {} blob", self.what)))?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(raw.try_into().expect("8 bytes")))
+    }
+
+    fn f64(&mut self) -> Result<f64, ServeError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u64` that must fit in `usize` and stay below `cap` (an upper bound
+    /// derived from the blob length, so a corrupted count cannot drive a
+    /// huge allocation).
+    fn count(&mut self, cap: usize) -> Result<usize, ServeError> {
+        let n = self.u64()?;
+        if n > cap as u64 {
+            return Err(ServeError::Protocol(format!(
+                "{} blob announces {n} elements but only {cap} could fit",
+                self.what
+            )));
+        }
+        Ok(n as usize)
+    }
+
+    fn finish(self) -> Result<(), ServeError> {
+        if self.pos != self.data.len() {
+            return Err(ServeError::Protocol(format!(
+                "{} blob has {} trailing bytes",
+                self.what,
+                self.data.len() - self.pos
+            )));
+        }
+        Ok(())
+    }
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+/// Serializes a solver configuration for [`Message::SubmitSolve`](msplit_comm::Message).
+pub fn encode_config(config: &MultisplittingConfig) -> Vec<u8> {
+    let mut out = Vec::with_capacity(1 + 3 + 8 * (5 + config.relative_speeds.len()));
+    out.push(CONFIG_VERSION);
+    put_u64(&mut out, config.parts as u64);
+    put_u64(&mut out, config.overlap as u64);
+    out.push(match config.weighting {
+        WeightingScheme::OwnerTakes => 0,
+        WeightingScheme::Average => 1,
+        WeightingScheme::FirstCovering => 2,
+    });
+    out.push(match config.solver_kind {
+        SolverKind::SparseLu => 0,
+        SolverKind::DenseLu => 1,
+        SolverKind::BandLu => 2,
+    });
+    out.push(match config.mode {
+        ExecutionMode::Synchronous => 0,
+        ExecutionMode::Asynchronous => 1,
+    });
+    put_u64(&mut out, config.tolerance.to_bits());
+    put_u64(&mut out, config.max_iterations);
+    put_u64(&mut out, config.async_confirmations);
+    put_u64(&mut out, config.relative_speeds.len() as u64);
+    for s in &config.relative_speeds {
+        put_u64(&mut out, s.to_bits());
+    }
+    out
+}
+
+/// Parses a configuration blob produced by [`encode_config`].
+pub fn decode_config(blob: &[u8]) -> Result<MultisplittingConfig, ServeError> {
+    let mut r = Reader::new(blob, "config");
+    let version = r.u8()?;
+    if version != CONFIG_VERSION {
+        return Err(ServeError::Protocol(format!(
+            "config blob version {version}, this build speaks {CONFIG_VERSION}"
+        )));
+    }
+    let parts = r.u64()? as usize;
+    let overlap = r.u64()? as usize;
+    let weighting = match r.u8()? {
+        0 => WeightingScheme::OwnerTakes,
+        1 => WeightingScheme::Average,
+        2 => WeightingScheme::FirstCovering,
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "unknown weighting scheme {other}"
+            )))
+        }
+    };
+    let solver_kind = match r.u8()? {
+        0 => SolverKind::SparseLu,
+        1 => SolverKind::DenseLu,
+        2 => SolverKind::BandLu,
+        other => return Err(ServeError::Protocol(format!("unknown solver kind {other}"))),
+    };
+    let mode = match r.u8()? {
+        0 => ExecutionMode::Synchronous,
+        1 => ExecutionMode::Asynchronous,
+        other => {
+            return Err(ServeError::Protocol(format!(
+                "unknown execution mode {other}"
+            )))
+        }
+    };
+    let tolerance = r.f64()?;
+    let max_iterations = r.u64()?;
+    let async_confirmations = r.u64()?;
+    let nspeeds = r.count(blob.len() / 8)?;
+    let mut relative_speeds = Vec::with_capacity(nspeeds);
+    for _ in 0..nspeeds {
+        relative_speeds.push(r.f64()?);
+    }
+    r.finish()?;
+    Ok(MultisplittingConfig {
+        parts,
+        overlap,
+        weighting,
+        solver_kind,
+        tolerance,
+        max_iterations,
+        mode,
+        async_confirmations,
+        relative_speeds,
+    })
+}
+
+/// Serializes a CSR matrix for [`Message::SubmitSolve`](msplit_comm::Message).
+pub fn encode_matrix(a: &CsrMatrix) -> Vec<u8> {
+    let nnz = a.nnz();
+    let mut out = Vec::with_capacity(1 + 8 * (3 + a.rows() + 1 + 2 * nnz));
+    out.push(MATRIX_VERSION);
+    put_u64(&mut out, a.rows() as u64);
+    put_u64(&mut out, a.cols() as u64);
+    put_u64(&mut out, nnz as u64);
+    for &p in a.row_ptr() {
+        put_u64(&mut out, p as u64);
+    }
+    for &c in a.col_indices() {
+        put_u64(&mut out, c as u64);
+    }
+    for &v in a.values() {
+        put_u64(&mut out, v.to_bits());
+    }
+    out
+}
+
+/// Parses a matrix blob produced by [`encode_matrix`], re-validating the CSR
+/// invariants (the blob crossed a network).
+pub fn decode_matrix(blob: &[u8]) -> Result<CsrMatrix, ServeError> {
+    let mut r = Reader::new(blob, "matrix");
+    let version = r.u8()?;
+    if version != MATRIX_VERSION {
+        return Err(ServeError::Protocol(format!(
+            "matrix blob version {version}, this build speaks {MATRIX_VERSION}"
+        )));
+    }
+    let rows = r.u64()? as usize;
+    let cols = r.u64()? as usize;
+    let cap = blob.len() / 8;
+    let nnz = r.count(cap)?;
+    if rows + 1 > cap {
+        return Err(ServeError::Protocol(format!(
+            "matrix blob announces {rows} rows but only {cap} words follow"
+        )));
+    }
+    let mut row_ptr = Vec::with_capacity(rows + 1);
+    for _ in 0..rows + 1 {
+        row_ptr.push(r.u64()? as usize);
+    }
+    let mut col_indices = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        col_indices.push(r.u64()? as usize);
+    }
+    let mut values = Vec::with_capacity(nnz);
+    for _ in 0..nnz {
+        values.push(r.f64()?);
+    }
+    r.finish()?;
+    CsrMatrix::from_raw(rows, cols, row_ptr, col_indices, values)
+        .map_err(|e| ServeError::Protocol(format!("matrix blob rejected: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msplit_sparse::generators::{self, DiagDominantConfig};
+
+    #[test]
+    fn config_round_trip_preserves_every_field() {
+        let config = MultisplittingConfig {
+            parts: 5,
+            overlap: 2,
+            weighting: WeightingScheme::Average,
+            solver_kind: SolverKind::BandLu,
+            tolerance: 3.25e-9,
+            max_iterations: 123,
+            mode: ExecutionMode::Asynchronous,
+            async_confirmations: 7,
+            relative_speeds: vec![1.0, 2.5, 0.75],
+        };
+        let back = decode_config(&encode_config(&config)).unwrap();
+        assert_eq!(format!("{config:?}"), format!("{back:?}"));
+    }
+
+    #[test]
+    fn matrix_round_trip_preserves_the_fingerprint() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 60,
+            seed: 4,
+            ..Default::default()
+        });
+        let back = decode_matrix(&encode_matrix(&a)).unwrap();
+        assert_eq!(back.fingerprint(), a.fingerprint());
+        assert_eq!(back.nnz(), a.nnz());
+    }
+
+    #[test]
+    fn truncations_and_bad_versions_are_typed_errors() {
+        let blob = encode_config(&MultisplittingConfig::default());
+        for cut in 0..blob.len() {
+            assert!(decode_config(&blob[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut wrong = blob.clone();
+        wrong[0] = 9;
+        assert!(decode_config(&wrong).is_err());
+
+        let m = encode_matrix(&generators::tridiagonal(10, 4.0, -1.0));
+        for cut in 0..m.len() {
+            assert!(decode_matrix(&m[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut padded = m.clone();
+        padded.extend_from_slice(&[0; 8]);
+        assert!(decode_matrix(&padded).is_err());
+    }
+
+    #[test]
+    fn corrupted_counts_cannot_drive_allocations() {
+        let mut m = encode_matrix(&generators::tridiagonal(10, 4.0, -1.0));
+        // nnz field sits after version + rows + cols.
+        m[17..25].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_matrix(&m).is_err());
+    }
+}

@@ -18,7 +18,10 @@
 //!   experiment runners),
 //! * [`engine`] — the persistent solve service: factorization caching with
 //!   single-flight deduplication, a prioritized job queue with backpressure,
-//!   and batched multi-RHS serving over prepared systems.
+//!   and batched multi-RHS serving over prepared systems,
+//! * [`serve`] — the engine on the network: a sharded solve fleet with
+//!   admission control, cross-request batch coalescing (bitwise-identical
+//!   to solo solves) and a consistent-hash routing client.
 //!
 //! # Quickstart
 //!
@@ -57,6 +60,7 @@ pub use msplit_dense as dense;
 pub use msplit_direct as direct;
 pub use msplit_engine as engine;
 pub use msplit_grid as grid;
+pub use msplit_serve as serve;
 pub use msplit_sparse as sparse;
 
 /// One-stop imports for typical usage.
@@ -78,4 +82,5 @@ pub mod prelude {
     };
     pub use msplit_grid::cluster::{cluster1, cluster2, cluster3, Grid};
     pub use msplit_grid::perf::CostModel;
+    pub use msplit_serve::{ClientOptions, ServeClient, ServeConfig, ServeSolution, SolveServer};
 }

@@ -182,3 +182,28 @@ fn ops_docs_cover_the_fault_tolerance_surface() {
         );
     }
 }
+
+#[test]
+fn serving_docs_cover_the_fleet_surface() {
+    // The serving page must keep describing the protocol and knobs the serve
+    // crate exposes; renaming a frame, a rejection code, or a server flag
+    // without updating the docs fails here.
+    let doc = std::fs::read_to_string(repo_root().join("docs").join("serving.md")).unwrap();
+    for required in [
+        "SubmitSolve",
+        "SolveResult",
+        "RejectCode",
+        "world_size == 0",
+        "lane_limits",
+        "coalesce_window",
+        "max_batch",
+        "bitwise",
+        "--lane-limits",
+        "SERVE_SMOKE_OK",
+    ] {
+        assert!(
+            doc.contains(required),
+            "docs/serving.md no longer mentions {required}"
+        );
+    }
+}

@@ -26,6 +26,12 @@ pub trait Buf {
     fn get_f64_le(&mut self) -> f64 {
         f64::from_bits(self.get_u64_le())
     }
+
+    /// Consumes `dst.len()` bytes into `dst`.
+    ///
+    /// # Panics
+    /// Panics if fewer than `dst.len()` bytes remain.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
 }
 
 /// Write cursor over a growable byte buffer.
@@ -40,6 +46,9 @@ pub trait BufMut {
     fn put_f64_le(&mut self, v: f64) {
         self.put_u64_le(v.to_bits());
     }
+
+    /// Appends a byte slice.
+    fn put_slice(&mut self, src: &[u8]);
 }
 
 /// An immutable, cheaply cloneable and sliceable byte buffer.
@@ -148,6 +157,12 @@ impl Buf for Bytes {
         self.start += 8;
         u64::from_le_bytes(raw)
     }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(self.remaining() >= dst.len(), "buffer exhausted");
+        dst.copy_from_slice(&self.data[self.start..self.start + dst.len()]);
+        self.start += dst.len();
+    }
 }
 
 /// A growable byte buffer for building messages.
@@ -187,6 +202,10 @@ impl BufMut for BytesMut {
 
     fn put_u64_le(&mut self, v: u64) {
         self.vec.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
     }
 }
 
