@@ -165,6 +165,13 @@ pub enum Message {
         single_flight_waits: u64,
         /// Total microseconds parked behind in-flight preparations.
         single_flight_wait_micros: u64,
+        /// Outer iterations served by the sparse/incremental fast path.
+        sparse_fastpath_hits: u64,
+        /// Outer iterations that fell back to a full dense assembly + solve.
+        dense_fallbacks: u64,
+        /// Mean reach fraction of sparse-path solves, in parts per million
+        /// (fixed-point so the frame stays all-integer).
+        mean_reach_ppm: u64,
         /// Current queue depth per priority lane, highest priority first.
         queue_depths: [u64; 3],
     },
@@ -302,7 +309,7 @@ impl Message {
             Message::SolveResult { x, .. } => 1 + 8 + 8 + 8 + 8 + 8 + 8 * x.len(),
             Message::Reject { detail, .. } => 1 + 8 + 1 + 8 + 8 + detail.len(),
             Message::StatsQuery => 1,
-            Message::ServerStats { .. } => 1 + 8 * 8 + 8 * 3,
+            Message::ServerStats { .. } => 1 + 8 * 11 + 8 * 3,
         }
     }
 
@@ -444,6 +451,9 @@ impl Message {
                 cache_evictions,
                 single_flight_waits,
                 single_flight_wait_micros,
+                sparse_fastpath_hits,
+                dense_fallbacks,
+                mean_reach_ppm,
                 queue_depths,
             } => {
                 buf.put_u8(TAG_SERVER_STATS);
@@ -455,6 +465,9 @@ impl Message {
                 buf.put_u64_le(*cache_evictions);
                 buf.put_u64_le(*single_flight_waits);
                 buf.put_u64_le(*single_flight_wait_micros);
+                buf.put_u64_le(*sparse_fastpath_hits);
+                buf.put_u64_le(*dense_fallbacks);
+                buf.put_u64_le(*mean_reach_ppm);
                 for d in queue_depths {
                     buf.put_u64_le(*d);
                 }
@@ -636,7 +649,7 @@ impl Message {
             }
             TAG_STATS_QUERY => Ok(Message::StatsQuery),
             TAG_SERVER_STATS => {
-                if data.remaining() < 8 * 8 + 8 * 3 {
+                if data.remaining() < 8 * 11 + 8 * 3 {
                     return Err(CommError::Codec("truncated server stats".to_string()));
                 }
                 Ok(Message::ServerStats {
@@ -648,6 +661,9 @@ impl Message {
                     cache_evictions: data.get_u64_le(),
                     single_flight_waits: data.get_u64_le(),
                     single_flight_wait_micros: data.get_u64_le(),
+                    sparse_fastpath_hits: data.get_u64_le(),
+                    dense_fallbacks: data.get_u64_le(),
+                    mean_reach_ppm: data.get_u64_le(),
                     queue_depths: [data.get_u64_le(), data.get_u64_le(), data.get_u64_le()],
                 })
             }
@@ -854,6 +870,9 @@ mod tests {
                 cache_evictions: 1,
                 single_flight_waits: 5,
                 single_flight_wait_micros: 42_000,
+                sparse_fastpath_hits: 250,
+                dense_fallbacks: 12,
+                mean_reach_ppm: 31_250,
                 queue_depths: [1, 4, 0],
             },
         ]

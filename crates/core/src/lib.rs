@@ -127,6 +127,7 @@ pub use launcher::{DistributedOutcome, ElasticOutcome, Launcher, LauncherConfig}
 pub use prepared::PreparedSystem;
 pub use runtime::{
     EngineEvent, EventLog, FailurePolicy, IterationWorkspace, RankEngine, ReshapeReason,
+    SolvePathStats,
 };
 pub use solver::{
     BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder,

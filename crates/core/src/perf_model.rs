@@ -274,6 +274,7 @@ mod tests {
             flops_per_iteration: iter_flops,
             memory_bytes: 1 << 20,
             wall_seconds: 0.1,
+            solve_path: crate::runtime::SolvePathStats::default(),
         }
     }
 

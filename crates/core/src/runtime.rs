@@ -51,6 +51,7 @@ use msplit_comm::message::Message;
 use msplit_comm::transport::Transport;
 use msplit_comm::CommError;
 use msplit_direct::api::Factorization;
+use msplit_direct::DeltaOutcome;
 use msplit_sparse::{BandPartition, LocalBlocks};
 use rayon::prelude::*;
 use std::sync::Arc;
@@ -137,6 +138,48 @@ enum EngineShape {
     Batch(usize),
 }
 
+/// Which solve paths a [`RankEngine`]'s steps took — the fast-path/fallback
+/// counters surfaced through [`crate::solver::PartReport`], the engine
+/// metrics and the serve `ServerStats` frame.
+///
+/// Every step ends in exactly one bucket: `sparse_fastpath_hits` (the
+/// incremental path skipped or delta-solved the step) or `dense_fallbacks`
+/// (a full dense assembly + solve ran — including the always-dense first
+/// iteration, batch steps, and reach-threshold fallbacks).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SolvePathStats {
+    /// Steps served by the incremental path (bitwise-identical skip or
+    /// reach-limited delta solve).
+    pub sparse_fastpath_hits: u64,
+    /// Steps that ran the full dense assembly + solve.
+    pub dense_fallbacks: u64,
+    /// Sum of the reach fractions of all delta-solve attempts (applied or
+    /// fallen back), for the mean; skips compute no reach and are excluded.
+    pub reach_fraction_sum: f64,
+    /// Number of delta-solve attempts behind `reach_fraction_sum`.
+    pub reach_samples: u64,
+}
+
+impl SolvePathStats {
+    /// Mean reach fraction over all delta-solve attempts (`0.0` when none
+    /// ran).
+    pub fn mean_reach_fraction(&self) -> f64 {
+        if self.reach_samples == 0 {
+            0.0
+        } else {
+            self.reach_fraction_sum / self.reach_samples as f64
+        }
+    }
+
+    /// Folds another engine's counters into this one (driver aggregation).
+    pub fn merge(&mut self, other: &SolvePathStats) {
+        self.sparse_fastpath_hits += other.sparse_fastpath_hits;
+        self.dense_fallbacks += other.dense_fallbacks;
+        self.reach_fraction_sum += other.reach_fraction_sum;
+        self.reach_samples += other.reach_samples;
+    }
+}
+
 /// The pure per-rank state machine of Algorithm 1.
 ///
 /// All mutable numeric state lives in the caller-retained
@@ -166,6 +209,11 @@ pub struct RankEngine<'a> {
     /// Per-column dependency movement of the most recent batch step (empty
     /// in single shape).
     col_dep_changes: Vec<f64>,
+    /// Whether the incremental (halo-delta) solve path may run.  Results are
+    /// bitwise identical either way; disabling forces every step dense
+    /// (benchmarks, equivalence tests).
+    incremental: bool,
+    path_stats: SolvePathStats,
     recorder: Option<EventLog>,
 }
 
@@ -199,6 +247,8 @@ impl<'a> RankEngine<'a> {
             last_increment: f64::INFINITY,
             col_increments: Vec::new(),
             col_dep_changes: Vec::new(),
+            incremental: true,
+            path_stats: SolvePathStats::default(),
             recorder: None,
         }
     }
@@ -238,6 +288,9 @@ impl<'a> RankEngine<'a> {
             last_increment: f64::INFINITY,
             col_increments: vec![f64::INFINITY; ncols],
             col_dep_changes: vec![0.0; ncols],
+            // The batch driver always assembles and solves densely.
+            incremental: false,
+            path_stats: SolvePathStats::default(),
             recorder: None,
         }
     }
@@ -255,6 +308,21 @@ impl<'a> RankEngine<'a> {
     /// Infinity norm of the most recent iterate increment.
     pub fn last_increment(&self) -> f64 {
         self.last_increment
+    }
+
+    /// Enables or disables the incremental halo-delta solve path.  Both
+    /// settings produce bitwise-identical iterates; this is purely a
+    /// performance knob (and a test hook for pinning that equivalence).
+    pub fn set_incremental(&mut self, on: bool) {
+        self.incremental = on;
+        if !on {
+            self.ws.incr.invalidate();
+        }
+    }
+
+    /// Counters describing which solve path each [`RankEngine::step`] took.
+    pub fn path_stats(&self) -> SolvePathStats {
+        self.path_stats
     }
 
     /// Starts recording every `ingest`/`step` transition for later
@@ -320,18 +388,151 @@ impl<'a> RankEngine<'a> {
                     rhs,
                     x_sub,
                     scratch,
+                    incr,
                     ..
                 } = &mut *self.ws;
                 let neighbor = &self.neighbors[0];
                 neighbor.fill_dependencies(x_global);
+                incr.changed_slots.clear();
                 for (slot, &g) in neighbor.dependency_columns().iter().enumerate() {
-                    dep_change = dep_change.max((x_global[g] - self.prev_deps[slot]).abs());
-                    self.prev_deps[slot] = x_global[g];
+                    let v = x_global[g];
+                    dep_change = dep_change.max((v - self.prev_deps[slot]).abs());
+                    if v.to_bits() != self.prev_deps[slot].to_bits() {
+                        incr.changed_slots.push(slot);
+                    }
+                    self.prev_deps[slot] = v;
                 }
-                self.blk.local_rhs_into(self.b_single, x_global, rhs)?;
-                self.factor.solve_into(rhs, scratch)?;
-                self.last_increment = increment_norm(rhs, x_sub);
-                x_sub.copy_from_slice(rhs);
+                // The incremental fast path replays exactly the dense
+                // assemble-and-solve arithmetic on the subset of rows and
+                // unknowns that can differ, so every branch below is bitwise
+                // identical to the `local_rhs_into` + `solve_into` fallback.
+                // `valid` is cleared up front and only re-set on a fully
+                // completed update, so an `?`-error leaves the state
+                // self-invalidating.
+                let was_valid = incr.valid;
+                incr.valid = false;
+                let mut handled = false;
+                if self.incremental && was_valid {
+                    if incr.changed_slots.is_empty() {
+                        // No dependency bit moved: b_loc and therefore the
+                        // solve output are unchanged, so the increment is
+                        // exactly zero for any deterministic kernel.
+                        self.last_increment = 0.0;
+                        self.path_stats.sparse_fastpath_hits += 1;
+                        incr.valid = true;
+                        handled = true;
+                    } else if let Some(lu) = self.factor.as_sparse_lu() {
+                        // Collect the BLoc rows touched by the changed halo
+                        // columns and recompute them with the same
+                        // subtract-a-dot-product arithmetic as
+                        // `local_rhs_into`.
+                        if incr.row_stamp == u32::MAX {
+                            incr.row_mark.fill(0);
+                            incr.row_stamp = 0;
+                        }
+                        incr.row_stamp += 1;
+                        let stamp = incr.row_stamp;
+                        incr.seeds.clear();
+                        let dep_cols = neighbor.dependency_columns();
+                        let offset = self.blk.offset;
+                        let size = self.blk.size;
+                        let x_left = &x_global[..offset];
+                        let x_right = &x_global[offset + size..];
+                        for &slot in &incr.changed_slots {
+                            let g = dep_cols[slot];
+                            let rows = if g < offset {
+                                incr.left_cols.rows_in(g)
+                            } else {
+                                incr.right_cols.rows_in(g - offset - size)
+                            };
+                            for &i in rows {
+                                if incr.row_mark[i] == stamp {
+                                    continue;
+                                }
+                                incr.row_mark[i] = stamp;
+                                let mut v = self.b_single[i];
+                                if offset > 0 {
+                                    v -= self.blk.dep_left.row_dot(i, x_left);
+                                }
+                                if !x_right.is_empty() {
+                                    v -= self.blk.dep_right.row_dot(i, x_right);
+                                }
+                                if v.to_bits() != incr.b_loc[i].to_bits() {
+                                    incr.b_loc[i] = v;
+                                    incr.seeds.push(i);
+                                }
+                            }
+                        }
+                        if incr.seeds.is_empty() {
+                            // Dependency values moved but every recomputed
+                            // BLoc row landed on the same bits: same RHS,
+                            // same solution, zero increment.
+                            self.last_increment = 0.0;
+                            self.path_stats.sparse_fastpath_hits += 1;
+                            incr.valid = true;
+                            handled = true;
+                        } else {
+                            let mut inc = 0.0f64;
+                            let outcome = lu.solve_delta_into(
+                                &incr.seeds,
+                                &incr.b_loc,
+                                &mut incr.cache,
+                                scratch,
+                                |idx, val| {
+                                    inc = inc.max((val - x_sub[idx]).abs());
+                                    x_sub[idx] = val;
+                                },
+                            )?;
+                            match outcome {
+                                DeltaOutcome::Applied { reach_fraction } => {
+                                    self.last_increment = inc;
+                                    self.path_stats.sparse_fastpath_hits += 1;
+                                    self.path_stats.reach_fraction_sum += reach_fraction;
+                                    self.path_stats.reach_samples += 1;
+                                    incr.valid = true;
+                                    handled = true;
+                                }
+                                DeltaOutcome::Fallback { reach_fraction } => {
+                                    // b_loc is already fully up to date
+                                    // bitwise, so reuse it as the dense RHS
+                                    // and refresh the delta cache for the
+                                    // next step.
+                                    self.path_stats.reach_fraction_sum += reach_fraction;
+                                    self.path_stats.reach_samples += 1;
+                                    rhs.clear();
+                                    rhs.extend_from_slice(&incr.b_loc);
+                                    lu.solve_into_cached(rhs, scratch, &mut incr.cache)?;
+                                    self.last_increment = increment_norm(rhs, x_sub);
+                                    x_sub.copy_from_slice(rhs);
+                                    self.path_stats.dense_fallbacks += 1;
+                                    incr.valid = true;
+                                    handled = true;
+                                }
+                            }
+                        }
+                    }
+                }
+                if !handled {
+                    self.blk.local_rhs_into(self.b_single, x_global, rhs)?;
+                    if self.incremental {
+                        if let Some(lu) = self.factor.as_sparse_lu() {
+                            incr.b_loc.clear();
+                            incr.b_loc.extend_from_slice(rhs);
+                            lu.solve_into_cached(rhs, scratch, &mut incr.cache)?;
+                        } else {
+                            // Non-sparse factors still benefit from the
+                            // unchanged-dependency skip; b_loc stays stale
+                            // but is never read on that path.
+                            self.factor.solve_into(rhs, scratch)?;
+                        }
+                        incr.valid = true;
+                    } else {
+                        self.factor.solve_into(rhs, scratch)?;
+                    }
+                    self.last_increment = increment_norm(rhs, x_sub);
+                    x_sub.copy_from_slice(rhs);
+                    self.path_stats.dense_fallbacks += 1;
+                }
             }
             EngineShape::Batch(ncols) => {
                 let IterationWorkspace {
@@ -373,6 +574,7 @@ impl<'a> RankEngine<'a> {
                 for (xc, rc) in x_cols.iter_mut().zip(rhs_cols.iter()) {
                     xc.copy_from_slice(rc);
                 }
+                self.path_stats.dense_fallbacks += 1;
                 debug_assert_eq!(ncols, x_cols.len());
             }
         }
@@ -523,6 +725,9 @@ impl<'a> RankEngine<'a> {
         self.iterations = snap.iterations;
         self.last_increment = snap.last_increment;
         self.fresh_since_step = snap.fresh_since_step;
+        // The restored iterate invalidates every cached solve intermediate;
+        // the next step re-assembles and solves densely.
+        self.ws.incr.invalidate();
         Ok(())
     }
 
@@ -545,6 +750,7 @@ impl<'a> RankEngine<'a> {
         let offset = self.blk.offset;
         let size = self.ws.x_sub.len();
         self.ws.x_sub.copy_from_slice(&x0[offset..offset + size]);
+        self.ws.incr.invalidate();
         Ok(())
     }
 }
@@ -1702,9 +1908,14 @@ impl ProgressPolicy for FreeRunning {
         obs: &StepObservation,
         vote: bool,
     ) -> Result<Flow, CoreError> {
-        if vote && !obs.fresh_data && !self.idle_backoff.is_zero() {
-            // Locally stable and nothing new arrived: yield briefly instead
-            // of flooding the network with identical slices.
+        if vote && (!obs.fresh_data || obs.increment == 0.0) && !self.idle_backoff.is_zero() {
+            // Locally stable and this step produced nothing new for the
+            // peers — either nothing arrived, or what arrived left the
+            // iterate bitwise unchanged (the incremental engine's SKIP path
+            // makes such steps near-free, so without this pacing a stable
+            // rank would re-send identical slices at network rate and its
+            // vote cadence would outrun the data still in flight).  Yield
+            // briefly instead of flooding the mesh.
             std::thread::sleep(self.idle_backoff);
         }
         let Some(heartbeat) = self.failure.heartbeat() else {
@@ -2370,6 +2581,7 @@ fn part_report(
         flops_per_iteration,
         memory_bytes,
         wall_seconds,
+        solve_path: engine.path_stats(),
     }
 }
 

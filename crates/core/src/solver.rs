@@ -8,6 +8,7 @@
 
 use crate::decomposition::Decomposition;
 use crate::runtime;
+use crate::runtime::SolvePathStats;
 use crate::weighting::WeightingScheme;
 use crate::CoreError;
 use msplit_comm::transport::Transport;
@@ -91,6 +92,9 @@ pub struct PartReport {
     pub memory_bytes: usize,
     /// Host wall-clock seconds spent by this processor thread.
     pub wall_seconds: f64,
+    /// Which solve path (sparse fast path vs. dense assembly) each outer
+    /// iteration of this processor took.
+    pub solve_path: SolvePathStats,
 }
 
 impl PartReport {
@@ -411,6 +415,7 @@ mod tests {
             flops_per_iteration: 160,
             memory_bytes: 4096,
             wall_seconds: 0.5,
+            solve_path: SolvePathStats::default(),
         };
         let profile = report.work_profile();
         assert_eq!(profile.factor_flops, 500);

@@ -29,6 +29,7 @@
 
 pub mod api;
 pub mod gplu;
+pub mod reach;
 pub mod solve;
 pub mod stats;
 pub mod symbolic;
@@ -36,7 +37,8 @@ pub mod symbolic;
 pub use api::{
     BandLuSolver, DenseLuSolver, DirectSolver, Factorization, SolverKind, SparseLuSolver,
 };
-pub use gplu::{SolveScratch, SparseLu};
+pub use gplu::{DeltaCache, DeltaOutcome, SolveScratch, SparseLu, SparseLuConfig};
+pub use reach::{SolveReach, SparseRhs, SparseSolveReport};
 pub use stats::FactorStats;
 
 /// Errors produced by the direct solvers.

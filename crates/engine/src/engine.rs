@@ -196,6 +196,16 @@ impl Engine {
             queue_depth: self.queue.len(),
             factorize_seconds: self.cache.factorize_seconds(),
             solve_seconds: self.metrics.solve_micros.load(Ordering::Relaxed) as f64 / 1e6,
+            sparse_fastpath_hits: self.metrics.sparse_fastpath_hits.load(Ordering::Relaxed),
+            dense_fallbacks: self.metrics.dense_fallbacks.load(Ordering::Relaxed),
+            mean_reach_fraction: {
+                let samples = self.metrics.reach_samples.load(Ordering::Relaxed);
+                if samples == 0 {
+                    0.0
+                } else {
+                    self.metrics.reach_ppm_sum.load(Ordering::Relaxed) as f64 / 1e6 / samples as f64
+                }
+            },
         }
     }
 
@@ -274,6 +284,22 @@ fn run_job(job: Job, cache: &FactorizationCache, metrics: &Metrics) {
     }
 }
 
+/// Folds the per-rank solve-path counters of one completed job into the
+/// service metrics (reach fractions travel as parts per million to stay in
+/// the atomic-u64 scheme).
+fn record_solve_paths(reports: &[msplit_core::solver::PartReport], metrics: &Metrics) {
+    for report in reports {
+        let sp = &report.solve_path;
+        Metrics::add(&metrics.sparse_fastpath_hits, sp.sparse_fastpath_hits);
+        Metrics::add(&metrics.dense_fallbacks, sp.dense_fallbacks);
+        Metrics::add(
+            &metrics.reach_ppm_sum,
+            (sp.reach_fraction_sum * 1e6).round() as u64,
+        );
+        Metrics::add(&metrics.reach_samples, sp.reach_samples);
+    }
+}
+
 fn execute_started_job(job: &Job, cache: &FactorizationCache, metrics: &Metrics) {
     let request = &job.request;
     let key = MatrixKey::new(&request.matrix, &request.config);
@@ -301,6 +327,7 @@ fn execute_started_job(job: &Job, cache: &FactorizationCache, metrics: &Metrics)
     match outcome {
         Ok(outcome) => {
             let rhs = outcome.rhs_count() as u64;
+            record_solve_paths(outcome.part_reports(), metrics);
             job.shared
                 .finish(Ok(Arc::new(outcome)), FinishKind::Completed(rhs));
         }

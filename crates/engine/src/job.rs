@@ -154,6 +154,14 @@ impl JobOutcome {
         }
     }
 
+    /// Per-processor reports of the underlying solve.
+    pub fn part_reports(&self) -> &[msplit_core::solver::PartReport] {
+        match self {
+            JobOutcome::Single(o) => &o.part_reports,
+            JobOutcome::Batch(o) => &o.part_reports,
+        }
+    }
+
     /// The solution columns: one vector for a single solve, the batch
     /// columns otherwise.
     pub fn solutions(&self) -> Vec<&Vec<f64>> {

@@ -358,6 +358,9 @@ fn server_stats(inner: &Inner) -> Message {
         cache_evictions: report.cache_evictions,
         single_flight_waits: report.single_flight_waits,
         single_flight_wait_micros: (report.single_flight_wait_seconds * 1e6) as u64,
+        sparse_fastpath_hits: report.sparse_fastpath_hits,
+        dense_fallbacks: report.dense_fallbacks,
+        mean_reach_ppm: (report.mean_reach_fraction * 1e6).round() as u64,
         queue_depths: {
             let pending = inner.pending.lock();
             [

@@ -184,6 +184,41 @@ fn ops_docs_cover_the_fault_tolerance_surface() {
 }
 
 #[test]
+fn performance_docs_cover_the_sparse_solve_surface() {
+    // The performance page must keep describing the sparse-solve machinery
+    // the code exposes; renaming the knob, a counter, or a benchmark row
+    // without updating the docs fails here.
+    let doc = std::fs::read_to_string(repo_root().join("docs").join("performance.md")).unwrap();
+    for required in [
+        "SolveReach",
+        "SparseRhs",
+        "solve_sparse_into",
+        "reach_threshold",
+        "reach_fraction",
+        "solve_delta_into",
+        "DeltaCache",
+        "set_incremental",
+        "sparse_fastpath_hits",
+        "dense_fallbacks",
+        "mean_reach_ppm",
+        "sparse_trsv",
+        "incremental_halo_delta_step",
+        "bitwise",
+    ] {
+        assert!(
+            doc.contains(required),
+            "docs/performance.md no longer mentions {required}"
+        );
+    }
+    // The README's Performance section must keep pointing at the page.
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    assert!(
+        readme.contains("docs/performance.md"),
+        "README.md no longer links docs/performance.md"
+    );
+}
+
+#[test]
 fn serving_docs_cover_the_fleet_surface() {
     // The serving page must keep describing the protocol and knobs the serve
     // crate exposes; renaming a frame, a rejection code, or a server flag

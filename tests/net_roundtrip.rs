@@ -123,6 +123,9 @@ fn build_message(variant: usize, from: usize, len: usize, seed: u64) -> Message 
             cache_evictions: seed % 50,
             single_flight_waits: seed % 40,
             single_flight_wait_micros: seed % 9_000_000,
+            sparse_fastpath_hits: seed % 77_000,
+            dense_fallbacks: seed % 3_000,
+            mean_reach_ppm: seed % 1_000_000,
             queue_depths: [seed % 9, seed % 7, seed % 5],
         },
     }

@@ -197,12 +197,18 @@ fn server_stats_reflect_completed_and_coalesced_work() {
             shard,
             completed,
             batches,
+            sparse_fastpath_hits,
+            dense_fallbacks,
             queue_depths,
             ..
         } => {
             assert_eq!(*shard, 0);
             assert!(*completed >= 3, "3 solves completed, stats say {completed}");
             assert!(*batches >= 1, "every solve runs inside a dispatched batch");
+            assert!(
+                *sparse_fastpath_hits + *dense_fallbacks > 0,
+                "completed solves must account for their solve paths"
+            );
             assert_eq!(queue_depths.len(), 3);
         }
         other => panic!("expected ServerStats, got {other:?}"),
