@@ -51,6 +51,13 @@ const MIN_COALESCED_OVER_COLD: f64 = 3.0;
 /// factor at n >= 20 000.
 const MIN_SPARSE_TRSV_SPEEDUP: f64 = 3.0;
 
+/// Convergence-protocol acceptance gate: at P = 1024 simulated ranks the
+/// tree-aggregated lockstep coordinator must handle at least this many times
+/// fewer control messages per decision than the flat coordinator (flat is
+/// 2·(P−1) per decision; an arity-4 tree is 2·arity, so the real ratio is
+/// ~256x — the gate just guards against the tree silently degenerating).
+const MIN_TREE_COORDINATOR_REDUCTION: f64 = 4.0;
+
 /// Best-of-`reps` wall-clock milliseconds for `f`.
 fn time_ms<T>(reps: usize, mut f: impl FnMut() -> T) -> f64 {
     let mut best = f64::INFINITY;
@@ -97,6 +104,62 @@ impl DriverRecord {
     fn overhead_pct(&self) -> f64 {
         (self.engine_us - self.inlined_us) / self.inlined_us * 100.0
     }
+}
+
+/// One row of the convergence table: a scale-simulated protocol run.
+struct ConvergenceRecord {
+    protocol: &'static str,
+    world: usize,
+    converged: bool,
+    iterations: u64,
+    coordinator_inbox_peak: usize,
+    coordinator_msgs_per_decision: f64,
+    messages_per_iteration: f64,
+}
+
+/// Runs the in-process scale simulator over P ∈ {64, 256, 1024} × the four
+/// convergence protocols and returns the rows plus the tree-vs-flat
+/// coordinator-load reduction at P = 1024 (the gated claim).
+fn convergence_table() -> (Vec<ConvergenceRecord>, f64) {
+    use msplit_core::scale::{simulate_ranks, Protocol, ScaleConfig};
+    let protocols: [Protocol; 4] = [
+        Protocol::Lockstep,
+        Protocol::Tree { arity: 4 },
+        Protocol::Waves { confirmations: 3 },
+        Protocol::Decentralized {
+            stability_period: 3,
+        },
+    ];
+    let mut rows = Vec::new();
+    let mut flat_1024 = f64::NAN;
+    let mut tree_1024 = f64::NAN;
+    for world in [64usize, 256, 1024] {
+        for protocol in protocols {
+            let report = simulate_ranks(&ScaleConfig {
+                ranks: world,
+                protocol,
+                ..Default::default()
+            })
+            .expect("scale simulation");
+            if world == 1024 {
+                match protocol {
+                    Protocol::Lockstep => flat_1024 = report.coordinator_msgs_per_decision(),
+                    Protocol::Tree { .. } => tree_1024 = report.coordinator_msgs_per_decision(),
+                    _ => {}
+                }
+            }
+            rows.push(ConvergenceRecord {
+                protocol: protocol.label(),
+                world,
+                converged: report.converged,
+                iterations: report.iterations,
+                coordinator_inbox_peak: report.coordinator_inbox_peak,
+                coordinator_msgs_per_decision: report.coordinator_msgs_per_decision(),
+                messages_per_iteration: report.messages_per_iteration(),
+            });
+        }
+    }
+    (rows, flat_1024 / tree_1024)
 }
 
 /// Measures the per-iteration cost of one rank's Algorithm 1 loop body two
@@ -744,6 +807,10 @@ fn main() {
     // --- Serving: the networked fleet, cold vs warm vs coalesced. ---
     let (serving_records, cold_rps, coalesced_rps) = serving_table(check_mode);
 
+    // --- Convergence protocols at scale (in-process simulation; the full
+    // P = 1024 sweep runs in --check too — the gate is the point). ---
+    let (convergence_records, tree_reduction_1024) = convergence_table();
+
     // --- Report. ---
     let mut json = String::new();
     json.push_str("{\n  \"suite\": \"kernel_suite\",\n  \"unit\": \"ms (best of reps)\",\n");
@@ -816,6 +883,28 @@ fn main() {
             json,
             "    {{\"name\": \"{}\", \"value\": {:.3}, \"unit\": \"{}\"}}{}",
             s.name, s.value, s.unit, comma
+        );
+    }
+    json.push_str("  ],\n  \"convergence\": [\n");
+    for (i, c) in convergence_records.iter().enumerate() {
+        let comma = if i + 1 == convergence_records.len() {
+            ""
+        } else {
+            ","
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"protocol\": \"{}\", \"world\": {}, \"converged\": {}, \"iterations\": {}, \
+             \"coordinator_inbox_peak\": {}, \"coordinator_msgs_per_decision\": {:.2}, \
+             \"messages_per_iteration\": {:.2}}}{}",
+            c.protocol,
+            c.world,
+            c.converged,
+            c.iterations,
+            c.coordinator_inbox_peak,
+            c.coordinator_msgs_per_decision,
+            c.messages_per_iteration,
+            comma
         );
     }
     json.push_str("  ]\n}\n");
@@ -909,6 +998,34 @@ fn main() {
         println!(
             "# serving within budget: {coalesced_rps:.1} >= {:.1} req/s",
             MIN_COALESCED_OVER_COLD * cold_rps
+        );
+    }
+
+    // The convergence acceptance gate: every protocol converges at every
+    // simulated scale, and the tree keeps the coordinator off the hot path.
+    let all_converged = convergence_records.iter().all(|c| c.converged);
+    if !all_converged {
+        eprintln!("# FAIL: a convergence protocol failed to converge in the scale simulation");
+        if check_mode {
+            std::process::exit(1);
+        }
+    }
+    println!(
+        "# convergence: tree coordinator reduction at P=1024 is {tree_reduction_1024:.1}x \
+         vs flat votes"
+    );
+    if tree_reduction_1024 < MIN_TREE_COORDINATOR_REDUCTION {
+        eprintln!(
+            "# FAIL: tree coordinator reduction {tree_reduction_1024:.1}x at P=1024 is below \
+             the {MIN_TREE_COORDINATOR_REDUCTION}x acceptance gate"
+        );
+        if check_mode {
+            std::process::exit(1);
+        }
+    } else {
+        println!(
+            "# convergence within budget: {tree_reduction_1024:.1}x >= \
+             {MIN_TREE_COORDINATOR_REDUCTION}x"
         );
     }
 

@@ -54,6 +54,36 @@ pub enum Message {
         /// Iteration at which global convergence was detected.
         iteration: u64,
     },
+    /// A subtree's combined convergence vote, aggregated up a reduction tree
+    /// by the tree-structured lockstep detection scheme (`TreeVotes` in the
+    /// runtime).  Each interior node ANDs its own vote with its children's
+    /// aggregates and forwards one frame to its parent, so the coordinator
+    /// receives `arity` frames per decision instead of `P - 1`.
+    VoteAggregate {
+        /// Sender rank (the subtree root).
+        from: usize,
+        /// Outer-iteration counter the aggregate belongs to.
+        iteration: u64,
+        /// AND of every vote in the sender's subtree (sender included).
+        converged: bool,
+        /// Number of ranks folded into this aggregate — lets the receiver
+        /// cross-check that no subtree was silently dropped.
+        count: u64,
+    },
+    /// A rank's local-stability summary, exchanged pseudo-periodically by the
+    /// decentralized (coordinator-free) detection scheme: `stable` counts the
+    /// consecutive iterations the sender has been locally converged, and each
+    /// rank declares global convergence only once every peer's last summary
+    /// reports a full stability window.
+    StabilitySummary {
+        /// Sender rank.
+        from: usize,
+        /// Sender's outer-iteration counter at summary time.
+        iteration: u64,
+        /// Consecutive locally-converged iterations at the sender (0 resets
+        /// on any dissent).
+        stable: u64,
+    },
     /// Ask the receiver to stop (used to shut down asynchronous receivers).
     Halt,
     /// Liveness probe sent by a rank blocked in a lockstep wait.  Carries no
@@ -231,6 +261,8 @@ const TAG_SOLVE_RESULT: u8 = 10;
 const TAG_REJECT: u8 = 11;
 const TAG_STATS_QUERY: u8 = 12;
 const TAG_SERVER_STATS: u8 = 13;
+const TAG_VOTE_AGGREGATE: u8 = 14;
+const TAG_STABILITY: u8 = 15;
 
 /// `dead_rank` sentinel for a speed-drift reshape (no dead rank).
 const NO_DEAD_RANK: u64 = u64::MAX;
@@ -280,7 +312,9 @@ impl Message {
             | Message::ConvergenceVote { from, .. }
             | Message::Heartbeat { from }
             | Message::Reshape { from, .. }
-            | Message::SpeedReport { from, .. } => Some(*from),
+            | Message::SpeedReport { from, .. }
+            | Message::VoteAggregate { from, .. }
+            | Message::StabilitySummary { from, .. } => Some(*from),
             _ => None,
         }
     }
@@ -295,6 +329,8 @@ impl Message {
                 1 + 8 + 8 + 8 + 8 + payload
             }
             Message::ConvergenceVote { .. } => 1 + 8 + 8 + 1,
+            Message::VoteAggregate { .. } => 1 + 8 + 8 + 1 + 8,
+            Message::StabilitySummary { .. } => 1 + 8 + 8 + 8,
             Message::GlobalConverged { .. } => 1 + 8,
             Message::Halt => 1,
             Message::Heartbeat { .. } => 1 + 8,
@@ -359,6 +395,28 @@ impl Message {
                 buf.put_u64_le(*from as u64);
                 buf.put_u64_le(*iteration);
                 buf.put_u8(u8::from(*converged));
+            }
+            Message::VoteAggregate {
+                from,
+                iteration,
+                converged,
+                count,
+            } => {
+                buf.put_u8(TAG_VOTE_AGGREGATE);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(*iteration);
+                buf.put_u8(u8::from(*converged));
+                buf.put_u64_le(*count);
+            }
+            Message::StabilitySummary {
+                from,
+                iteration,
+                stable,
+            } => {
+                buf.put_u8(TAG_STABILITY);
+                buf.put_u64_le(*from as u64);
+                buf.put_u64_le(*iteration);
+                buf.put_u64_le(*stable);
             }
             Message::GlobalConverged { iteration } => {
                 buf.put_u8(TAG_GLOBAL);
@@ -554,6 +612,31 @@ impl Message {
                     converged,
                 })
             }
+            TAG_VOTE_AGGREGATE => {
+                if data.remaining() < 25 {
+                    return Err(CommError::Codec("truncated vote aggregate".to_string()));
+                }
+                let from = data.get_u64_le() as usize;
+                let iteration = data.get_u64_le();
+                let converged = data.get_u8() != 0;
+                let count = data.get_u64_le();
+                Ok(Message::VoteAggregate {
+                    from,
+                    iteration,
+                    converged,
+                    count,
+                })
+            }
+            TAG_STABILITY => {
+                if data.remaining() < 24 {
+                    return Err(CommError::Codec("truncated stability summary".to_string()));
+                }
+                Ok(Message::StabilitySummary {
+                    from: data.get_u64_le() as usize,
+                    iteration: data.get_u64_le(),
+                    stable: data.get_u64_le(),
+                })
+            }
             TAG_GLOBAL => {
                 if data.remaining() < 8 {
                     return Err(CommError::Codec("truncated global notice".to_string()));
@@ -744,12 +827,76 @@ mod tests {
                 iteration: 120,
                 step_micros: 1_500,
             },
+            Message::VoteAggregate {
+                from: 6,
+                iteration: 33,
+                converged: true,
+                count: 128,
+            },
+            Message::VoteAggregate {
+                from: 1,
+                iteration: 0,
+                converged: false,
+                count: 1,
+            },
+            Message::StabilitySummary {
+                from: 9,
+                iteration: 77,
+                stable: 4,
+            },
         ] {
             let decoded = Message::decode(msg.encode()).unwrap();
             assert_eq!(decoded, msg);
             assert_eq!(msg.encode().len(), msg.encoded_len());
         }
         assert_eq!(Message::Halt.sender(), None);
+        assert_eq!(
+            Message::VoteAggregate {
+                from: 6,
+                iteration: 1,
+                converged: true,
+                count: 2,
+            }
+            .sender(),
+            Some(6)
+        );
+        assert_eq!(
+            Message::StabilitySummary {
+                from: 9,
+                iteration: 1,
+                stable: 0,
+            }
+            .sender(),
+            Some(9)
+        );
+    }
+
+    #[test]
+    fn truncated_convergence_frames_are_rejected() {
+        for msg in [
+            Message::VoteAggregate {
+                from: 3,
+                iteration: 12,
+                converged: true,
+                count: 64,
+            },
+            Message::StabilitySummary {
+                from: 5,
+                iteration: 40,
+                stable: 7,
+            },
+        ] {
+            let encoded = msg.encode();
+            for cut in 1..encoded.len() {
+                assert!(
+                    matches!(
+                        Message::decode(encoded.slice(0..cut)),
+                        Err(CommError::Codec(_))
+                    ),
+                    "{msg:?} cut at {cut} should fail"
+                );
+            }
+        }
     }
 
     #[test]

@@ -60,7 +60,9 @@ fn message_iteration(msg: &Message) -> u64 {
         | Message::SolutionBatch { iteration, .. }
         | Message::ConvergenceVote { iteration, .. }
         | Message::GlobalConverged { iteration }
-        | Message::SpeedReport { iteration, .. } => *iteration,
+        | Message::SpeedReport { iteration, .. }
+        | Message::VoteAggregate { iteration, .. }
+        | Message::StabilitySummary { iteration, .. } => *iteration,
         // Serve-protocol frames have no iteration; the envelope slot carries
         // the request id instead so a packet trace can pair a response with
         // its request without decoding bodies.

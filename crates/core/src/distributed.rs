@@ -29,8 +29,9 @@
 
 use crate::checkpoint::{self, Checkpointer};
 use crate::runtime::{
-    drive_with_hooks, free_running_policies, lockstep_policies, DriveHooks, EventLog,
-    FailurePolicy, IterationWorkspace, RankEngine, RankLink, ReshapeReason, SpeedHook,
+    decentralized_policies, drive_with_hooks, free_running_policies, lockstep_policies,
+    tree_policies, ConvergencePolicy, DriveHooks, EventLog, FailurePolicy, IterationWorkspace,
+    RankEngine, RankLink, ReshapeReason, SpeedHook,
 };
 use crate::solver::{ExecutionMode, MultisplittingConfig};
 use crate::CoreError;
@@ -90,6 +91,30 @@ pub struct RebalanceConfig {
     pub drift_threshold: f64,
 }
 
+/// Which convergence-detection protocol a rank runs, within its execution
+/// mode's family (see `docs/scaling.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectionProtocol {
+    /// The mode's default: flat centralized votes
+    /// ([`crate::runtime::LockstepVotes`] in synchronous mode,
+    /// [`crate::runtime::ConfirmationWaves`] in asynchronous mode).
+    #[default]
+    Default,
+    /// Synchronous mode only: votes aggregate up an `arity`-ary reduction
+    /// tree ([`crate::runtime::TreeVotes`]) — bitwise identical iterates,
+    /// O(arity · log P) coordinator load.
+    Tree {
+        /// Reduction-tree arity (clamped to at least 2).
+        arity: usize,
+    },
+    /// Asynchronous mode only: coordinator-free decentralized stability
+    /// windows ([`crate::runtime::DecentralizedWaves`]).
+    Decentralized {
+        /// Consecutive locally-converged iterations per rank's window.
+        stability_period: u64,
+    },
+}
+
 /// Options of a distributed rank run that are not part of the numerical
 /// configuration.
 #[derive(Debug, Clone)]
@@ -99,6 +124,9 @@ pub struct RankOptions {
     pub peer_timeout: Duration,
     /// How a rank death observed mid-solve is handled.
     pub failure: FailurePolicy,
+    /// The convergence-detection protocol (must match the execution mode's
+    /// family; every rank of a run must use the same value).
+    pub detection: DetectionProtocol,
     /// Record every engine transition for deterministic offline replay.
     pub record_events: bool,
     /// Write periodic snapshots for checkpoint/restart.
@@ -119,6 +147,7 @@ impl Default for RankOptions {
         RankOptions {
             peer_timeout: Duration::from_secs(60),
             failure: FailurePolicy::default(),
+            detection: DetectionProtocol::Default,
             record_events: false,
             checkpoint: None,
             resume_at: None,
@@ -213,13 +242,35 @@ pub fn run_rank(
     let mut link = RankLink::new(transport.as_ref(), rank, send_targets, senders_to_me);
     let run = match config.mode {
         ExecutionMode::Synchronous => {
-            let (mut vote, mut conv, mut progress) = lockstep_policies(
-                rank,
-                world,
-                config.tolerance,
-                options.peer_timeout,
-                options.failure,
-            );
+            let (mut vote, mut conv, mut progress): (_, Box<dyn ConvergencePolicy>, _) =
+                match options.detection {
+                    DetectionProtocol::Default => {
+                        let (v, c, p) = lockstep_policies(
+                            rank,
+                            world,
+                            config.tolerance,
+                            options.peer_timeout,
+                            options.failure,
+                        );
+                        (v, Box::new(c), p)
+                    }
+                    DetectionProtocol::Tree { arity } => {
+                        let (v, c, p) = tree_policies(
+                            rank,
+                            world,
+                            arity,
+                            config.tolerance,
+                            options.peer_timeout,
+                            options.failure,
+                        );
+                        (v, Box::new(c), p)
+                    }
+                    DetectionProtocol::Decentralized { .. } => {
+                        return Err(CoreError::Distributed(format!(
+                            "rank {rank}: decentralized detection requires asynchronous mode"
+                        )));
+                    }
+                };
             if let Some(state) = restored_vote {
                 use crate::runtime::LocalVote;
                 vote.restore_state(state);
@@ -228,20 +279,41 @@ pub fn run_rank(
                 &mut engine,
                 &mut link,
                 &mut vote,
-                &mut conv,
+                conv.as_mut(),
                 &mut progress,
                 config.max_iterations,
                 &mut hooks,
             )?
         }
         ExecutionMode::Asynchronous => {
-            let (mut vote, mut conv, mut progress) = free_running_policies(
-                rank,
-                world,
-                config.tolerance,
-                config.async_confirmations,
-                options.failure,
-            );
+            let (mut vote, mut conv, mut progress): (_, Box<dyn ConvergencePolicy>, _) =
+                match options.detection {
+                    DetectionProtocol::Default => {
+                        let (v, c, p) = free_running_policies(
+                            rank,
+                            world,
+                            config.tolerance,
+                            config.async_confirmations,
+                            options.failure,
+                        );
+                        (v, Box::new(c), p)
+                    }
+                    DetectionProtocol::Decentralized { stability_period } => {
+                        let (v, c, p) = decentralized_policies(
+                            rank,
+                            world,
+                            config.tolerance,
+                            stability_period,
+                            options.failure,
+                        );
+                        (v, Box::new(c), p)
+                    }
+                    DetectionProtocol::Tree { .. } => {
+                        return Err(CoreError::Distributed(format!(
+                            "rank {rank}: tree vote aggregation requires synchronous mode"
+                        )));
+                    }
+                };
             if let Some(state) = restored_vote {
                 use crate::runtime::LocalVote;
                 vote.restore_state(state);
@@ -250,7 +322,7 @@ pub fn run_rank(
                 &mut engine,
                 &mut link,
                 &mut vote,
-                &mut conv,
+                conv.as_mut(),
                 &mut progress,
                 config.max_iterations,
                 &mut hooks,
@@ -379,6 +451,89 @@ mod tests {
         let (x, outcomes) = run_all_ranks(&a, &b, &cfg, &RankOptions::default());
         assert!(outcomes.iter().all(|o| o.converged));
         assert!(max_err(&x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn tree_detection_matches_flat_lockstep_bitwise() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 240,
+            seed: 15,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 9) as f64) - 4.0);
+        let cfg = config(5, ExecutionMode::Synchronous);
+        let (x_flat, flat) = run_all_ranks(&a, &b, &cfg, &RankOptions::default());
+        let tree_options = RankOptions {
+            detection: DetectionProtocol::Tree { arity: 2 },
+            ..Default::default()
+        };
+        let (x_tree, tree) = run_all_ranks(&a, &b, &cfg, &tree_options);
+        assert!(tree.iter().all(|o| o.converged));
+        assert_eq!(
+            flat.iter().map(|o| o.iterations).collect::<Vec<_>>(),
+            tree.iter().map(|o| o.iterations).collect::<Vec<_>>()
+        );
+        assert_eq!(x_flat, x_tree, "tree votes must not perturb the iterates");
+    }
+
+    #[test]
+    fn decentralized_detection_converges_to_the_solution() {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n: 300,
+            seed: 8,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+        let cfg = config(4, ExecutionMode::Asynchronous);
+        let options = RankOptions {
+            detection: DetectionProtocol::Decentralized {
+                stability_period: 3,
+            },
+            ..Default::default()
+        };
+        let (x, outcomes) = run_all_ranks(&a, &b, &cfg, &options);
+        assert!(outcomes.iter().all(|o| o.converged));
+        assert!(max_err(&x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn detection_protocol_must_match_the_mode_family() {
+        let a = generators::tridiagonal(30, 4.0, -1.0);
+        let b = vec![1.0; 30];
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let partition = d.partition().clone();
+        let blk = d.blocks(0).clone();
+        let transport: Arc<dyn Transport> = InProcTransport::new(3);
+        for (mode, detection) in [
+            (
+                ExecutionMode::Synchronous,
+                DetectionProtocol::Decentralized {
+                    stability_period: 3,
+                },
+            ),
+            (
+                ExecutionMode::Asynchronous,
+                DetectionProtocol::Tree { arity: 4 },
+            ),
+        ] {
+            let cfg = config(3, mode);
+            let options = RankOptions {
+                detection,
+                ..Default::default()
+            };
+            assert!(matches!(
+                run_rank(
+                    &partition,
+                    &blk,
+                    &[1],
+                    &[1],
+                    &cfg,
+                    transport.clone(),
+                    &options,
+                ),
+                Err(CoreError::Distributed(_))
+            ));
+        }
     }
 
     #[test]

@@ -85,6 +85,10 @@
 //!   ([`runtime::ConvergencePolicy`]), progress
 //!   ([`runtime::ProgressPolicy`]) and failure ([`runtime::FailurePolicy`])
 //!   policies; every driver below is an adapter over it,
+//! * [`scale`] — the in-process scale simulator ([`scale::simulate_ranks`]):
+//!   hundreds of production rank runtimes driven cooperatively in one
+//!   process, with message-load accounting, for protocol tests at
+//!   256–1024 ranks (`docs/scaling.md`),
 //! * [`checkpoint`] — versioned, fingerprint-pinned per-rank snapshots for
 //!   checkpoint/restart and elastic reshaping,
 //! * [`distributed`] / [`launcher`] — the multi-process runtime: one
@@ -114,6 +118,7 @@ pub mod launcher;
 pub mod perf_model;
 pub mod prepared;
 pub mod runtime;
+pub mod scale;
 pub mod sequential;
 pub mod solver;
 pub mod sync_driver;
@@ -122,7 +127,9 @@ pub mod weighting;
 
 pub use checkpoint::{CheckpointError, Checkpointer, RankCheckpoint};
 pub use decomposition::Decomposition;
-pub use distributed::{run_rank, CheckpointConfig, RankOptions, RankOutcome, RebalanceConfig};
+pub use distributed::{
+    run_rank, CheckpointConfig, DetectionProtocol, RankOptions, RankOutcome, RebalanceConfig,
+};
 pub use launcher::{DistributedOutcome, ElasticOutcome, Launcher, LauncherConfig};
 pub use prepared::PreparedSystem;
 pub use runtime::{

@@ -58,6 +58,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 pub use crate::driver_common::{IterationWorkspace, NeighborData};
+pub use crate::scale::{simulate_ranks, Protocol, ScaleConfig, ScaleReport};
 
 /// Poll granularity of blocking lockstep waits.
 const WAIT_SLICE: Duration = Duration::from_millis(100);
@@ -1385,6 +1386,215 @@ impl ConvergencePolicy for LockstepVotes {
     }
 }
 
+/// Tree-structured per-iteration vote collection: the same barrier +
+/// allreduce semantics as [`LockstepVotes`], but votes aggregate up a
+/// configurable-arity reduction tree rooted at rank 0 and the decision
+/// broadcasts back down the same tree, so the coordinator handles
+/// `arity` inbound [`Message::VoteAggregate`] frames per decision instead of
+/// `P - 1` flat votes — O(arity · log P) coordinator load.
+///
+/// The decision each iteration is the AND over every rank's vote, exactly as
+/// in the flat protocol, and every rank forwards the decision to its children
+/// only in [`ConvergencePolicy::resolve`] — after its own wait loop fully
+/// completed — which preserves the flat protocol's ordering invariant (no
+/// iteration-`i+1` traffic can reach a node whose current iteration is still
+/// `i`).  The iterates are therefore **bitwise identical** to
+/// [`LockstepVotes`] on the same schedule.
+pub struct TreeVotes {
+    rank: usize,
+    world: usize,
+    failure: FailurePolicy,
+    /// Direct children of this rank in the arity-`k` tree (`k·r + 1 ..=
+    /// k·r + k`, clipped to the world).
+    children: Vec<usize>,
+    /// Parent of this rank (`(r - 1) / k`); `None` for the root.
+    parent: Option<usize>,
+    /// Ranks in this rank's subtree, this rank included — carried in the
+    /// upward aggregate so a dropped subtree is detectable.
+    subtree_count: u64,
+    /// AND of this rank's own vote and every child aggregate received for
+    /// the current iteration.
+    agg: bool,
+    /// Ranks folded into `agg` so far this iteration.
+    agg_count: u64,
+    /// Child aggregates still outstanding for the current iteration.
+    pending_children: usize,
+    /// The decision received from the parent (non-root ranks).
+    decision: Option<bool>,
+    current: u64,
+}
+
+impl TreeVotes {
+    /// Builds the policy for `rank` in a `world`-rank run with the given
+    /// reduction-tree arity (clamped to at least 2).
+    pub fn new(rank: usize, world: usize, arity: usize, failure: FailurePolicy) -> Self {
+        let arity = arity.max(2);
+        let children: Vec<usize> = (arity * rank + 1..=arity * rank + arity)
+            .filter(|&c| c < world)
+            .collect();
+        // Subtree size of `rank`: walk their descendants breadth-first; the
+        // tree is static, so this runs once at construction.
+        let mut subtree_count = 1u64;
+        let mut frontier = children.clone();
+        while let Some(node) = frontier.pop() {
+            subtree_count += 1;
+            frontier.extend((arity * node + 1..=arity * node + arity).filter(|&c| c < world));
+        }
+        TreeVotes {
+            rank,
+            world,
+            failure,
+            children,
+            parent: (rank > 0).then(|| (rank - 1) / arity),
+            subtree_count,
+            agg: false,
+            agg_count: 0,
+            pending_children: 0,
+            decision: None,
+            current: 0,
+        }
+    }
+
+    fn is_root(&self) -> bool {
+        self.rank == 0
+    }
+
+    /// Sends this rank's completed subtree aggregate to its parent.
+    fn send_up(&mut self, iteration: u64, link: &mut RankLink) -> Result<(), CoreError> {
+        debug_assert_eq!(self.agg_count, self.subtree_count);
+        if let Some(parent) = self.parent {
+            link.send_ruled(
+                parent,
+                Message::VoteAggregate {
+                    from: self.rank,
+                    iteration,
+                    converged: self.agg,
+                    count: self.agg_count,
+                },
+                self.death_rule(),
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Forwards the known decision for `iteration` down to the children.
+    fn send_down(
+        &mut self,
+        iteration: u64,
+        decision: bool,
+        link: &mut RankLink,
+    ) -> Result<(), CoreError> {
+        let rule = self.death_rule();
+        let note = Message::ConvergenceVote {
+            from: self.rank,
+            iteration,
+            converged: decision,
+        };
+        // Iterate over a copy so `send_ruled` can borrow the link.
+        for i in 0..self.children.len() {
+            let child = self.children[i];
+            link.send_ruled(child, note.clone(), rule)?;
+        }
+        Ok(())
+    }
+}
+
+impl ConvergencePolicy for TreeVotes {
+    fn submit(
+        &mut self,
+        iteration: u64,
+        vote: bool,
+        link: &mut RankLink,
+    ) -> Result<Flow, CoreError> {
+        self.current = iteration;
+        self.decision = None;
+        self.agg = vote;
+        self.agg_count = 1;
+        self.pending_children = self.children.len();
+        if self.pending_children == 0 {
+            // A leaf's subtree is itself: its aggregate goes up immediately.
+            self.send_up(iteration, link)?;
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn observe(&mut self, msg: &Message, link: &mut RankLink) -> Result<Flow, CoreError> {
+        match msg {
+            Message::VoteAggregate {
+                from,
+                iteration,
+                converged,
+                count,
+            } if *iteration == self.current => {
+                if self.pending_children > 0 && self.children.contains(from) {
+                    self.agg &= *converged;
+                    self.agg_count += *count;
+                    self.pending_children -= 1;
+                    if self.pending_children == 0 {
+                        self.send_up(*iteration, link)?;
+                    }
+                }
+                Ok(Flow::Continue)
+            }
+            Message::ConvergenceVote {
+                from,
+                iteration,
+                converged,
+            } if *iteration == self.current && Some(*from) == self.parent => {
+                self.decision = Some(*converged);
+                Ok(Flow::Continue)
+            }
+            Message::GlobalConverged { .. } => Ok(Flow::Converged),
+            Message::Halt => Ok(Flow::Halted),
+            _ => Ok(Flow::Continue),
+        }
+    }
+
+    fn waiting(&self, iteration: u64) -> bool {
+        debug_assert_eq!(iteration, self.current);
+        if self.is_root() {
+            self.pending_children > 0
+        } else {
+            // The parent's decision can only arrive after this rank's own
+            // aggregate went up, so it subsumes the child wait.
+            self.decision.is_none()
+        }
+    }
+
+    fn skip_pending_data(&self) -> bool {
+        !self.is_root() && self.decision == Some(true)
+    }
+
+    fn resolve(&mut self, iteration: u64, link: &mut RankLink) -> Result<Flow, CoreError> {
+        let decision = if self.is_root() {
+            // Every subtree reported: the AND over all `world` votes.
+            debug_assert_eq!(self.agg_count, self.world as u64);
+            self.agg
+        } else {
+            // `waiting` held the exchange loop until the parent's decision
+            // arrived.
+            self.decision.unwrap_or(false)
+        };
+        // Forwarding *here* — after the wait loop fully completed — mirrors
+        // the flat coordinator's broadcast-in-resolve and keeps children from
+        // advancing while this node still waits on iteration traffic.
+        self.send_down(iteration, decision, link)?;
+        Ok(if decision {
+            Flow::Converged
+        } else {
+            Flow::Continue
+        })
+    }
+
+    fn abandon(&mut self, _link: &mut RankLink) {
+        // Synchronized budget, as in `LockstepVotes`: no halt needed.
+    }
+
+    fn death_rule(&self) -> DeathRule {
+        self.failure.death_rule()
+    }
+}
+
 /// Coordinator-side vote board of the confirmation-wave protocol: global
 /// convergence is declared only after every rank has re-sent a "converged"
 /// vote `required` times *after* the all-converged state was first observed,
@@ -1393,7 +1603,12 @@ impl ConvergencePolicy for LockstepVotes {
 #[derive(Debug)]
 pub struct VoteBoard {
     votes: Vec<bool>,
+    /// Count of `true` entries in `votes` — makes `record` O(1) per vote
+    /// instead of an O(P) rescan, which is what lets the coordinator
+    /// batch-drain a full sweep's votes at high rank counts.
+    votes_true: usize,
     confirmed: Vec<bool>,
+    confirmed_count: usize,
     in_wave: bool,
     waves_done: u64,
     required: u64,
@@ -1405,7 +1620,9 @@ impl VoteBoard {
     pub fn new(world: usize, required: u64) -> Self {
         VoteBoard {
             votes: vec![false; world],
+            votes_true: 0,
             confirmed: vec![false; world],
+            confirmed_count: 0,
             in_wave: false,
             waves_done: 0,
             required: required.max(1),
@@ -1419,26 +1636,37 @@ impl VoteBoard {
             return self.global;
         }
         if !converged {
-            self.votes[from] = false;
+            if self.votes[from] {
+                self.votes[from] = false;
+                self.votes_true -= 1;
+            }
             self.in_wave = false;
             self.waves_done = 0;
             return false;
         }
-        self.votes[from] = true;
-        if !self.votes.iter().all(|&v| v) {
+        if !self.votes[from] {
+            self.votes[from] = true;
+            self.votes_true += 1;
+        }
+        if self.votes_true < self.votes.len() {
             return false;
         }
         if !self.in_wave {
             self.in_wave = true;
             self.confirmed.iter_mut().for_each(|c| *c = false);
+            self.confirmed_count = 0;
         }
-        self.confirmed[from] = true;
-        if self.confirmed.iter().all(|&c| c) {
+        if !self.confirmed[from] {
+            self.confirmed[from] = true;
+            self.confirmed_count += 1;
+        }
+        if self.confirmed_count == self.confirmed.len() {
             self.waves_done += 1;
             if self.waves_done >= self.required {
                 self.global = true;
             } else {
                 self.confirmed.iter_mut().for_each(|c| *c = false);
+                self.confirmed_count = 0;
             }
         }
         self.global
@@ -1467,6 +1695,12 @@ pub struct ConfirmationWaves {
     world: usize,
     /// Coordinator state (rank 0 only).
     board: Option<VoteBoard>,
+    /// Coordinator: votes observed since the last sweep, folded into the
+    /// board in one batch per [`ConvergencePolicy::submit`].  Observing a
+    /// vote is then a single push instead of board work per message, so a
+    /// coordinator drowning in votes at high rank counts does O(votes)
+    /// buffering while it drains its inbox and adjudicates once per sweep.
+    pending_votes: Vec<(usize, bool)>,
     last_vote_sent: Option<bool>,
 }
 
@@ -1478,6 +1712,7 @@ impl ConfirmationWaves {
             rank,
             world,
             board: (rank == 0).then(|| VoteBoard::new(world, confirmations)),
+            pending_votes: Vec::new(),
             last_vote_sent: None,
         }
     }
@@ -1503,7 +1738,15 @@ impl ConvergencePolicy for ConfirmationWaves {
         link: &mut RankLink,
     ) -> Result<Flow, CoreError> {
         if let Some(board) = &mut self.board {
-            if board.record(0, vote) {
+            // Batch-drain the votes buffered since the last sweep (arrival
+            // order preserved — wave semantics depend on it), then fold in
+            // the coordinator's own verdict.
+            let mut latched = false;
+            for (from, converged) in self.pending_votes.drain(..) {
+                latched |= board.record(from, converged);
+            }
+            latched |= board.record(0, vote);
+            if latched {
                 return self.broadcast_converged(iteration, link);
             }
         } else if self.last_vote_sent != Some(vote)
@@ -1532,17 +1775,16 @@ impl ConvergencePolicy for ConfirmationWaves {
         Ok(Flow::Continue)
     }
 
-    fn observe(&mut self, msg: &Message, link: &mut RankLink) -> Result<Flow, CoreError> {
+    fn observe(&mut self, msg: &Message, _link: &mut RankLink) -> Result<Flow, CoreError> {
         match msg {
             Message::ConvergenceVote {
-                from,
-                iteration,
-                converged,
+                from, converged, ..
             } => {
-                if let Some(board) = &mut self.board {
-                    if board.record(*from, *converged) {
-                        return self.broadcast_converged(*iteration, link);
-                    }
+                if self.board.is_some() {
+                    // Buffered, not adjudicated: the board runs once per
+                    // sweep (see `submit`) so a vote flood costs a push per
+                    // message instead of a board pass per message.
+                    self.pending_votes.push((*from, *converged));
                 }
                 Ok(Flow::Continue)
             }
@@ -1566,6 +1808,150 @@ impl ConvergencePolicy for ConfirmationWaves {
 
     fn abandon(&mut self, link: &mut RankLink) {
         // Budget exhausted: tell the peers so nobody spins forever.
+        link.broadcast_halt();
+    }
+
+    fn death_rule(&self) -> DeathRule {
+        DeathRule::Tolerate
+    }
+}
+
+/// Coordinator-free convergence detection in the pseudo-periodic AIAC style
+/// (Zhang, Luo & Zhu, arXiv:1410.3197): every rank keeps a **local stability
+/// counter** — consecutive iterations its own verdict stayed "converged" —
+/// and broadcasts a [`Message::StabilitySummary`] whenever the counter
+/// crosses the stability window or resets (refreshed periodically for
+/// liveness).  Any rank whose own window is satisfied *and* whose last
+/// summary from every peer also reports a satisfied window declares global
+/// convergence and broadcasts [`Message::GlobalConverged`] itself — there is
+/// no central [`VoteBoard`] and no coordinator round-trip on the critical
+/// path.
+///
+/// A missing or stale summary counts as *not* stable, so convergence is
+/// never declared before every rank's window was reported satisfied at least
+/// once (no false positives under partial delivery); the stability window
+/// plays the role of [`ConfirmationWaves`]' confirmation count in absorbing
+/// votes that a late slice would have flipped.
+pub struct DecentralizedWaves {
+    rank: usize,
+    world: usize,
+    /// Consecutive locally-converged iterations required before this rank
+    /// considers its own window (or a peer's claimed window) satisfied.
+    stability_period: u64,
+    /// This rank's consecutive locally-converged iteration count.
+    local_stable: u64,
+    /// Last claim received from each peer (own slot mirrors `local_stable`).
+    peer_stable: Vec<u64>,
+    /// The satisfied-bit of the last summary broadcast, for change detection.
+    last_sent_satisfied: Option<bool>,
+    declared: bool,
+}
+
+impl DecentralizedWaves {
+    /// Builds the policy for `rank`; `stability_period` is the number of
+    /// consecutive locally-converged iterations a rank must observe before
+    /// its window counts as satisfied (clamped to at least 1).
+    pub fn new(rank: usize, world: usize, stability_period: u64) -> Self {
+        DecentralizedWaves {
+            rank,
+            world,
+            stability_period: stability_period.max(1),
+            local_stable: 0,
+            peer_stable: vec![0; world],
+            last_sent_satisfied: None,
+            declared: false,
+        }
+    }
+
+    /// Whether this rank's view says every rank's window is satisfied.
+    fn all_windows_satisfied(&self) -> bool {
+        self.peer_stable.iter().all(|&s| s >= self.stability_period)
+    }
+
+    /// Declares global convergence: broadcast to every live peer and stop.
+    fn declare(&mut self, iteration: u64, link: &mut RankLink) -> Result<Flow, CoreError> {
+        self.declared = true;
+        let note = Message::GlobalConverged { iteration };
+        for to in 0..self.world {
+            if to != self.rank {
+                link.send_ruled(to, note.clone(), DeathRule::Tolerate)?;
+            }
+        }
+        Ok(Flow::Converged)
+    }
+}
+
+impl ConvergencePolicy for DecentralizedWaves {
+    fn submit(
+        &mut self,
+        iteration: u64,
+        vote: bool,
+        link: &mut RankLink,
+    ) -> Result<Flow, CoreError> {
+        self.local_stable = if vote { self.local_stable + 1 } else { 0 };
+        self.peer_stable[self.rank] = self.local_stable;
+        let satisfied = self.local_stable >= self.stability_period;
+        if satisfied && self.all_windows_satisfied() {
+            return self.declare(iteration, link);
+        }
+        // Pseudo-periodic summaries: broadcast when the satisfied-bit flips
+        // (a window completing or a reset tearing one down) and refresh
+        // periodically so peers that missed a frame re-learn the state.
+        if self.last_sent_satisfied != Some(satisfied)
+            || iteration.is_multiple_of(VOTE_REFRESH_ITERATIONS)
+        {
+            let note = Message::StabilitySummary {
+                from: self.rank,
+                iteration,
+                stable: self.local_stable,
+            };
+            for to in 0..self.world {
+                if to != self.rank {
+                    link.send_ruled(to, note.clone(), DeathRule::Tolerate)?;
+                }
+            }
+            self.last_sent_satisfied = Some(satisfied);
+        }
+        Ok(Flow::Continue)
+    }
+
+    fn observe(&mut self, msg: &Message, link: &mut RankLink) -> Result<Flow, CoreError> {
+        match msg {
+            Message::StabilitySummary {
+                from,
+                iteration,
+                stable,
+            } => {
+                if *from < self.world {
+                    self.peer_stable[*from] = *stable;
+                }
+                if !self.declared
+                    && self.local_stable >= self.stability_period
+                    && self.all_windows_satisfied()
+                {
+                    return self.declare(*iteration, link);
+                }
+                Ok(Flow::Continue)
+            }
+            Message::GlobalConverged { .. } => Ok(Flow::Converged),
+            Message::Halt => Ok(Flow::Halted),
+            _ => Ok(Flow::Continue),
+        }
+    }
+
+    fn waiting(&self, _iteration: u64) -> bool {
+        false
+    }
+
+    fn skip_pending_data(&self) -> bool {
+        false
+    }
+
+    fn resolve(&mut self, _iteration: u64, _link: &mut RankLink) -> Result<Flow, CoreError> {
+        Ok(Flow::Continue)
+    }
+
+    fn abandon(&mut self, link: &mut RankLink) {
         link.broadcast_halt();
     }
 
@@ -1601,7 +1987,7 @@ pub trait ProgressPolicy: Send {
     ) -> Result<Flow, CoreError>;
 }
 
-fn data_meta(msg: &Message) -> Option<(usize, u64)> {
+pub(crate) fn data_meta(msg: &Message) -> Option<(usize, u64)> {
     match msg {
         Message::Solution {
             from, iteration, ..
@@ -1615,7 +2001,13 @@ fn data_meta(msg: &Message) -> Option<(usize, u64)> {
 
 /// Marks a pending dependency slice as delivered when its iteration stamp
 /// matches the current lockstep iteration.
-fn mark_slice(senders: &[usize], pending: &mut [bool], from: usize, iteration: u64, current: u64) {
+pub(crate) fn mark_slice(
+    senders: &[usize],
+    pending: &mut [bool],
+    from: usize,
+    iteration: u64,
+    current: u64,
+) {
     if iteration == current {
         if let Some(slot) = senders.iter().position(|&s| s == from) {
             pending[slot] = false;
@@ -1963,6 +2355,44 @@ pub fn free_running_policies(
     (
         IncrementVote::free_running(tolerance),
         ConfirmationWaves::new(rank, world, confirmations),
+        FreeRunning::new(failure),
+    )
+}
+
+/// The tree-structured lockstep policy stack: identical to
+/// [`lockstep_policies`] except that votes aggregate up an `arity`-ary
+/// reduction tree ([`TreeVotes`]) instead of flooding rank 0 — same local
+/// vote, same barrier-equivalent wait, bitwise-identical iterates.
+pub fn tree_policies(
+    rank: usize,
+    world: usize,
+    arity: usize,
+    tolerance: f64,
+    peer_timeout: Duration,
+    failure: FailurePolicy,
+) -> (StaleSweepGuard<IncrementVote>, TreeVotes, Lockstep) {
+    (
+        StaleSweepGuard::new(IncrementVote::lockstep(tolerance), tolerance),
+        TreeVotes::new(rank, world, arity, failure),
+        Lockstep::new(peer_timeout, failure),
+    )
+}
+
+/// The coordinator-free free-running policy stack: identical to
+/// [`free_running_policies`] except that convergence is detected by the
+/// decentralized stability-window protocol ([`DecentralizedWaves`]) instead
+/// of rank 0's [`VoteBoard`]; `stability_period` is the consecutive
+/// locally-converged iteration count required per rank.
+pub fn decentralized_policies(
+    rank: usize,
+    world: usize,
+    tolerance: f64,
+    stability_period: u64,
+    failure: FailurePolicy,
+) -> (IncrementVote, DecentralizedWaves, FreeRunning) {
+    (
+        IncrementVote::free_running(tolerance),
+        DecentralizedWaves::new(rank, world, stability_period),
         FreeRunning::new(failure),
     )
 }

@@ -1,0 +1,823 @@
+//! In-process scale simulation of the convergence protocols.
+//!
+//! The paper's grid premise is hundreds of distant processors, but a real
+//! 1000-rank deployment is not something CI can spawn.  This module runs the
+//! *actual* per-rank runtime — the same [`RankEngine`], [`LocalVote`] chains
+//! and [`ConvergencePolicy`] state machines every driver uses — for hundreds
+//! of ranks inside one process on one thread, with a deterministic
+//! pseudo-random rank schedule, so protocol behavior at P ∈ {256, 512, 1024}
+//! can be asserted in tests and gated in CI (the `scale-sim` lane).
+//!
+//! The simulator replaces only the *transport and scheduler*: a
+//! [`SimTransport`] with per-rank in-memory inboxes that additionally counts
+//! control/data traffic and records the coordinator's peak inbox depth — the
+//! quantities the perf-report `convergence` table gates on.  Everything a
+//! protocol does (who votes to whom, when aggregates go up the tree, when a
+//! decentralized rank declares) is the production policy code, driven through
+//! the same `submit`/`observe`/`waiting`/`resolve` sequence as the blocking
+//! drive loop, just non-blockingly:
+//!
+//! * **Lockstep family** ([`Protocol::Lockstep`], [`Protocol::Tree`]): each
+//!   visit performs at most one engine step and then replays the
+//!   barrier-equivalent wait of [`Lockstep`](crate::runtime::Lockstep) as a
+//!   resumable state machine (pending dependency slices, deferred
+//!   future-iteration frames, policy wait + resolve).  Because the barrier
+//!   makes lockstep iterates schedule-independent, every seed produces the
+//!   same bitwise solution — which is exactly what lets tests pin
+//!   [`TreeVotes`] against [`LockstepVotes`] bitwise at scale.
+//! * **Free-running family** ([`Protocol::Waves`],
+//!   [`Protocol::Decentralized`]): each visit drains the inbox (data to the
+//!   engine, control to the policy) and performs one step, mirroring
+//!   [`FreeRunning`](crate::runtime::FreeRunning) without the idle backoff
+//!   and heartbeat machinery (no clock, no thread can die).
+//!
+//! Entry point: [`simulate_ranks`] (also re-exported as
+//! `runtime::simulate_ranks`), returning a [`ScaleReport`] with the solution,
+//! per-rank iteration counts and the message-load counters.
+
+use crate::decomposition::Decomposition;
+use crate::runtime::{
+    data_meta, factorize_blocks, fresh_workspaces, mark_slice, receive_sources, ConfirmationWaves,
+    ConvergencePolicy, DecentralizedWaves, EventLog, FailurePolicy, Flow, IncrementVote, LocalVote,
+    LockstepVotes, RankEngine, RankLink, StaleSweepGuard, TreeVotes,
+};
+use crate::solver::MultisplittingConfig;
+use crate::CoreError;
+use msplit_comm::message::Message;
+use msplit_comm::transport::Transport;
+use msplit_comm::CommError;
+use msplit_sparse::generators;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Which convergence-detection protocol the simulated ranks run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Flat centralized lockstep votes ([`LockstepVotes`]).
+    Lockstep,
+    /// Tree-aggregated lockstep votes ([`TreeVotes`]).
+    Tree {
+        /// Reduction-tree arity (clamped to at least 2).
+        arity: usize,
+    },
+    /// Free-running confirmation waves through rank 0 ([`ConfirmationWaves`]).
+    Waves {
+        /// Complete confirmation waves required to latch global convergence.
+        confirmations: u64,
+    },
+    /// Coordinator-free decentralized detection ([`DecentralizedWaves`]).
+    Decentralized {
+        /// Consecutive locally-converged iterations per rank's window.
+        stability_period: u64,
+    },
+}
+
+impl Protocol {
+    /// Whether this protocol runs under the barrier-equivalent lockstep wait.
+    pub fn is_lockstep(self) -> bool {
+        matches!(self, Protocol::Lockstep | Protocol::Tree { .. })
+    }
+
+    /// Short stable label for reports and artifacts.
+    pub fn label(self) -> &'static str {
+        match self {
+            Protocol::Lockstep => "lockstep",
+            Protocol::Tree { .. } => "tree",
+            Protocol::Waves { .. } => "waves",
+            Protocol::Decentralized { .. } => "decentralized",
+        }
+    }
+}
+
+/// Configuration of one [`simulate_ranks`] run.
+#[derive(Debug, Clone)]
+pub struct ScaleConfig {
+    /// Number of simulated ranks (= bands).
+    pub ranks: usize,
+    /// Rows per band; the system order is `ranks * rows_per_rank`.
+    pub rows_per_rank: usize,
+    /// Convergence tolerance on the per-iteration increment.
+    pub tolerance: f64,
+    /// Outer-iteration budget per rank.
+    pub max_iterations: u64,
+    /// The convergence protocol under test.
+    pub protocol: Protocol,
+    /// Seed of the per-sweep rank-visit permutation.
+    pub seed: u64,
+    /// Record rank 0's `ingest`/`step` transitions into an [`EventLog`]
+    /// (the CI failure artifact).
+    pub record_events: bool,
+}
+
+impl Default for ScaleConfig {
+    fn default() -> Self {
+        ScaleConfig {
+            ranks: 256,
+            rows_per_rank: 4,
+            tolerance: 1e-8,
+            max_iterations: 10_000,
+            protocol: Protocol::Lockstep,
+            seed: 1,
+            record_events: false,
+        }
+    }
+}
+
+/// What one [`simulate_ranks`] run observed.
+#[derive(Debug, Clone)]
+pub struct ScaleReport {
+    /// Number of simulated ranks.
+    pub world: usize,
+    /// The protocol that ran.
+    pub protocol: Protocol,
+    /// Whether the run reached global convergence within budget.
+    pub converged: bool,
+    /// Maximum outer-iteration count over the ranks.
+    pub iterations: u64,
+    /// Outer iterations per rank.
+    pub iterations_per_rank: Vec<u64>,
+    /// The assembled solution.
+    pub x: Vec<f64>,
+    /// Cooperative sweeps the scheduler performed.
+    pub sweeps: u64,
+    /// Peak queued-message depth of rank 0's inbox.
+    pub coordinator_inbox_peak: usize,
+    /// Control messages received by rank 0.
+    pub coordinator_control_in: u64,
+    /// Control messages sent by rank 0.
+    pub coordinator_control_out: u64,
+    /// Control messages sent by all ranks.
+    pub control_messages_total: u64,
+    /// Data (solution-slice) messages sent by all ranks.
+    pub data_messages_total: u64,
+    /// Rank 0's recorded transition log, when
+    /// [`ScaleConfig::record_events`] was set.
+    pub event_log: Option<EventLog>,
+}
+
+impl ScaleReport {
+    /// Control messages rank 0 handles (in + out) per convergence decision —
+    /// the coordinator hot-spot metric.  For the lockstep family one decision
+    /// happens per outer iteration; for the free-running family this is the
+    /// per-iteration control load on rank 0.
+    pub fn coordinator_msgs_per_decision(&self) -> f64 {
+        let decisions = self.iterations.max(1) as f64;
+        (self.coordinator_control_in + self.coordinator_control_out) as f64 / decisions
+    }
+
+    /// Total messages (control + data) sent per outer iteration, summed over
+    /// the ranks.
+    pub fn messages_per_iteration(&self) -> f64 {
+        let iterations = self.iterations.max(1) as f64;
+        (self.control_messages_total + self.data_messages_total) as f64 / iterations
+    }
+
+    /// Human-readable run summary (the `scale-sim` CI lane uploads this as
+    /// its failure artifact).
+    pub fn event_summary(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "protocol={} world={} converged={} iterations={} sweeps={}\n",
+            self.protocol.label(),
+            self.world,
+            self.converged,
+            self.iterations,
+            self.sweeps
+        ));
+        out.push_str(&format!(
+            "coordinator: inbox_peak={} control_in={} control_out={} msgs_per_decision={:.2}\n",
+            self.coordinator_inbox_peak,
+            self.coordinator_control_in,
+            self.coordinator_control_out,
+            self.coordinator_msgs_per_decision()
+        ));
+        out.push_str(&format!(
+            "traffic: control_total={} data_total={} messages_per_iteration={:.2}\n",
+            self.control_messages_total,
+            self.data_messages_total,
+            self.messages_per_iteration()
+        ));
+        if let Some(log) = &self.event_log {
+            out.push_str(&format!(
+                "rank0 event log: {} transitions\n",
+                log.events.len()
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Simulated transport
+// ---------------------------------------------------------------------------
+
+/// One rank's in-memory inbox plus its receive-side counters.
+struct Inbox {
+    queue: VecDeque<Message>,
+    peak: usize,
+    control_in: u64,
+}
+
+/// Single-process transport with per-rank inboxes and traffic accounting.
+///
+/// `send` classifies each message as control (convergence-protocol frames)
+/// or data (solution slices) and tracks the receiver's peak queue depth —
+/// the "coordinator inbox depth" column of the perf-report `convergence`
+/// table.  Receives never block: the simulator is single-threaded, so a
+/// blocking receive could only deadlock; `recv`/`recv_timeout` return
+/// [`CommError::Timeout`] on an empty inbox instead.
+pub struct SimTransport {
+    inboxes: Vec<Mutex<Inbox>>,
+    control_out: Vec<AtomicU64>,
+    data_out: Vec<AtomicU64>,
+}
+
+impl SimTransport {
+    /// Transport connecting `world` simulated ranks.
+    pub fn new(world: usize) -> Self {
+        SimTransport {
+            inboxes: (0..world)
+                .map(|_| {
+                    Mutex::new(Inbox {
+                        queue: VecDeque::new(),
+                        peak: 0,
+                        control_in: 0,
+                    })
+                })
+                .collect(),
+            control_out: (0..world).map(|_| AtomicU64::new(0)).collect(),
+            data_out: (0..world).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    fn is_control(msg: &Message) -> bool {
+        !matches!(
+            msg,
+            Message::Solution { .. } | Message::SolutionBatch { .. }
+        )
+    }
+
+    /// Peak queued depth of `rank`'s inbox so far.
+    pub fn inbox_peak(&self, rank: usize) -> usize {
+        self.inboxes[rank].lock().expect("sim inbox poisoned").peak
+    }
+
+    /// Control messages received by `rank` so far.
+    pub fn control_in(&self, rank: usize) -> u64 {
+        self.inboxes[rank]
+            .lock()
+            .expect("sim inbox poisoned")
+            .control_in
+    }
+
+    /// Control messages sent by `rank` so far.
+    pub fn control_out(&self, rank: usize) -> u64 {
+        self.control_out[rank].load(Ordering::Relaxed)
+    }
+
+    /// Data messages sent by `rank` so far.
+    pub fn data_out(&self, rank: usize) -> u64 {
+        self.data_out[rank].load(Ordering::Relaxed)
+    }
+}
+
+impl Transport for SimTransport {
+    fn num_ranks(&self) -> usize {
+        self.inboxes.len()
+    }
+
+    fn send(&self, from: usize, to: usize, msg: Message) -> Result<(), CommError> {
+        if Self::is_control(&msg) {
+            self.control_out[from].fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.data_out[from].fetch_add(1, Ordering::Relaxed);
+        }
+        let mut inbox = self.inboxes[to].lock().expect("sim inbox poisoned");
+        if Self::is_control(&msg) {
+            inbox.control_in += 1;
+        }
+        inbox.queue.push_back(msg);
+        inbox.peak = inbox.peak.max(inbox.queue.len());
+        Ok(())
+    }
+
+    fn recv(&self, rank: usize) -> Result<Message, CommError> {
+        self.try_recv(rank)?.ok_or(CommError::Timeout { rank })
+    }
+
+    fn try_recv(&self, rank: usize) -> Result<Option<Message>, CommError> {
+        Ok(self.inboxes[rank]
+            .lock()
+            .expect("sim inbox poisoned")
+            .queue
+            .pop_front())
+    }
+
+    fn recv_timeout(&self, rank: usize, _timeout: Duration) -> Result<Message, CommError> {
+        self.recv(rank)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deterministic schedule
+// ---------------------------------------------------------------------------
+
+/// Minimal xorshift64 generator — `msplit-core` deliberately has no `rand`
+/// dependency, and the schedule only needs reproducible permutations.
+struct Xorshift64(u64);
+
+impl Xorshift64 {
+    fn new(seed: u64) -> Self {
+        Xorshift64(seed.max(1))
+    }
+
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle(&mut self, slice: &mut [usize]) {
+        for i in (1..slice.len()).rev() {
+            let j = (self.next() % (i as u64 + 1)) as usize;
+            slice.swap(i, j);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The cooperative per-rank state machine
+// ---------------------------------------------------------------------------
+
+/// Resumable per-rank progress state of the non-blocking drive loop.
+struct RankState {
+    /// Lockstep family: inside the post-step barrier wait.
+    waiting: bool,
+    /// Iteration currently being waited on / most recently stepped.
+    iteration: u64,
+    /// Lockstep family: dependency slices still missing this iteration
+    /// (slot order = `senders_to_me`).
+    pending: Vec<bool>,
+    /// Lockstep family: data frames stamped with a future iteration.
+    deferred: Vec<Message>,
+    /// Terminal outcome (`Some(converged)`).
+    done: Option<bool>,
+}
+
+impl RankState {
+    fn new() -> Self {
+        RankState {
+            waiting: false,
+            iteration: 0,
+            pending: Vec::new(),
+            deferred: Vec::new(),
+            done: None,
+        }
+    }
+}
+
+/// One cooperative visit of a lockstep-family rank: at most one engine step,
+/// then the barrier wait replayed non-blockingly (mirrors
+/// [`Lockstep::exchange`](crate::runtime::Lockstep) without clocks).
+fn visit_lockstep(
+    engine: &mut RankEngine,
+    link: &mut RankLink,
+    vote: &mut dyn LocalVote,
+    conv: &mut dyn ConvergencePolicy,
+    st: &mut RankState,
+    max_iterations: u64,
+) -> Result<(), CoreError> {
+    if st.done.is_some() {
+        return Ok(());
+    }
+    if !st.waiting {
+        if engine.iterations() >= max_iterations {
+            // Budget exhausted: the lockstep budget is synchronized (every
+            // rank runs out at the same iteration), so mirror the drive
+            // loop's final drain-then-abandon.
+            while let Some(msg) = link.try_recv().map_err(CoreError::Comm)? {
+                if data_meta(&msg).is_none() {
+                    if let Flow::Converged = conv.observe(&msg, link)? {
+                        st.done = Some(true);
+                        return Ok(());
+                    }
+                }
+            }
+            conv.abandon(link);
+            st.done = Some(false);
+            return Ok(());
+        }
+        let obs = engine.step()?;
+        link.fan_out(engine.outgoing(), conv.death_rule())?;
+        let local = vote.vote(&obs);
+        match conv.submit(obs.iteration, local, link)? {
+            Flow::Continue => {}
+            Flow::Converged => {
+                st.done = Some(true);
+                return Ok(());
+            }
+            Flow::Halted | Flow::Reshape(_) => {
+                st.done = Some(false);
+                return Ok(());
+            }
+        }
+        st.iteration = obs.iteration;
+        st.pending = vec![true; link.senders_to_me().len()];
+        st.waiting = true;
+        // Replay slices a fast peer delivered early for this iteration.
+        let deferred = std::mem::take(&mut st.deferred);
+        for msg in deferred {
+            if let Some((from, iter)) = data_meta(&msg) {
+                if iter > st.iteration {
+                    st.deferred.push(msg);
+                    continue;
+                }
+                mark_slice(
+                    link.senders_to_me(),
+                    &mut st.pending,
+                    from,
+                    iter,
+                    st.iteration,
+                );
+                engine.ingest(msg);
+            }
+        }
+    }
+    // The barrier wait, resumable: drain until released or the inbox is dry.
+    loop {
+        let waiting_conv = conv.waiting(st.iteration);
+        let waiting_slices = st.pending.iter().any(|&p| p) && !conv.skip_pending_data();
+        if !waiting_conv && !waiting_slices {
+            match conv.resolve(st.iteration, link)? {
+                Flow::Continue => st.waiting = false,
+                Flow::Converged => st.done = Some(true),
+                Flow::Halted | Flow::Reshape(_) => st.done = Some(false),
+            }
+            return Ok(());
+        }
+        let Some(msg) = link.try_recv().map_err(CoreError::Comm)? else {
+            // Nothing queued: yield to the other ranks.
+            return Ok(());
+        };
+        match data_meta(&msg) {
+            Some((from, iter)) => {
+                if iter > st.iteration {
+                    st.deferred.push(msg);
+                } else {
+                    mark_slice(
+                        link.senders_to_me(),
+                        &mut st.pending,
+                        from,
+                        iter,
+                        st.iteration,
+                    );
+                    engine.ingest(msg);
+                }
+            }
+            None => match msg {
+                Message::Heartbeat { .. } => {}
+                Message::SpeedReport {
+                    from, step_micros, ..
+                } => link.note_speed(from, step_micros),
+                Message::Reshape { .. } => {
+                    st.done = Some(false);
+                    return Ok(());
+                }
+                msg => match conv.observe(&msg, link)? {
+                    Flow::Continue => {}
+                    Flow::Converged => {
+                        st.done = Some(true);
+                        return Ok(());
+                    }
+                    Flow::Halted | Flow::Reshape(_) => {
+                        st.done = Some(false);
+                        return Ok(());
+                    }
+                },
+            },
+        }
+    }
+}
+
+/// One cooperative visit of a free-running rank: drain the inbox, then one
+/// engine step (mirrors [`FreeRunning`](crate::runtime::FreeRunning) without
+/// the idle backoff and heartbeat machinery — no clock in the simulator).
+fn visit_free_running(
+    engine: &mut RankEngine,
+    link: &mut RankLink,
+    vote: &mut dyn LocalVote,
+    conv: &mut dyn ConvergencePolicy,
+    st: &mut RankState,
+    max_iterations: u64,
+) -> Result<(), CoreError> {
+    if st.done.is_some() {
+        return Ok(());
+    }
+    while let Some(msg) = link.try_recv().map_err(CoreError::Comm)? {
+        if data_meta(&msg).is_some() {
+            engine.ingest(msg);
+            continue;
+        }
+        match msg {
+            Message::Heartbeat { .. } => {}
+            Message::SpeedReport {
+                from, step_micros, ..
+            } => link.note_speed(from, step_micros),
+            Message::Reshape { .. } => {
+                st.done = Some(false);
+                return Ok(());
+            }
+            msg => match conv.observe(&msg, link)? {
+                Flow::Continue => {}
+                Flow::Converged => {
+                    st.done = Some(true);
+                    return Ok(());
+                }
+                Flow::Halted => {
+                    // Halt racing a convergence broadcast: a queued
+                    // `GlobalConverged` wins (the grace drain of the real
+                    // free-running loop, here over the remaining queue).
+                    let mut converged = false;
+                    while let Some(m) = link.try_recv().map_err(CoreError::Comm)? {
+                        if matches!(m, Message::GlobalConverged { .. }) {
+                            converged = true;
+                            break;
+                        }
+                    }
+                    st.done = Some(converged);
+                    return Ok(());
+                }
+                Flow::Reshape(_) => {
+                    st.done = Some(false);
+                    return Ok(());
+                }
+            },
+        }
+    }
+    if engine.iterations() >= max_iterations {
+        conv.abandon(link);
+        st.done = Some(false);
+        return Ok(());
+    }
+    let obs = engine.step()?;
+    link.fan_out(engine.outgoing(), conv.death_rule())?;
+    let local = vote.vote(&obs);
+    st.iteration = obs.iteration;
+    match conv.submit(obs.iteration, local, link)? {
+        Flow::Continue => {}
+        Flow::Converged => st.done = Some(true),
+        Flow::Halted | Flow::Reshape(_) => st.done = Some(false),
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------------
+// Entry point
+// ---------------------------------------------------------------------------
+
+/// Runs `config.ranks` production rank runtimes to convergence inside one
+/// process and reports the outcome plus message-load counters.
+///
+/// The test system is the paper's banded model problem — a diagonally
+/// dominant tridiagonal system of order `ranks × rows_per_rank` with the
+/// known solution `x[i] = (i % 7)` — decomposed into one band per rank, so
+/// convergence and the assembled solution can be asserted exactly.
+pub fn simulate_ranks(config: &ScaleConfig) -> Result<ScaleReport, CoreError> {
+    if config.ranks < 2 {
+        return Err(CoreError::Decomposition(
+            "scale simulation needs at least 2 ranks".into(),
+        ));
+    }
+    if config.rows_per_rank == 0 {
+        return Err(CoreError::Decomposition(
+            "scale simulation needs at least 1 row per rank".into(),
+        ));
+    }
+    let world = config.ranks;
+    let n = world * config.rows_per_rank;
+    let a = generators::tridiagonal(n, 4.0, -1.0);
+    let (_x_true, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+    let ms_config = MultisplittingConfig {
+        parts: world,
+        tolerance: config.tolerance,
+        max_iterations: config.max_iterations,
+        ..Default::default()
+    };
+    let decomp = Decomposition::uniform(&a, &b, world, 0)?;
+    let send_targets = decomp.send_targets();
+    let senders = receive_sources(&send_targets);
+    let (partition, blocks) = decomp.into_blocks();
+    let factors = factorize_blocks(&blocks, &ms_config)?;
+    let mut workspaces = fresh_workspaces(world);
+    let transport = SimTransport::new(world);
+
+    let mut engines: Vec<RankEngine> = blocks
+        .iter()
+        .zip(factors.iter())
+        .zip(workspaces.iter_mut())
+        .map(|((blk, factor), ws)| {
+            RankEngine::single(
+                &partition,
+                blk,
+                &blk.b_sub,
+                factor.as_ref(),
+                ms_config.weighting,
+                ws,
+            )
+        })
+        .collect();
+    if config.record_events {
+        engines[0].record_events();
+    }
+    let mut links: Vec<RankLink> = (0..world)
+        .map(|r| RankLink::new(&transport, r, &send_targets[r], &senders[r]))
+        .collect();
+    // No clocks tick in the simulator, so the failure policy must not rely
+    // on heartbeat probing; sends never fail over `SimTransport` anyway.
+    let failure = FailurePolicy::FailFast;
+    let mut votes: Vec<Box<dyn LocalVote>> = (0..world)
+        .map(|_| -> Box<dyn LocalVote> {
+            if config.protocol.is_lockstep() {
+                Box::new(StaleSweepGuard::new(
+                    IncrementVote::lockstep(config.tolerance),
+                    config.tolerance,
+                ))
+            } else {
+                Box::new(IncrementVote::free_running(config.tolerance))
+            }
+        })
+        .collect();
+    let mut convs: Vec<Box<dyn ConvergencePolicy>> = (0..world)
+        .map(|r| -> Box<dyn ConvergencePolicy> {
+            match config.protocol {
+                Protocol::Lockstep => Box::new(LockstepVotes::new(r, world, failure)),
+                Protocol::Tree { arity } => Box::new(TreeVotes::new(r, world, arity, failure)),
+                Protocol::Waves { confirmations } => {
+                    Box::new(ConfirmationWaves::new(r, world, confirmations))
+                }
+                Protocol::Decentralized { stability_period } => {
+                    Box::new(DecentralizedWaves::new(r, world, stability_period))
+                }
+            }
+        })
+        .collect();
+    let mut states: Vec<RankState> = (0..world).map(|_| RankState::new()).collect();
+
+    let mut rng = Xorshift64::new(config.seed);
+    let mut order: Vec<usize> = (0..world).collect();
+    let mut sweeps = 0u64;
+    // Generous runaway backstop: a healthy rank makes progress every sweep,
+    // so a run that is going to converge does so in far fewer sweeps.
+    let sweep_cap = config.max_iterations.saturating_mul(64).max(10_000);
+    while states.iter().any(|s| s.done.is_none()) && sweeps < sweep_cap {
+        sweeps += 1;
+        rng.shuffle(&mut order);
+        for &r in &order {
+            if config.protocol.is_lockstep() {
+                visit_lockstep(
+                    &mut engines[r],
+                    &mut links[r],
+                    votes[r].as_mut(),
+                    convs[r].as_mut(),
+                    &mut states[r],
+                    config.max_iterations,
+                )?;
+            } else {
+                visit_free_running(
+                    &mut engines[r],
+                    &mut links[r],
+                    votes[r].as_mut(),
+                    convs[r].as_mut(),
+                    &mut states[r],
+                    config.max_iterations,
+                )?;
+            }
+        }
+    }
+
+    let converged = states.iter().all(|s| s.done == Some(true));
+    let iterations_per_rank: Vec<u64> = engines.iter().map(|e| e.iterations()).collect();
+    let iterations = iterations_per_rank.iter().copied().max().unwrap_or(0);
+    let locals: Vec<Vec<f64>> = engines.iter().map(|e| e.x_local().to_vec()).collect();
+    let event_log = engines[0].take_event_log();
+    let x = ms_config.weighting.assemble(&partition, &locals);
+    let control_messages_total: u64 = (0..world).map(|r| transport.control_out(r)).sum();
+    let data_messages_total: u64 = (0..world).map(|r| transport.data_out(r)).sum();
+    Ok(ScaleReport {
+        world,
+        protocol: config.protocol,
+        converged,
+        iterations,
+        iterations_per_rank,
+        x,
+        sweeps,
+        coordinator_inbox_peak: transport.inbox_peak(0),
+        coordinator_control_in: transport.control_in(0),
+        coordinator_control_out: transport.control_out(0),
+        control_messages_total,
+        data_messages_total,
+        event_log,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config(ranks: usize, protocol: Protocol) -> ScaleConfig {
+        ScaleConfig {
+            ranks,
+            protocol,
+            ..Default::default()
+        }
+    }
+
+    fn max_err(x: &[f64]) -> f64 {
+        x.iter()
+            .enumerate()
+            .fold(0.0f64, |m, (i, &v)| m.max((v - (i % 7) as f64).abs()))
+    }
+
+    #[test]
+    fn lockstep_converges_at_64_ranks() {
+        let report = simulate_ranks(&config(64, Protocol::Lockstep)).unwrap();
+        assert!(report.converged);
+        assert!(max_err(&report.x) < 1e-6, "err {}", max_err(&report.x));
+    }
+
+    #[test]
+    fn tree_matches_lockstep_bitwise_at_64_ranks() {
+        let flat = simulate_ranks(&config(64, Protocol::Lockstep)).unwrap();
+        let tree = simulate_ranks(&config(64, Protocol::Tree { arity: 4 })).unwrap();
+        assert!(tree.converged);
+        assert_eq!(flat.iterations, tree.iterations);
+        assert_eq!(flat.x, tree.x, "tree iterates must be bitwise identical");
+    }
+
+    #[test]
+    fn tree_cuts_coordinator_load() {
+        let flat = simulate_ranks(&config(64, Protocol::Lockstep)).unwrap();
+        let tree = simulate_ranks(&config(64, Protocol::Tree { arity: 4 })).unwrap();
+        // Flat: 2·(P−1) coordinator messages per decision; arity-4 tree: 8.
+        assert!(
+            flat.coordinator_msgs_per_decision() / tree.coordinator_msgs_per_decision() >= 4.0,
+            "flat {:.1} vs tree {:.1}",
+            flat.coordinator_msgs_per_decision(),
+            tree.coordinator_msgs_per_decision()
+        );
+        assert!(tree.coordinator_inbox_peak <= flat.coordinator_inbox_peak);
+    }
+
+    #[test]
+    fn waves_and_decentralized_converge_at_64_ranks() {
+        let waves = simulate_ranks(&config(64, Protocol::Waves { confirmations: 3 })).unwrap();
+        assert!(waves.converged);
+        assert!(max_err(&waves.x) < 1e-6);
+        let decen = simulate_ranks(&config(
+            64,
+            Protocol::Decentralized {
+                stability_period: 3,
+            },
+        ))
+        .unwrap();
+        assert!(decen.converged);
+        assert!(max_err(&decen.x) < 1e-6);
+    }
+
+    #[test]
+    fn lockstep_is_schedule_independent() {
+        let a = simulate_ranks(&ScaleConfig {
+            ranks: 32,
+            seed: 7,
+            ..Default::default()
+        })
+        .unwrap();
+        let b = simulate_ranks(&ScaleConfig {
+            ranks: 32,
+            seed: 99,
+            ..Default::default()
+        })
+        .unwrap();
+        assert_eq!(a.x, b.x, "the barrier makes lockstep schedule-independent");
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn event_log_records_rank0_transitions() {
+        let report = simulate_ranks(&ScaleConfig {
+            ranks: 8,
+            record_events: true,
+            ..Default::default()
+        })
+        .unwrap();
+        let log = report.event_log.as_ref().expect("recording was enabled");
+        assert!(!log.events.is_empty());
+        assert!(report.event_summary().contains("rank0 event log"));
+    }
+}

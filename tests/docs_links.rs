@@ -219,6 +219,37 @@ fn performance_docs_cover_the_sparse_solve_surface() {
 }
 
 #[test]
+fn scaling_docs_cover_the_convergence_surface() {
+    // The scaling page must keep describing the detection protocols and
+    // knobs the code exposes; renaming a policy, a wire frame, or the CI
+    // marker without updating the docs fails here.
+    let doc = std::fs::read_to_string(repo_root().join("docs").join("scaling.md")).unwrap();
+    for required in [
+        "TreeVotes",
+        "DecentralizedWaves",
+        "VoteAggregate",
+        "StabilitySummary",
+        "arity",
+        "stability_period",
+        "DetectionProtocol",
+        "simulate_ranks",
+        "bitwise",
+        "SCALE_SIM_OK",
+    ] {
+        assert!(
+            doc.contains(required),
+            "docs/scaling.md no longer mentions {required}"
+        );
+    }
+    // The README must keep pointing at the page.
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    assert!(
+        readme.contains("docs/scaling.md"),
+        "README.md no longer links docs/scaling.md"
+    );
+}
+
+#[test]
 fn serving_docs_cover_the_fleet_surface() {
     // The serving page must keep describing the protocol and knobs the serve
     // crate exposes; renaming a frame, a rejection code, or a server flag

@@ -43,7 +43,7 @@ fn bytes_from_seed(seed: u64, len: usize) -> Vec<u8> {
         .collect()
 }
 
-/// Builds one of the thirteen message variants from proptest-drawn integers.
+/// Builds one of the fifteen message variants from proptest-drawn integers.
 fn build_message(variant: usize, from: usize, len: usize, seed: u64) -> Message {
     match variant {
         0 => Message::Solution {
@@ -114,7 +114,7 @@ fn build_message(variant: usize, from: usize, len: usize, seed: u64) -> Message 
             iteration: seed % 100_000,
             step_micros: seed % 10_000_000,
         },
-        _ => Message::ServerStats {
+        12 => Message::ServerStats {
             shard: seed % 64,
             completed: seed,
             rejected: seed % 1000,
@@ -128,6 +128,17 @@ fn build_message(variant: usize, from: usize, len: usize, seed: u64) -> Message 
             mean_reach_ppm: seed % 1_000_000,
             queue_depths: [seed % 9, seed % 7, seed % 5],
         },
+        13 => Message::VoteAggregate {
+            from,
+            iteration: seed % 100_000,
+            converged: seed.is_multiple_of(2),
+            count: seed % 2048 + 1,
+        },
+        _ => Message::StabilitySummary {
+            from,
+            iteration: seed % 100_000,
+            stable: seed % 1024,
+        },
     }
 }
 
@@ -136,7 +147,7 @@ proptest! {
 
     #[test]
     fn message_codec_round_trips_every_variant(
-        variant in 0usize..13,
+        variant in 0usize..15,
         from in 0usize..64,
         len in 0usize..48,
         seed in 0u64..u64::MAX,
@@ -150,7 +161,7 @@ proptest! {
 
     #[test]
     fn frame_codec_round_trips_every_variant(
-        variant in 0usize..13,
+        variant in 0usize..15,
         from in 0usize..64,
         len in 0usize..48,
         seed in 0u64..u64::MAX,
@@ -166,7 +177,7 @@ proptest! {
 
     #[test]
     fn torn_frames_error_instead_of_panicking(
-        variant in 0usize..13,
+        variant in 0usize..15,
         len in 0usize..32,
         seed in 0u64..u64::MAX,
         cut_permille in 0usize..1000,
@@ -185,7 +196,7 @@ proptest! {
 
     #[test]
     fn corrupted_payload_bytes_never_panic_the_decoder(
-        variant in 0usize..13,
+        variant in 0usize..15,
         len in 1usize..24,
         seed in 0u64..u64::MAX,
         flip in 0usize..10_000,
