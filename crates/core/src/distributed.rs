@@ -362,6 +362,7 @@ mod tests {
             mode,
             async_confirmations: 3,
             relative_speeds: Vec::new(),
+            method: crate::solver::Method::Stationary,
         }
     }
 

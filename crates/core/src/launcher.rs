@@ -207,6 +207,10 @@ impl JobSpec {
             mode: mode_from_str(get("mode")?)?,
             async_confirmations: parse_field(get("async_confirmations")?, "async_confirmations")?,
             relative_speeds,
+            // Worker processes always run the stationary per-rank runtime;
+            // the Krylov outer loops are in-process drivers (see
+            // `crate::krylov`) and never ship through job.cfg.
+            method: crate::solver::Method::Stationary,
         };
         let delay = match get("delay_grid")? {
             "none" => None,
@@ -1217,6 +1221,7 @@ mod tests {
                 mode: ExecutionMode::Asynchronous,
                 async_confirmations: 7,
                 relative_speeds: vec![1.0, 1.5],
+                method: crate::solver::Method::Stationary,
             },
             delay: Some(LinkDelaySpec {
                 grid: GridSpec::TwoSite {

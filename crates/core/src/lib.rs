@@ -94,8 +94,9 @@
 //! * [`distributed`] / [`launcher`] — the multi-process runtime: one
 //!   [`distributed::run_rank`] per worker process, orchestrated by
 //!   [`launcher::Launcher`],
-//! * [`sync_driver`] / [`async_driver`] — deprecated shims of the threaded
-//!   synchronous and asynchronous entry points (kept for one release),
+//! * [`krylov`] — Krylov outer iterations (preconditioned Richardson and
+//!   restarted flexible GMRES) with the multisplitting sweep as the
+//!   preconditioner, selected through [`solver::Method`],
 //! * [`solver`] — the user-facing builder tying everything together,
 //! * [`theory`] — iteration matrices, spectral radii and the convergence
 //!   predicates of Theorem 1 and Propositions 1–3,
@@ -107,13 +108,13 @@
 
 #![warn(missing_docs)]
 
-pub mod async_driver;
 pub mod baseline;
 pub mod checkpoint;
 pub mod decomposition;
 pub mod distributed;
 pub(crate) mod driver_common;
 pub mod experiment;
+pub mod krylov;
 pub mod launcher;
 pub mod perf_model;
 pub mod prepared;
@@ -121,7 +122,6 @@ pub mod runtime;
 pub mod scale;
 pub mod sequential;
 pub mod solver;
-pub mod sync_driver;
 pub mod theory;
 pub mod weighting;
 
@@ -130,6 +130,10 @@ pub use decomposition::Decomposition;
 pub use distributed::{
     run_rank, CheckpointConfig, DetectionProtocol, RankOptions, RankOutcome, RebalanceConfig,
 };
+pub use krylov::{
+    FgmresWorkspace, KrylovStats, KrylovWorkspace, Preconditioner, SweepBuffers,
+    SweepPreconditioner,
+};
 pub use launcher::{DistributedOutcome, ElasticOutcome, Launcher, LauncherConfig};
 pub use prepared::PreparedSystem;
 pub use runtime::{
@@ -137,7 +141,8 @@ pub use runtime::{
     SolvePathStats,
 };
 pub use solver::{
-    BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome, SolverBuilder,
+    BatchSolveOutcome, ExecutionMode, Method, MultisplittingConfig, MultisplittingSolver,
+    SolveOutcome, SolverBuilder,
 };
 pub use weighting::WeightingScheme;
 
@@ -146,7 +151,9 @@ pub mod prelude {
     pub use crate::baseline::{DistributedDirectBaseline, SequentialDirectBaseline};
     pub use crate::decomposition::Decomposition;
     pub use crate::prepared::PreparedSystem;
-    pub use crate::solver::{BatchSolveOutcome, ExecutionMode, MultisplittingSolver, SolveOutcome};
+    pub use crate::solver::{
+        BatchSolveOutcome, ExecutionMode, Method, MultisplittingSolver, SolveOutcome,
+    };
     pub use crate::theory::SplittingAnalysis;
     pub use crate::weighting::WeightingScheme;
     pub use msplit_direct::SolverKind;

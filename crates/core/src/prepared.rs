@@ -15,7 +15,10 @@
 
 use crate::decomposition::Decomposition;
 use crate::driver_common::{compute_send_targets, IterationWorkspace};
-use crate::solver::{BatchSolveOutcome, ExecutionMode, MultisplittingConfig, SolveOutcome};
+use crate::krylov::{self, KrylovWorkspace, SweepPreconditioner};
+use crate::solver::{
+    BatchSolveOutcome, ExecutionMode, Method, MultisplittingConfig, PartReport, SolveOutcome,
+};
 use crate::{runtime, CoreError};
 use msplit_comm::transport::Transport;
 use msplit_direct::api::Factorization;
@@ -47,6 +50,15 @@ pub struct PreparedSystem {
     /// are fully grown, so every later request — the warm engine cache-hit
     /// path — iterates without any heap allocation on the solve path.
     workspace_pool: Mutex<Vec<Vec<IterationWorkspace>>>,
+    /// Retained copy of the operator, kept only when the prepared method
+    /// needs matvecs (FGMRES); `None` for the stationary/Richardson paths.
+    matrix: Option<CsrMatrix>,
+    /// Precomputed `E_lk` weight table for the Krylov sweeps (`None` for the
+    /// stationary method, whose drivers blend incrementally instead).
+    weight_table: Option<Vec<Vec<(usize, f64)>>>,
+    /// Pool of Krylov workspaces, mirroring `workspace_pool`: warm
+    /// Richardson/FGMRES solves allocate nothing on the outer path.
+    krylov_pool: Mutex<Vec<KrylovWorkspace>>,
 }
 
 impl PreparedSystem {
@@ -73,9 +85,33 @@ impl PreparedSystem {
             }
             Decomposition::balanced_for_speeds(a, &zero_b, &config.relative_speeds, config.overlap)?
         };
+        match config.method {
+            Method::Stationary => {}
+            Method::Richardson { inner_sweeps } => {
+                if inner_sweeps == 0 {
+                    return Err(CoreError::Decomposition(
+                        "Richardson needs at least one inner sweep".into(),
+                    ));
+                }
+            }
+            Method::Fgmres {
+                restart,
+                inner_sweeps,
+            } => {
+                if restart == 0 || inner_sweeps == 0 {
+                    return Err(CoreError::Decomposition(
+                        "FGMRES needs a positive restart length and at least one inner sweep"
+                            .into(),
+                    ));
+                }
+            }
+        }
         let (partition, blocks) = decomposition.into_blocks();
         let factors = runtime::factorize_blocks(&blocks, &config)?;
         let send_targets = compute_send_targets(&partition, &blocks);
+        let matrix = matches!(config.method, Method::Fgmres { .. }).then(|| a.clone());
+        let weight_table = (config.method != Method::Stationary)
+            .then(|| config.weighting.weight_table(&partition));
         Ok(PreparedSystem {
             config,
             partition,
@@ -85,6 +121,9 @@ impl PreparedSystem {
             fingerprint,
             factor_seconds: start.elapsed().as_secs_f64(),
             workspace_pool: Mutex::new(Vec::new()),
+            matrix,
+            weight_table,
+            krylov_pool: Mutex::new(Vec::new()),
         })
     }
 
@@ -173,6 +212,10 @@ impl PreparedSystem {
     }
 
     /// Solves `A x = b` over an explicit transport.
+    ///
+    /// The Krylov methods ([`Method::Richardson`], [`Method::Fgmres`]) run
+    /// the outer loop in the calling thread — their parallelism lives inside
+    /// the preconditioner sweep — so they ignore `transport`.
     pub fn solve_with_transport(
         &self,
         b: &[f64],
@@ -180,6 +223,16 @@ impl PreparedSystem {
     ) -> Result<SolveOutcome, CoreError> {
         self.check_rhs(b)?;
         let start = Instant::now();
+        match self.config.method {
+            Method::Stationary => {}
+            Method::Richardson { inner_sweeps } => {
+                return self.solve_krylov(b, None, inner_sweeps, start)
+            }
+            Method::Fgmres {
+                restart,
+                inner_sweeps,
+            } => return self.solve_krylov(b, Some(restart), inner_sweeps, start),
+        }
         let mut workspaces = self.acquire_workspaces();
         let result = match self.config.mode {
             ExecutionMode::Synchronous => runtime::run_sync(
@@ -209,14 +262,136 @@ impl PreparedSystem {
         result
     }
 
+    /// Pops a pooled Krylov workspace (or builds a cold one).
+    fn acquire_krylov(&self) -> KrylovWorkspace {
+        let mut pool = self
+            .krylov_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a Krylov workspace to its bounded pool.
+    fn release_krylov(&self, ws: KrylovWorkspace) {
+        let mut pool = self
+            .krylov_pool
+            .lock()
+            .unwrap_or_else(|poisoned| poisoned.into_inner());
+        if pool.len() < MAX_POOLED_WORKSPACE_SETS {
+            pool.push(ws);
+        }
+    }
+
+    /// The Krylov outer loops: Richardson when `restart` is `None`, FGMRES
+    /// otherwise, both preconditioned by `inner_sweeps` multisplitting
+    /// sweeps over the prepared blocks/factors.
+    fn solve_krylov(
+        &self,
+        b: &[f64],
+        restart: Option<usize>,
+        inner_sweeps: u64,
+        start: Instant,
+    ) -> Result<SolveOutcome, CoreError> {
+        let n = self.order();
+        let table = self
+            .weight_table
+            .as_deref()
+            .expect("prepare() builds the weight table for every Krylov method");
+        let mut ws = self.acquire_krylov();
+        ws.prepare(n);
+        // Block-scoped so the preconditioner's borrow of `ws.sweep` ends
+        // before the workspace is released back to the pool.
+        let result = {
+            let mut precond = SweepPreconditioner::new(
+                &self.partition,
+                &self.blocks,
+                &self.factors,
+                table,
+                inner_sweeps,
+                &mut ws.sweep,
+            );
+            match restart {
+                None => krylov::richardson(
+                    &mut precond,
+                    self.config.tolerance,
+                    self.config.max_iterations,
+                    b,
+                    &mut ws.x,
+                    &mut ws.x_prev,
+                ),
+                Some(m) => {
+                    let a = self
+                        .matrix
+                        .as_ref()
+                        .expect("prepare() retains the operator for FGMRES");
+                    krylov::fgmres(
+                        a,
+                        &mut precond,
+                        m,
+                        self.config.tolerance,
+                        self.config.max_iterations,
+                        b,
+                        &mut ws.x,
+                        &mut ws.fgmres,
+                    )
+                }
+            }
+        };
+        let outcome = result.map(|stats| {
+            let wall_seconds = start.elapsed().as_secs_f64();
+            SolveOutcome {
+                x: ws.x.clone(),
+                converged: stats.converged,
+                iterations: stats.outer_iterations,
+                iterations_per_part: vec![stats.outer_iterations; self.num_parts()],
+                last_increment: stats.last_norm,
+                part_reports: self.krylov_part_reports(stats.outer_iterations, wall_seconds),
+                wall_seconds,
+                mode: self.config.mode,
+            }
+        });
+        self.release_krylov(ws);
+        outcome
+    }
+
+    /// Work profiles of a Krylov solve: per part, one triangular solve plus
+    /// the dependency products per outer iteration (times `inner_sweeps`,
+    /// folded into the iteration count by the caller's interpretation), no
+    /// messages (the outer loop is in-process).
+    fn krylov_part_reports(&self, iterations: u64, wall_seconds: f64) -> Vec<PartReport> {
+        self.blocks
+            .iter()
+            .zip(self.factors.iter())
+            .map(|(blk, factor)| {
+                let factor_stats = factor.stats().clone();
+                let dep_flops = 2 * (blk.dep_left.nnz() + blk.dep_right.nnz()) as u64;
+                let flops_per_iteration = dep_flops + factor_stats.solve_flops();
+                let memory_bytes = blk.memory_bytes() + factor_stats.factor_memory_bytes();
+                PartReport {
+                    part: blk.part,
+                    factor_stats,
+                    iterations,
+                    bytes_sent_per_iteration: 0,
+                    messages_per_iteration: 0,
+                    flops_per_iteration,
+                    memory_bytes,
+                    wall_seconds,
+                    solve_path: runtime::SolvePathStats::default(),
+                }
+            })
+            .collect()
+    }
+
     /// Solves `A X = B` for a batch of right-hand sides in a single pass of
     /// the synchronous driver: every outer iteration performs one batched
     /// triangular-solve sweep ([`Factorization::solve_many`]) and one message
     /// exchange for all columns.
     ///
-    /// Batches always run the synchronous (lockstep) driver — a batch needs a
-    /// single convergence verdict, which is what the synchronous all-reduce
-    /// provides — regardless of the prepared configuration's execution mode.
+    /// Batches always run the synchronous (lockstep) **stationary** driver —
+    /// a batch needs a single convergence verdict, which is what the
+    /// synchronous all-reduce provides — regardless of the prepared
+    /// configuration's execution mode or [`Method`] (the per-column
+    /// solo-equivalence guarantee below is a stationary-lockstep property).
     pub fn solve_many(&self, rhs: &[Vec<f64>]) -> Result<BatchSolveOutcome, CoreError> {
         let transport = msplit_comm::InProcTransport::new(self.num_parts());
         self.solve_many_with_transport(rhs, transport)
@@ -278,6 +453,7 @@ mod tests {
             mode,
             async_confirmations: 3,
             relative_speeds: Vec::new(),
+            method: Method::Stationary,
         }
     }
 

@@ -3434,8 +3434,9 @@ pub(crate) fn run_sync_batch(
 
 /// Runs the threaded multisplitting solve over the given transport,
 /// dispatching on `config.mode` — the unified entry point behind
-/// [`crate::solver::MultisplittingSolver::solve_with_transport`] and the
-/// deprecated `solve_sync` / `solve_async` shims.
+/// [`crate::solver::MultisplittingSolver::solve_with_transport`] (the
+/// pre-runtime `sync_driver`/`async_driver` shims that used to forward here
+/// were removed after their one-release deprecation window).
 pub fn solve_threaded(
     decomposition: crate::decomposition::Decomposition,
     config: &MultisplittingConfig,
@@ -3729,5 +3730,230 @@ mod tests {
         assert!(!engine.ingest(slice(3)));
         // Control messages are never fresh data.
         assert!(!engine.ingest(Message::Halt));
+    }
+
+    // ----- threaded-adapter behavior (moved here from the deprecated
+    // ----- sync_driver / async_driver shim modules when they were removed)
+
+    fn adapter_config(parts: usize, overlap: usize, mode: ExecutionMode) -> MultisplittingConfig {
+        MultisplittingConfig {
+            parts,
+            overlap,
+            tolerance: 1e-10,
+            max_iterations: if mode == ExecutionMode::Asynchronous {
+                50_000
+            } else {
+                2000
+            },
+            mode,
+            ..Default::default()
+        }
+    }
+
+    fn max_err(a: &[f64], b: &[f64]) -> f64 {
+        a.iter()
+            .zip(b.iter())
+            .fold(0.0f64, |m, (x, y)| m.max((x - y).abs()))
+    }
+
+    #[test]
+    fn sync_solve_matches_true_solution() {
+        let a = generators::diag_dominant(&generators::DiagDominantConfig {
+            n: 300,
+            seed: 12,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 13) as f64) - 6.0);
+        let cfg = adapter_config(4, 0, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let out = solve_threaded_inproc(d, &cfg).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-7, "error too large");
+        assert!(out.residual(&a, &b) < 1e-6);
+        assert_eq!(out.part_reports.len(), 4);
+        assert!(out.iterations >= 2);
+        // every part ran the same number of iterations in synchronous mode
+        assert!(out.iterations_per_part.iter().all(|&i| i == out.iterations));
+    }
+
+    #[test]
+    fn sync_solve_agrees_with_sequential_reference() {
+        let a = generators::cage_like(200, 31);
+        let (_, b) = generators::rhs_for_solution(&a, |i| (i as f64 * 0.3).sin());
+        let cfg = adapter_config(3, 0, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let threaded = solve_threaded_inproc(d, &cfg).unwrap();
+        let sequential = crate::sequential::solve_sequential(
+            &a,
+            &b,
+            3,
+            0,
+            WeightingScheme::OwnerTakes,
+            SolverKind::SparseLu,
+            1e-10,
+            2000,
+        )
+        .unwrap();
+        assert!(threaded.converged && sequential.converged);
+        assert!(max_err(&threaded.x, &sequential.x) < 1e-8);
+        // The threaded Jacobi sweep and the sequential Jacobi sweep perform
+        // the same iteration, so the counts should be very close.
+        assert!(
+            (threaded.iterations as i64 - sequential.iterations as i64).abs() <= 2,
+            "threaded {} vs sequential {}",
+            threaded.iterations,
+            sequential.iterations
+        );
+    }
+
+    #[test]
+    fn sync_solve_with_overlap_and_every_scheme() {
+        let a = generators::spectral_radius_targeted(240, 0.9);
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| 1.0 + (i % 4) as f64);
+        for scheme in WeightingScheme::all() {
+            let mut cfg = adapter_config(3, 8, ExecutionMode::Synchronous);
+            cfg.weighting = scheme;
+            let d = Decomposition::uniform(&a, &b, 3, 8).unwrap();
+            let out = solve_threaded_inproc(d, &cfg).unwrap();
+            assert!(out.converged, "{scheme:?}");
+            assert!(max_err(&out.x, &x_true) < 1e-6, "{scheme:?}");
+        }
+    }
+
+    #[test]
+    fn sync_reports_non_convergence_within_budget() {
+        let a = generators::spectral_radius_targeted(100, 0.99);
+        let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
+        let mut cfg = adapter_config(4, 0, ExecutionMode::Synchronous);
+        cfg.max_iterations = 3;
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let out = solve_threaded_inproc(d, &cfg).unwrap();
+        assert!(!out.converged);
+        assert_eq!(out.iterations, 3);
+    }
+
+    #[test]
+    fn transport_rank_mismatch_is_rejected() {
+        let a = generators::tridiagonal(20, 4.0, -1.0);
+        let b = vec![1.0; 20];
+        let cfg = adapter_config(4, 0, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let transport = InProcTransport::new(3);
+        assert!(matches!(
+            solve_threaded(d, &cfg, transport),
+            Err(CoreError::Decomposition(_))
+        ));
+    }
+
+    #[test]
+    fn singular_block_fails_before_any_communication() {
+        // A zero row makes one diagonal block singular.
+        let mut builder = msplit_sparse::TripletBuilder::square(12);
+        for i in 0..12usize {
+            if i != 5 {
+                builder.push(i, i, 4.0).unwrap();
+                if i > 0 {
+                    builder.push(i, i - 1, -1.0).unwrap();
+                }
+            }
+        }
+        let a = builder.build_csr();
+        let b = vec![1.0; 12];
+        let cfg = adapter_config(3, 0, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        assert!(matches!(
+            solve_threaded_inproc(d, &cfg),
+            Err(CoreError::Direct(_))
+        ));
+    }
+
+    #[test]
+    fn heterogeneous_band_sizes_still_converge() {
+        let a = generators::diag_dominant(&generators::DiagDominantConfig {
+            n: 250,
+            seed: 77,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 6) as f64);
+        let cfg = adapter_config(4, 0, ExecutionMode::Synchronous);
+        let d = Decomposition::balanced_for_speeds(&a, &b, &[1.0, 1.5, 1.2, 1.0], 0).unwrap();
+        let out = solve_threaded_inproc(d, &cfg).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-7);
+    }
+
+    #[test]
+    fn async_solve_matches_true_solution() {
+        let a = generators::diag_dominant(&generators::DiagDominantConfig {
+            n: 300,
+            seed: 21,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| ((i % 10) as f64) - 5.0);
+        let cfg = adapter_config(4, 0, ExecutionMode::Asynchronous);
+        let d = Decomposition::uniform(&a, &b, 4, 0).unwrap();
+        let out = solve_threaded_inproc(d, &cfg).unwrap();
+        assert!(out.converged, "async run did not converge");
+        assert!(max_err(&out.x, &x_true) < 1e-6);
+        assert!(out.residual(&a, &b) < 1e-5);
+        assert_eq!(out.mode, ExecutionMode::Asynchronous);
+    }
+
+    #[test]
+    fn async_agrees_with_sync_result() {
+        let a = generators::cage_like(250, 41);
+        let (_, b) = generators::rhs_for_solution(&a, |i| (i as f64 * 0.2).cos());
+        let async_cfg = adapter_config(3, 0, ExecutionMode::Asynchronous);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let async_out = solve_threaded_inproc(d, &async_cfg).unwrap();
+        let sync_cfg = adapter_config(3, 0, ExecutionMode::Synchronous);
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let sync_out = solve_threaded_inproc(d, &sync_cfg).unwrap();
+        assert!(async_out.converged && sync_out.converged);
+        assert!(max_err(&async_out.x, &sync_out.x) < 1e-6);
+    }
+
+    #[test]
+    fn async_tolerates_modelled_wan_delays() {
+        // Run the asynchronous solver over a transport that injects (scaled)
+        // cluster3 WAN delays; it must still converge to the right answer.
+        let a = generators::diag_dominant(&generators::DiagDominantConfig {
+            n: 200,
+            seed: 5,
+            ..Default::default()
+        });
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 5) as f64);
+        let cfg = adapter_config(10, 0, ExecutionMode::Asynchronous);
+        let d = Decomposition::uniform(&a, &b, 10, 0).unwrap();
+        let inner = InProcTransport::new(10);
+        let delayed =
+            msplit_comm::DelayedTransport::new(inner, msplit_grid::cluster::cluster3(), 1e-3);
+        let out = solve_threaded(d, &cfg, delayed).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-6);
+    }
+
+    #[test]
+    fn async_respects_iteration_budget() {
+        let a = generators::spectral_radius_targeted(150, 0.995);
+        let (_, b) = generators::rhs_for_solution(&a, |i| i as f64);
+        let mut cfg = adapter_config(3, 0, ExecutionMode::Asynchronous);
+        cfg.max_iterations = 5;
+        let d = Decomposition::uniform(&a, &b, 3, 0).unwrap();
+        let out = solve_threaded_inproc(d, &cfg).unwrap();
+        assert!(!out.converged);
+        assert!(out.iterations <= 5);
+    }
+
+    #[test]
+    fn async_with_overlap_and_averaging_converges() {
+        let a = generators::spectral_radius_targeted(300, 0.9);
+        let (x_true, b) = generators::rhs_for_solution(&a, |i| (i % 7) as f64);
+        let mut cfg = adapter_config(3, 10, ExecutionMode::Asynchronous);
+        cfg.weighting = WeightingScheme::Average;
+        let d = Decomposition::uniform(&a, &b, 3, 10).unwrap();
+        let out = solve_threaded_inproc(d, &cfg).unwrap();
+        assert!(out.converged);
+        assert!(max_err(&out.x, &x_true) < 1e-6);
     }
 }

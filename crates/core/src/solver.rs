@@ -31,6 +31,40 @@ pub enum ExecutionMode {
     Asynchronous,
 }
 
+/// Outer iteration driving the multisplitting sweep.
+///
+/// The paper's Algorithm 1 is the pure stationary iteration: every outer
+/// step *is* one multisplitting sweep.  The Krylov methods instead treat the
+/// sweep as a preconditioner `M⁻¹ ≈ A⁻¹` (see [`crate::krylov`]): the outer
+/// loop is a preconditioned Richardson or a restarted flexible GMRES, and on
+/// ill-conditioned systems the Krylov outer loop reaches the tolerance in far
+/// fewer sweeps than the stationary scheme (see `docs/krylov.md`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Method {
+    /// Pure stationary multisplitting (Algorithm 1).  The default, and the
+    /// only method served by the threaded/TCP/distributed drivers.
+    #[default]
+    Stationary,
+    /// Preconditioned Richardson: `x ← x + M⁻¹(b − A x)` realized as
+    /// `inner_sweeps` multisplitting sweeps per outer step.  With
+    /// `inner_sweeps = 1` this is arithmetically — bitwise — the stationary
+    /// iteration; it exists as the equivalence anchor for the Krylov path.
+    Richardson {
+        /// Multisplitting sweeps per outer application of the preconditioner.
+        inner_sweeps: u64,
+    },
+    /// Restarted flexible GMRES, FGMRES(m), right-preconditioned by
+    /// `inner_sweeps` multisplitting sweeps per Arnoldi step.  Flexible
+    /// because the preconditioner application is itself an iteration and may
+    /// vary between outer steps.
+    Fgmres {
+        /// Restart length `m` (Krylov basis size kept between restarts).
+        restart: usize,
+        /// Multisplitting sweeps per preconditioner application.
+        inner_sweeps: u64,
+    },
+}
+
 /// Configuration of a multisplitting solve.
 #[derive(Debug, Clone)]
 pub struct MultisplittingConfig {
@@ -55,6 +89,9 @@ pub struct MultisplittingConfig {
     /// Relative processor speeds for heterogeneity-aware band sizing
     /// (empty = uniform bands).
     pub relative_speeds: Vec<f64>,
+    /// Outer iteration method (stationary sweep, preconditioned Richardson,
+    /// or FGMRES with the sweep as a flexible preconditioner).
+    pub method: Method,
 }
 
 impl Default for MultisplittingConfig {
@@ -69,6 +106,7 @@ impl Default for MultisplittingConfig {
             mode: ExecutionMode::Synchronous,
             async_confirmations: 3,
             relative_speeds: Vec::new(),
+            method: Method::Stationary,
         }
     }
 }
@@ -272,6 +310,12 @@ impl SolverBuilder {
         self
     }
 
+    /// Outer iteration method (stationary, Richardson or FGMRES).
+    pub fn method(mut self, method: Method) -> Self {
+        self.config.method = method;
+        self
+    }
+
     /// Finalizes the configuration.
     pub fn build(self) -> MultisplittingSolver {
         MultisplittingSolver {
@@ -345,8 +389,19 @@ impl MultisplittingSolver {
         b: &[f64],
         transport: Arc<dyn Transport>,
     ) -> Result<SolveOutcome, CoreError> {
-        let decomposition = self.decompose(a, b)?;
-        runtime::solve_threaded(decomposition, &self.config, transport)
+        match self.config.method {
+            Method::Stationary => {
+                let decomposition = self.decompose(a, b)?;
+                runtime::solve_threaded(decomposition, &self.config, transport)
+            }
+            // The Krylov outer loops are sequential over the assembled sweep
+            // (the parallelism lives inside the preconditioner apply), so
+            // they route through the prepared path and ignore the transport.
+            Method::Richardson { .. } | Method::Fgmres { .. } => {
+                let prepared = crate::prepared::PreparedSystem::prepare(self.config.clone(), a)?;
+                prepared.solve(b)
+            }
+        }
     }
 }
 
@@ -366,6 +421,10 @@ mod tests {
             .mode(ExecutionMode::Asynchronous)
             .async_confirmations(9)
             .relative_speeds(vec![1.0, 2.0, 1.0, 1.0, 1.0])
+            .method(Method::Fgmres {
+                restart: 30,
+                inner_sweeps: 2,
+            })
             .build();
         let c = solver.config();
         assert_eq!(c.parts, 5);
@@ -377,6 +436,13 @@ mod tests {
         assert_eq!(c.mode, ExecutionMode::Asynchronous);
         assert_eq!(c.async_confirmations, 9);
         assert_eq!(c.relative_speeds.len(), 5);
+        assert_eq!(
+            c.method,
+            Method::Fgmres {
+                restart: 30,
+                inner_sweeps: 2
+            }
+        );
     }
 
     #[test]

@@ -92,6 +92,33 @@ impl WeightingScheme {
         x
     }
 
+    /// Zero-allocation [`WeightingScheme::assemble`] against a precomputed
+    /// [`WeightingScheme::weight_table`].
+    ///
+    /// The accumulation visits the `(part, weight)` pairs in the exact order
+    /// `weights_for` returns them, so the floating-point result is bitwise
+    /// identical to `assemble` — the Krylov drivers rely on this to stay on
+    /// the proven stationary arithmetic while allocating nothing per sweep.
+    pub fn assemble_into(
+        partition: &BandPartition,
+        table: &[Vec<(usize, f64)>],
+        local: &[Vec<f64>],
+        out: &mut [f64],
+    ) {
+        debug_assert_eq!(local.len(), partition.num_parts());
+        debug_assert_eq!(table.len(), partition.order());
+        debug_assert_eq!(out.len(), partition.order());
+        for (i, (xi, weights)) in out.iter_mut().zip(table.iter()).enumerate() {
+            let mut acc = 0.0;
+            for &(part, w) in weights {
+                let range = partition.extended_range(part);
+                debug_assert!(range.contains(&i));
+                acc += w * local[part][i - range.start];
+            }
+            *xi = acc;
+        }
+    }
+
     /// Blends a received value into a running estimate for index `i`,
     /// returning the updated estimate.  `sender` is the part the value came
     /// from, `current` the receiver's current estimate for that index.
@@ -206,6 +233,27 @@ mod tests {
         assert!(WeightingScheme::OwnerTakes.accepts(&p, 5, 1));
         assert!(WeightingScheme::FirstCovering.accepts(&p, 5, 0));
         assert!(!WeightingScheme::FirstCovering.accepts(&p, 5, 1));
+    }
+
+    #[test]
+    fn assemble_into_is_bitwise_assemble() {
+        let p = overlapped_partition();
+        let local: Vec<Vec<f64>> = (0..3)
+            .map(|l| {
+                let r = p.extended_range(l);
+                r.map(|i| (i as f64).sin() * 3.7 + l as f64 * 0.13)
+                    .collect()
+            })
+            .collect();
+        for scheme in WeightingScheme::all() {
+            let reference = scheme.assemble(&p, &local);
+            let table = scheme.weight_table(&p);
+            let mut out = vec![0.0; 12];
+            WeightingScheme::assemble_into(&p, &table, &local, &mut out);
+            for (a, b) in out.iter().zip(reference.iter()) {
+                assert_eq!(a.to_bits(), b.to_bits(), "{scheme:?}");
+            }
+        }
     }
 
     #[test]

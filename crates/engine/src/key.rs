@@ -34,11 +34,12 @@ fn digest_config(config: &MultisplittingConfig) -> u64 {
     let mut h = Fnv64::new();
     h.mix(config.parts as u64);
     h.mix(config.overlap as u64);
-    // Enum discriminants are hashed through their Debug rendering, which is
-    // stable within a build and keeps this free of per-variant match arms.
+    // Enum discriminants (and the method's embedded knobs) are hashed through
+    // their Debug rendering, which is stable within a build and keeps this
+    // free of per-variant match arms.
     for b in format!(
-        "{:?}/{:?}/{:?}",
-        config.weighting, config.solver_kind, config.mode
+        "{:?}/{:?}/{:?}/{:?}",
+        config.weighting, config.solver_kind, config.mode, config.method
     )
     .bytes()
     {
@@ -57,7 +58,7 @@ fn digest_config(config: &MultisplittingConfig) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msplit_core::solver::ExecutionMode;
+    use msplit_core::solver::{ExecutionMode, Method};
     use msplit_direct::SolverKind;
     use msplit_sparse::generators;
 
@@ -110,9 +111,43 @@ mod tests {
                 relative_speeds: vec![1.0, 2.0],
                 ..base.clone()
             },
+            MultisplittingConfig {
+                method: Method::Richardson { inner_sweeps: 1 },
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                method: Method::Fgmres {
+                    restart: 30,
+                    inner_sweeps: 1,
+                },
+                ..base.clone()
+            },
+            // The embedded knobs must reach the digest too, not just the
+            // variant name.
+            MultisplittingConfig {
+                method: Method::Fgmres {
+                    restart: 31,
+                    inner_sweeps: 1,
+                },
+                ..base.clone()
+            },
+            MultisplittingConfig {
+                method: Method::Fgmres {
+                    restart: 30,
+                    inner_sweeps: 2,
+                },
+                ..base.clone()
+            },
         ];
-        for v in variants {
-            assert_ne!(MatrixKey::new(&a, &v), base_key, "variant {v:?}");
+        for v in &variants {
+            assert_ne!(MatrixKey::new(&a, v), base_key, "variant {v:?}");
         }
+        // The two FGMRES variants differ only in an embedded knob; they must
+        // not collide with each other either.
+        let n = variants.len();
+        assert_ne!(
+            MatrixKey::new(&a, &variants[n - 2]),
+            MatrixKey::new(&a, &variants[n - 1])
+        );
     }
 }

@@ -8,13 +8,21 @@
 //! fleet fails with a typed error instead of a garbage solve.
 
 use crate::ServeError;
-use msplit_core::solver::{ExecutionMode, MultisplittingConfig};
+use msplit_core::solver::{ExecutionMode, Method, MultisplittingConfig};
 use msplit_core::weighting::WeightingScheme;
 use msplit_direct::SolverKind;
 use msplit_sparse::CsrMatrix;
 
 /// Version byte of the configuration encoding.
-const CONFIG_VERSION: u8 = 1;
+///
+/// * v1 — through the Elastic-grid release: everything up to and including
+///   `relative_speeds`.
+/// * v2 — appends the outer-iteration [`Method`] (tag byte + restart +
+///   inner sweeps) after the speeds.  v1 blobs are still accepted and decode
+///   to [`Method::Stationary`], which is exactly what every v1 sender meant.
+const CONFIG_VERSION: u8 = 2;
+/// Oldest configuration encoding this build still decodes.
+const CONFIG_VERSION_MIN: u8 = 1;
 /// Version byte of the matrix encoding.
 const MATRIX_VERSION: u8 = 1;
 
@@ -109,6 +117,19 @@ pub fn encode_config(config: &MultisplittingConfig) -> Vec<u8> {
     for s in &config.relative_speeds {
         put_u64(&mut out, s.to_bits());
     }
+    // v2 suffix: the method selector.  Unused knobs encode as zero so every
+    // method occupies the same number of bytes (simpler truncation fuzzing).
+    let (tag, restart, inner_sweeps) = match config.method {
+        Method::Stationary => (0u8, 0u64, 0u64),
+        Method::Richardson { inner_sweeps } => (1, 0, inner_sweeps),
+        Method::Fgmres {
+            restart,
+            inner_sweeps,
+        } => (2, restart as u64, inner_sweeps),
+    };
+    out.push(tag);
+    put_u64(&mut out, restart);
+    put_u64(&mut out, inner_sweeps);
     out
 }
 
@@ -116,9 +137,9 @@ pub fn encode_config(config: &MultisplittingConfig) -> Vec<u8> {
 pub fn decode_config(blob: &[u8]) -> Result<MultisplittingConfig, ServeError> {
     let mut r = Reader::new(blob, "config");
     let version = r.u8()?;
-    if version != CONFIG_VERSION {
+    if !(CONFIG_VERSION_MIN..=CONFIG_VERSION).contains(&version) {
         return Err(ServeError::Protocol(format!(
-            "config blob version {version}, this build speaks {CONFIG_VERSION}"
+            "config blob version {version}, this build speaks {CONFIG_VERSION_MIN}..={CONFIG_VERSION}"
         )));
     }
     let parts = r.u64()? as usize;
@@ -156,6 +177,37 @@ pub fn decode_config(blob: &[u8]) -> Result<MultisplittingConfig, ServeError> {
     for _ in 0..nspeeds {
         relative_speeds.push(r.f64()?);
     }
+    // v1 blobs end here; every v1 sender ran the stationary method.
+    let method = if version >= 2 {
+        let tag = r.u8()?;
+        let restart = r.u64()? as usize;
+        let inner_sweeps = r.u64()?;
+        match tag {
+            0 => Method::Stationary,
+            1 => {
+                if inner_sweeps == 0 {
+                    return Err(ServeError::Protocol(
+                        "Richardson blob with zero inner sweeps".into(),
+                    ));
+                }
+                Method::Richardson { inner_sweeps }
+            }
+            2 => {
+                if restart == 0 || inner_sweeps == 0 {
+                    return Err(ServeError::Protocol(
+                        "FGMRES blob with zero restart or inner sweeps".into(),
+                    ));
+                }
+                Method::Fgmres {
+                    restart,
+                    inner_sweeps,
+                }
+            }
+            other => return Err(ServeError::Protocol(format!("unknown method tag {other}"))),
+        }
+    } else {
+        Method::Stationary
+    };
     r.finish()?;
     Ok(MultisplittingConfig {
         parts,
@@ -167,6 +219,7 @@ pub fn decode_config(blob: &[u8]) -> Result<MultisplittingConfig, ServeError> {
         mode,
         async_confirmations,
         relative_speeds,
+        method,
     })
 }
 
@@ -233,19 +286,74 @@ mod tests {
 
     #[test]
     fn config_round_trip_preserves_every_field() {
+        for method in [
+            Method::Stationary,
+            Method::Richardson { inner_sweeps: 3 },
+            Method::Fgmres {
+                restart: 30,
+                inner_sweeps: 2,
+            },
+        ] {
+            let config = MultisplittingConfig {
+                parts: 5,
+                overlap: 2,
+                weighting: WeightingScheme::Average,
+                solver_kind: SolverKind::BandLu,
+                tolerance: 3.25e-9,
+                max_iterations: 123,
+                mode: ExecutionMode::Asynchronous,
+                async_confirmations: 7,
+                relative_speeds: vec![1.0, 2.5, 0.75],
+                method,
+            };
+            let back = decode_config(&encode_config(&config)).unwrap();
+            assert_eq!(format!("{config:?}"), format!("{back:?}"));
+        }
+    }
+
+    /// Re-encodes a config in the v1 layout (no method suffix), as an
+    /// Elastic-grid-era sender would have produced it.
+    fn encode_config_v1(config: &MultisplittingConfig) -> Vec<u8> {
+        let mut blob = encode_config(config);
+        blob[0] = 1;
+        blob.truncate(blob.len() - (1 + 8 + 8));
+        blob
+    }
+
+    #[test]
+    fn v1_blobs_still_decode_as_stationary() {
         let config = MultisplittingConfig {
-            parts: 5,
-            overlap: 2,
-            weighting: WeightingScheme::Average,
-            solver_kind: SolverKind::BandLu,
-            tolerance: 3.25e-9,
-            max_iterations: 123,
-            mode: ExecutionMode::Asynchronous,
-            async_confirmations: 7,
-            relative_speeds: vec![1.0, 2.5, 0.75],
+            parts: 4,
+            overlap: 1,
+            relative_speeds: vec![1.0, 2.0, 1.0, 1.0],
+            // A v1 sender could never express this; the field is simply
+            // absent from its blob.
+            method: Method::Stationary,
+            ..Default::default()
         };
-        let back = decode_config(&encode_config(&config)).unwrap();
-        assert_eq!(format!("{config:?}"), format!("{back:?}"));
+        let blob = encode_config_v1(&config);
+        let back = decode_config(&blob).unwrap();
+        assert_eq!(back.method, Method::Stationary);
+        assert_eq!(back.parts, 4);
+        assert_eq!(back.relative_speeds, config.relative_speeds);
+    }
+
+    #[test]
+    fn unknown_method_tags_and_zero_knobs_are_rejected() {
+        let base = encode_config(&MultisplittingConfig::default());
+        let suffix = base.len() - (1 + 8 + 8);
+        // Unknown tag.
+        let mut wrong = base.clone();
+        wrong[suffix] = 9;
+        assert!(decode_config(&wrong).is_err());
+        // Richardson with zero inner sweeps.
+        let mut zero_sweeps = base.clone();
+        zero_sweeps[suffix] = 1;
+        assert!(decode_config(&zero_sweeps).is_err());
+        // FGMRES with zero restart.
+        let mut zero_restart = base;
+        zero_restart[suffix] = 2;
+        assert!(decode_config(&zero_restart).is_err());
     }
 
     #[test]

@@ -234,6 +234,116 @@ pub fn cage_like(n: usize, seed: u64) -> CsrMatrix {
     b.build_csr()
 }
 
+/// Parameters for the convection–diffusion generator.
+#[derive(Debug, Clone)]
+pub struct ConvectionDiffusionConfig {
+    /// Grid dimension: the matrix has order `k²`.
+    pub k: usize,
+    /// Cell Péclet number in `[0, 1)`.  `0` recovers the symmetric Poisson
+    /// operator; any positive value makes the east/west couplings lopsided
+    /// and the operator genuinely nonsymmetric, which rules out
+    /// symmetric-Krylov shortcuts and is the regime the flexible (FGMRES)
+    /// acceleration in the core crate's `krylov` module targets.
+    pub peclet: f64,
+    /// Relative amplitude of a seeded random perturbation applied to the
+    /// off-diagonal couplings (`0.0` disables it).  The perturbation breaks
+    /// the constant-stencil structure without touching the dominance margin,
+    /// so the generated operators stay safely solvable while being less
+    /// friendly to the band decomposition than a pure stencil.
+    pub skew: f64,
+    /// RNG seed used when `skew > 0` (generation is deterministic).
+    pub seed: u64,
+}
+
+impl Default for ConvectionDiffusionConfig {
+    fn default() -> Self {
+        ConvectionDiffusionConfig {
+            k: 32,
+            peclet: 0.9,
+            skew: 0.0,
+            seed: 0xd1ff,
+        }
+    }
+}
+
+/// Upwinded 2-D convection–diffusion operator on a `k x k` grid.
+///
+/// The 5-point stencil is the Poisson operator with the horizontal couplings
+/// biased by the cell Péclet number `p = peclet`:
+///
+/// ```text
+/// west  = -(1 + p)      east  = -(1 - p)
+/// north = -1            south = -1        diag = 4
+/// ```
+///
+/// Every row still sums to a nonnegative value (`|west| + |east| = 2` exactly,
+/// independent of `p`), so the matrix remains weakly diagonally dominant with
+/// strict dominance on the boundary rows, irreducible (the grid graph is
+/// connected) — hence irreducibly diagonally dominant and covered by the
+/// paper's Proposition 1.
+///
+/// Two knobs make it a stress test for the stationary multisplitting sweep:
+///
+/// * **Mesh refinement (`k`)** drives the ill-conditioning.  The band
+///   decomposition cuts between grid rows, and the north/south couplings
+///   that cross those cuts shrink relative to the spectrum as `k` grows, so
+///   the block-Jacobi spectral radius climbs toward 1 — with thin bands
+///   (few grid rows per part) the stationary sweep takes hundreds to
+///   thousands of iterations.
+/// * **Péclet (`p`)** controls nonsymmetry.  The convection runs *along*
+///   the bands, so it does not rescue the cross-band contraction (measured:
+///   moderate Péclet keeps the stationary count within a small factor of
+///   the Poisson worst case) while making the operator far from symmetric.
+///
+/// This is the workload the `perf-report` `krylov` table uses to demonstrate
+/// the FGMRES outer-iteration advantage.
+pub fn convection_diffusion(config: &ConvectionDiffusionConfig) -> CsrMatrix {
+    let k = config.k;
+    let p = config.peclet;
+    assert!(k >= 2, "convection_diffusion requires k >= 2");
+    assert!(
+        (0.0..1.0).contains(&p),
+        "peclet must lie in [0, 1), got {p}"
+    );
+    assert!(
+        (0.0..1.0).contains(&config.skew),
+        "skew must lie in [0, 1), got {}",
+        config.skew
+    );
+    let n = k * k;
+    let mut rng = SmallRng::seed_from_u64(config.seed);
+    let mut b = TripletBuilder::square(n);
+    let idx = |i: usize, j: usize| i * k + j;
+    // Scales a coupling by a seeded factor in [1 - skew, 1].  Shrinking (never
+    // growing) magnitudes preserves weak row dominance unconditionally.
+    let mut perturb = |v: f64| {
+        if config.skew == 0.0 {
+            v
+        } else {
+            v * (1.0 - rng.gen_range(0.0..config.skew))
+        }
+    };
+    for i in 0..k {
+        for j in 0..k {
+            let row = idx(i, j);
+            b.push(row, row, 4.0).unwrap();
+            if i > 0 {
+                b.push(row, idx(i - 1, j), perturb(-1.0)).unwrap();
+            }
+            if i + 1 < k {
+                b.push(row, idx(i + 1, j), perturb(-1.0)).unwrap();
+            }
+            if j > 0 {
+                b.push(row, idx(i, j - 1), perturb(-(1.0 + p))).unwrap();
+            }
+            if j + 1 < k {
+                b.push(row, idx(i, j + 1), perturb(-(1.0 - p))).unwrap();
+            }
+        }
+    }
+    b.build_csr()
+}
+
 /// Generates a symmetric-structure matrix whose **point-Jacobi** spectral
 /// radius is (approximately) the prescribed `rho`.
 ///
@@ -350,6 +460,69 @@ mod tests {
         // nonsymmetric in values
         let t = a.transpose();
         assert_ne!(a, t);
+    }
+
+    #[test]
+    fn convection_diffusion_zero_peclet_is_poisson() {
+        let a = convection_diffusion(&ConvectionDiffusionConfig {
+            k: 6,
+            peclet: 0.0,
+            skew: 0.0,
+            ..Default::default()
+        });
+        assert_eq!(a, poisson_2d(6));
+    }
+
+    #[test]
+    fn convection_diffusion_is_irreducibly_dominant_and_nonsymmetric() {
+        for &peclet in &[0.3, 0.9, 0.99] {
+            let a = convection_diffusion(&ConvectionDiffusionConfig {
+                k: 12,
+                peclet,
+                skew: 0.0,
+                ..Default::default()
+            });
+            assert_eq!(a.rows(), 144);
+            assert!(properties::is_weakly_diagonally_dominant(&a));
+            assert!(properties::is_irreducibly_diagonally_dominant(&a));
+            assert!(crate::graph::is_irreducible(&a));
+            assert_ne!(a, a.transpose(), "peclet {peclet} must break symmetry");
+        }
+    }
+
+    #[test]
+    fn convection_diffusion_upwind_couplings() {
+        let cfg = ConvectionDiffusionConfig {
+            k: 8,
+            peclet: 0.75,
+            skew: 0.0,
+            ..Default::default()
+        };
+        let a = convection_diffusion(&cfg);
+        // Interior row (i = j = 4): west is strengthened, east weakened.
+        let row = 4 * 8 + 4;
+        assert_eq!(a.get(row, row), 4.0);
+        assert_eq!(a.get(row, row - 1), -1.75);
+        assert_eq!(a.get(row, row + 1), -0.25);
+        assert_eq!(a.get(row, row - 8), -1.0);
+        assert_eq!(a.get(row, row + 8), -1.0);
+    }
+
+    #[test]
+    fn convection_diffusion_skew_keeps_dominance_and_determinism() {
+        let cfg = ConvectionDiffusionConfig {
+            k: 10,
+            peclet: 0.8,
+            skew: 0.35,
+            seed: 99,
+        };
+        let a = convection_diffusion(&cfg);
+        assert!(properties::is_irreducibly_diagonally_dominant(&a));
+        assert!(crate::graph::is_irreducible(&a));
+        assert_eq!(a, convection_diffusion(&cfg));
+        // The perturbation must actually change something.
+        let unskewed = convection_diffusion(&ConvectionDiffusionConfig { skew: 0.0, ..cfg });
+        assert_ne!(a, unskewed);
     }
 
     #[test]

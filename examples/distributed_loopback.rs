@@ -46,6 +46,7 @@ fn main() -> ExitCode {
         mode: ExecutionMode::Asynchronous,
         async_confirmations: 3,
         relative_speeds: Vec::new(),
+        method: Method::Stationary,
     };
 
     // Reference: the in-process asynchronous driver on the identical system.

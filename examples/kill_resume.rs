@@ -40,6 +40,7 @@ fn main() -> ExitCode {
         mode: ExecutionMode::Synchronous,
         async_confirmations: 3,
         relative_speeds: Vec::new(),
+        method: Method::Stationary,
     };
 
     let root =

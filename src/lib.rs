@@ -70,7 +70,8 @@ pub mod prelude {
     pub use msplit_core::launcher::{DistributedOutcome, Launcher, LauncherConfig};
     pub use msplit_core::perf_model::{replay_async, replay_sync, ProblemScaling};
     pub use msplit_core::solver::{
-        BatchSolveOutcome, ExecutionMode, MultisplittingConfig, MultisplittingSolver, SolveOutcome,
+        BatchSolveOutcome, ExecutionMode, Method, MultisplittingConfig, MultisplittingSolver,
+        SolveOutcome,
     };
     pub use msplit_core::theory::SplittingAnalysis;
     pub use msplit_core::weighting::WeightingScheme;

@@ -41,6 +41,7 @@ fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
         mode,
         async_confirmations: 3,
         relative_speeds: Vec::new(),
+        method: Method::Stationary,
     }
 }
 

@@ -250,6 +250,39 @@ fn scaling_docs_cover_the_convergence_surface() {
 }
 
 #[test]
+fn krylov_docs_cover_the_method_surface() {
+    // The Krylov page must keep describing the method surface the code
+    // exposes; renaming a variant, a knob, a workspace type, or the gate
+    // constant without updating the docs fails here.
+    let doc = std::fs::read_to_string(repo_root().join("docs").join("krylov.md")).unwrap();
+    for required in [
+        "Stationary",
+        "Richardson",
+        "Fgmres",
+        "restart",
+        "inner_sweeps",
+        "Preconditioner",
+        "SweepPreconditioner",
+        "FgmresWorkspace",
+        "KrylovStats",
+        "convection_diffusion",
+        "bitwise",
+        "MIN_FGMRES_ITERATION_ADVANTAGE",
+    ] {
+        assert!(
+            doc.contains(required),
+            "docs/krylov.md no longer mentions {required}"
+        );
+    }
+    // The README's method-selection section must keep pointing at the page.
+    let readme = std::fs::read_to_string(repo_root().join("README.md")).unwrap();
+    assert!(
+        readme.contains("docs/krylov.md"),
+        "README.md no longer links docs/krylov.md"
+    );
+}
+
+#[test]
 fn serving_docs_cover_the_fleet_surface() {
     // The serving page must keep describing the protocol and knobs the serve
     // crate exposes; renaming a frame, a rejection code, or a server flag

@@ -39,6 +39,7 @@ fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
         mode,
         async_confirmations: 3,
         relative_speeds: Vec::new(),
+        method: Method::Stationary,
     }
 }
 
@@ -380,6 +381,92 @@ proptest! {
         prop_assert!(async_inproc.converged && async_tcp.converged);
         prop_assert!(max_err(&async_inproc.x, &seq.x) < 1e-6);
         prop_assert!(max_err(&async_tcp.x, &seq.x) < 1e-6);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    // Layer 3: Richardson with one inner sweep *is* the stationary iteration
+    // — the Krylov layer's preconditioner application replays the exact
+    // floating-point operation sequence of the sequential sweep, so forcing
+    // both to the same depth must agree bitwise, across every weighting
+    // scheme and overlap.
+    #[test]
+    fn richardson_single_sweep_is_bitwise_the_stationary_reference(
+        n in 60usize..140,
+        parts in 2usize..5,
+        overlap in 0usize..3,
+        scheme_idx in 0usize..3,
+        seed in 0u64..1000,
+        k in 1u64..8,
+    ) {
+        let scheme = [
+            WeightingScheme::OwnerTakes,
+            WeightingScheme::Average,
+            WeightingScheme::FirstCovering,
+        ][scheme_idx];
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n,
+            seed,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 7) as f64) - 3.0);
+        // tolerance < 0 forces both sides to run exactly k outer steps.
+        let cfg = MultisplittingConfig {
+            parts,
+            overlap,
+            weighting: scheme,
+            tolerance: -1.0,
+            max_iterations: k,
+            method: Method::Richardson { inner_sweeps: 1 },
+            ..config(parts, ExecutionMode::Synchronous)
+        };
+        let rich = PreparedSystem::prepare(cfg, &a).unwrap().solve(&b).unwrap();
+        prop_assert_eq!(rich.iterations, k);
+        let d = Decomposition::uniform(&a, &b, parts, overlap).unwrap();
+        let seq =
+            solve_sequential_decomposed(&d, scheme, SolverKind::SparseLu, -1.0, k).unwrap();
+        prop_assert_eq!(seq.iterations, k);
+        prop_assert_eq!(
+            rich.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            seq.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
+    }
+
+    // The same identity against the *threaded* stationary driver: run the
+    // stationary adapter to convergence, then force Richardson(1 sweep) to
+    // the depth the driver reports.  The lockstep protocol makes the threaded
+    // iterate equal to the sequential sweep, so the chain is closed end to
+    // end: threaded stationary ≡ sequential ≡ Richardson(1).
+    #[test]
+    fn richardson_single_sweep_matches_the_threaded_driver_bitwise(
+        n in 60usize..120,
+        parts in 2usize..4,
+        seed in 0u64..1000,
+    ) {
+        let a = generators::diag_dominant(&DiagDominantConfig {
+            n,
+            seed,
+            ..Default::default()
+        });
+        let (_, b) = generators::rhs_for_solution(&a, |i| ((i % 9) as f64) - 4.0);
+        let threaded = MultisplittingSolver::new(config(parts, ExecutionMode::Synchronous))
+            .solve(&a, &b)
+            .unwrap();
+        prop_assert!(threaded.converged);
+        let cfg = MultisplittingConfig {
+            tolerance: -1.0,
+            max_iterations: threaded.iterations,
+            method: Method::Richardson { inner_sweeps: 1 },
+            ..config(parts, ExecutionMode::Synchronous)
+        };
+        let rich = PreparedSystem::prepare(cfg, &a).unwrap().solve(&b).unwrap();
+        prop_assert_eq!(rich.iterations, threaded.iterations);
+        prop_assert_eq!(
+            rich.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            threaded.x.iter().map(|v| v.to_bits()).collect::<Vec<_>>()
+        );
     }
 }
 

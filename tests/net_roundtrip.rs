@@ -257,6 +257,7 @@ fn config(parts: usize, mode: ExecutionMode) -> MultisplittingConfig {
         mode,
         async_confirmations: 3,
         relative_speeds: Vec::new(),
+        method: Method::Stationary,
     }
 }
 
@@ -333,6 +334,136 @@ fn threaded_async_driver_runs_unchanged_over_delayed_tcp_sockets() {
         ));
     }
     panic!("threaded async over TCP failed twice in a row: {failures:?}");
+}
+
+/// v2 config-blob layout knowledge shared by the serve-codec fuzz tests
+/// below: the method suffix is a fixed 17-byte trailer (a tag u8, a restart
+/// u64, an inner_sweeps u64) and v1 blobs are exactly the v2 blob minus
+/// that trailer with the version byte rewound.
+const METHOD_SUFFIX_LEN: usize = 1 + 8 + 8;
+
+fn method_from_seed(seed: u64) -> Method {
+    match seed % 3 {
+        0 => Method::Stationary,
+        1 => Method::Richardson {
+            inner_sweeps: seed % 7 + 1,
+        },
+        _ => Method::Fgmres {
+            restart: (seed % 64 + 1) as usize,
+            inner_sweeps: seed % 5 + 1,
+        },
+    }
+}
+
+fn serve_config_from_seed(seed: u64, parts: usize, nspeeds: usize) -> MultisplittingConfig {
+    MultisplittingConfig {
+        parts,
+        overlap: (seed % 4) as usize,
+        weighting: match seed % 3 {
+            0 => WeightingScheme::OwnerTakes,
+            1 => WeightingScheme::Average,
+            _ => WeightingScheme::FirstCovering,
+        },
+        solver_kind: match seed % 2 {
+            0 => SolverKind::SparseLu,
+            _ => SolverKind::DenseLu,
+        },
+        tolerance: 10f64.powi(-((seed % 12) as i32) - 1),
+        max_iterations: seed % 100_000 + 1,
+        mode: if seed.is_multiple_of(2) {
+            ExecutionMode::Synchronous
+        } else {
+            ExecutionMode::Asynchronous
+        },
+        async_confirmations: seed % 9 + 1,
+        relative_speeds: values_from_seed(seed, nspeeds)
+            .into_iter()
+            .map(|v| v.abs() + 0.5)
+            .collect(),
+        method: method_from_seed(seed.rotate_left(11)),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    // The serve config codec round-trips every method variant bit-exactly
+    // through its v2 encoding.
+    #[test]
+    fn serve_config_codec_round_trips_every_method(
+        seed in 0u64..u64::MAX,
+        parts in 1usize..64,
+        nspeeds in 0usize..8,
+    ) {
+        use multisplitting::serve::codec::{decode_config, encode_config};
+        let config = serve_config_from_seed(seed, parts, nspeeds);
+        let blob = encode_config(&config);
+        let back = decode_config(&blob).expect("v2 blob decodes");
+        prop_assert_eq!(back.method, config.method);
+        prop_assert_eq!(format!("{back:?}"), format!("{config:?}"));
+    }
+
+    // A v1-era sender's blob (no method trailer) still decodes, and always
+    // means the stationary method.
+    #[test]
+    fn serve_config_v1_blobs_decode_as_stationary(
+        seed in 0u64..u64::MAX,
+        parts in 1usize..64,
+        nspeeds in 0usize..8,
+    ) {
+        use multisplitting::serve::codec::{decode_config, encode_config};
+        let config = serve_config_from_seed(seed, parts, nspeeds);
+        let mut blob = encode_config(&config);
+        blob[0] = 1;
+        blob.truncate(blob.len() - METHOD_SUFFIX_LEN);
+        let back = decode_config(&blob).expect("v1 blob decodes");
+        prop_assert_eq!(back.method, Method::Stationary);
+        prop_assert_eq!(back.parts, config.parts);
+        prop_assert_eq!(back.max_iterations, config.max_iterations);
+        prop_assert_eq!(back.relative_speeds, config.relative_speeds);
+    }
+
+    // Torn config blobs — cut anywhere strictly inside, including inside the
+    // v2 method trailer — are typed errors, never panics.
+    #[test]
+    fn serve_config_torn_blobs_error_cleanly(
+        seed in 0u64..u64::MAX,
+        parts in 1usize..64,
+        nspeeds in 0usize..8,
+        cut_permille in 0usize..1000,
+    ) {
+        use multisplitting::serve::codec::{decode_config, encode_config};
+        let blob = encode_config(&serve_config_from_seed(seed, parts, nspeeds));
+        let cut = (blob.len() * cut_permille) / 1000;
+        prop_assume!(cut < blob.len());
+        prop_assert!(decode_config(&blob[..cut]).is_err(), "cut at {cut}");
+    }
+
+    // A single flipped byte anywhere in a config blob must decode to *some*
+    // config or fail with a typed error — no panic, no runaway allocation.
+    // When it decodes, the parsed method is always internally valid (nonzero
+    // knobs), because the decoder re-validates rather than trusting the peer.
+    #[test]
+    fn serve_config_bit_flips_never_panic_the_decoder(
+        seed in 0u64..u64::MAX,
+        parts in 1usize..64,
+        nspeeds in 0usize..8,
+        flip in 0usize..10_000,
+    ) {
+        use multisplitting::serve::codec::{decode_config, encode_config};
+        let mut blob = encode_config(&serve_config_from_seed(seed, parts, nspeeds));
+        let pos = flip % blob.len();
+        blob[pos] ^= 0x5A;
+        if let Ok(back) = decode_config(&blob) {
+            match back.method {
+                Method::Stationary => {}
+                Method::Richardson { inner_sweeps } => prop_assert!(inner_sweeps > 0),
+                Method::Fgmres { restart, inner_sweeps } => {
+                    prop_assert!(restart > 0 && inner_sweeps > 0);
+                }
+            }
+        }
+    }
 }
 
 #[test]

@@ -271,6 +271,48 @@ fn main() {
         );
     }
 
+    // --- Warm Krylov outer iterations (Richardson and FGMRES). ---
+    // The acceptance bar of the Krylov layer: once the pooled
+    // KrylovWorkspace-style buffers are warm, a complete outer solve — sweep
+    // preconditioner applies, matvecs, Gram-Schmidt, Givens updates, basis
+    // reconstruction — allocates nothing.  Each closure call below is a full
+    // solve at a forced/small depth, so the measured reps cover every outer
+    // step of every cycle, not just a single step.
+    {
+        use multisplitting::core::krylov::{
+            fgmres, richardson, FgmresWorkspace, SweepBuffers, SweepPreconditioner,
+        };
+        use multisplitting::direct::api::Factorization;
+        use std::sync::Arc;
+
+        let d = Decomposition::uniform(&a, &b, 3, 1).expect("decomposition");
+        let (partition, blocks) = d.into_blocks();
+        let solver = SolverKind::SparseLu.build();
+        let factors: Vec<Arc<dyn Factorization>> = blocks
+            .iter()
+            .map(|blk| Arc::from(solver.factorize(&blk.a_sub).expect("factorize")))
+            .collect();
+        let table = WeightingScheme::OwnerTakes.weight_table(&partition);
+        let mut bufs = SweepBuffers::new();
+        let mut pc = SweepPreconditioner::new(&partition, &blocks, &factors, &table, 1, &mut bufs);
+        let mut x = vec![0.0; n];
+        let mut x_prev = vec![0.0; n];
+        assert_zero_alloc("richardson warm outer iterations", 20, || {
+            // tolerance < 0 forces exactly 8 outer steps per call.
+            let stats = richardson(&mut pc, -1.0, 8, &b, &mut x, &mut x_prev).expect("richardson");
+            assert_eq!(stats.outer_iterations, 8);
+        });
+
+        let mut ws = FgmresWorkspace::new();
+        ws.prepare(n, 10);
+        assert_zero_alloc("fgmres warm outer iterations", 20, || {
+            // A tiny budget over several restart cycles: every Arnoldi step,
+            // Givens update and x += Z y reconstruction runs warm.
+            let stats = fgmres(&a, &mut pc, 10, 1e-30, 25, &b, &mut x, &mut ws).expect("fgmres");
+            assert_eq!(stats.outer_iterations, 25);
+        });
+    }
+
     // Sanity: the counter itself works (an obvious allocation is seen).
     let before = ALLOCATIONS.load(Relaxed);
     let v: Vec<u8> = Vec::with_capacity(1024);
